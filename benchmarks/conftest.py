@@ -1,0 +1,20 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Generators are deterministic and expensive, so every benchmark runs
+them exactly once (``pedantic`` with one round) and asserts the paper's
+qualitative claims on the result.  Results are cached across benchmarks
+within the session (several tables project the same underlying runs).
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a generator exactly once under pytest-benchmark timing."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,29 @@
+"""Aggregate fidelity: quantitative model-vs-paper agreement bounds."""
+
+from repro.bench.fidelity import fidelity_table
+
+
+def test_fidelity_summary(once):
+    table = once(fidelity_table)
+    print("\n" + table.to_text())
+    by_name = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+
+    # magnitudes: every table's median model/paper ratio within 2x
+    for name, row in by_name.items():
+        assert 0.5 < row["median ratio"] < 2.0, name
+
+    # shape: the placement tables order configurations like the paper
+    assert by_name["Table 2 (NAS, Longs)"]["rank corr"] > 0.7
+    assert by_name["Table 4 (NAS efficiency)"]["rank corr"] > 0.9
+    assert by_name["Table 10 (LAMMPS speedup)"]["rank corr"] > 0.6
+    assert by_name["Table 13 (POP baroclinic)"]["rank corr"] > 0.5
+
+    # overall: mean rank correlation across rankable tables is positive
+    # and substantial
+    correlations = [row["rank corr"] for row in by_name.values()
+                    if row["rank corr"] is not None]
+    assert sum(correlations) / len(correlations) > 0.45
+
+    # the AMBER/LAMMPS speedup magnitudes are essentially exact
+    assert abs(by_name["Table 8 (AMBER speedup)"]["median ratio"] - 1) < 0.1
+    assert abs(by_name["Table 10 (LAMMPS speedup)"]["median ratio"] - 1) < 0.1

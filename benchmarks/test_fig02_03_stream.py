@@ -1,0 +1,29 @@
+"""Figures 2-3: STREAM triad bandwidth scaling across the three systems."""
+
+from repro.bench.figures import figure02, figure03
+
+
+def test_figure02_memory_bandwidth(once):
+    fig = once(figure02)
+    print("\n" + fig.to_text())
+    # paper: bandwidth grows nearly linearly while first cores activate
+    for name, sockets in (("DMZ", 2), ("Longs", 8)):
+        one = fig.at(name, 1)
+        full_sockets = fig.at(name, sockets)
+        assert full_sockets > 0.85 * sockets * one
+    # paper: activating second cores is flat or degraded
+    assert fig.at("DMZ", 4) <= 1.05 * fig.at("DMZ", 2)
+    assert fig.at("Longs", 16) <= 1.05 * fig.at("Longs", 8)
+    # paper: best single-core bandwidth on the 8-socket system is less
+    # than half the >4 GB/s expected of an Opteron
+    assert fig.at("Longs", 1) < 2.1
+    assert fig.at("DMZ", 1) > 3.0
+
+
+def test_figure03_per_core_bandwidth(once):
+    fig = once(figure03)
+    print("\n" + fig.to_text())
+    # per-core bandwidth halves when second cores activate
+    assert fig.at("DMZ", 4) <= 0.6 * fig.at("DMZ", 2)
+    # the 8-socket system is visibly below the 2-socket systems
+    assert fig.at("Longs", 1) < 0.7 * fig.at("DMZ", 1)

@@ -1,0 +1,51 @@
+"""Figures 4-7: BLAS level 1/3 scaling, vendor vs vanilla, on DMZ."""
+
+from repro.bench.figures import (
+    DAXPY_LENGTHS,
+    DGEMM_SIZES,
+    figure04,
+    figure05,
+    figure06,
+    figure07,
+)
+
+
+def test_figure04_daxpy_acml(once):
+    fig = once(figure04)
+    print("\n" + fig.to_text())
+    big = DAXPY_LENGTHS[-1]
+    # memory-bound regime: 4 cores add nothing over 2 (one per socket)
+    assert fig.at("Total (4 cores)", big) <= 1.1 * fig.at("Total (2 cores)", big)
+    # per-core rate halves when the second cores join
+    assert fig.at("4T per core", big) <= 0.6 * fig.at("2T per core", big)
+
+
+def test_figure05_daxpy_vanilla_slower_in_cache(once):
+    vendor = once(figure04)
+    vanilla = figure05()
+    print("\n" + vanilla.to_text())
+    small = DAXPY_LENGTHS[0]  # cache-resident: compiler quality shows
+    assert vanilla.at("1T per core", small) < vendor.at("1T per core", small)
+    big = DAXPY_LENGTHS[-1]   # memory-bound: implementations converge
+    ratio = vendor.at("1T per core", big) / vanilla.at("1T per core", big)
+    assert ratio < 1.3
+
+
+def test_figure06_dgemm_acml_scales_with_cores(once):
+    fig = once(figure06)
+    print("\n" + fig.to_text())
+    n = DGEMM_SIZES[-1]
+    # cache-friendly DGEMM: aggregated rate scales ~linearly to 4 cores
+    assert fig.at("Total (4 cores)", n) > 3.6 * fig.at("Total (1 cores)", n)
+    # per-core rate is flat: the second core does not steal bandwidth
+    assert fig.at("4T per core", n) > 0.9 * fig.at("1T per core", n)
+
+
+def test_figure07_dgemm_vanilla_gap(once):
+    vendor = once(figure06)
+    vanilla = figure07()
+    print("\n" + vanilla.to_text())
+    n = DGEMM_SIZES[-1]
+    # the vendor library is worth ~3x on DGEMM (0.88 vs 0.30 of peak)
+    gap = vendor.at("1T per core", n) / vanilla.at("1T per core", n)
+    assert 2.0 < gap < 4.5

@@ -1,0 +1,17 @@
+"""Figure 8: HPL under the six LAM/NUMA runtime configurations."""
+
+from repro.bench.figures import figure08
+
+
+def test_figure08_hpl_options(once):
+    table = once(figure08)
+    print("\n" + table.to_text())
+    values = {row[0]: row[1] for row in table.rows}
+    # paper: memory placement matters less than the MPI sub-layer, and
+    # localalloc+usysv is the strongest combination
+    assert values["LocalAlloc+USysV"] >= max(values.values()) * 0.999
+    assert values["USysV"] >= values["SysV"]
+    # all configurations land within a plausible band of each other
+    assert max(values.values()) < 1.25 * min(values.values())
+    # sanity: 16 dual-core 1.8 GHz Opterons -> tens of GFlop/s
+    assert 15.0 < values["Default"] < 58.0

@@ -1,0 +1,18 @@
+"""Figure 9: Single vs Star DGEMM and FFT with runtime options."""
+
+from repro.bench.figures import figure09
+
+
+def test_figure09_single_vs_star(once):
+    table = once(figure09)
+    print("\n" + table.to_text())
+    for row in table.rows:
+        label, single_dgemm, star_dgemm, single_fft, star_fft = row
+        # paper: Star DGEMM and Single DGEMM are almost identical -
+        # the second core effectively doubles per-socket performance
+        assert star_dgemm > 0.95 * single_dgemm
+        # paper: the less cache-friendly FFT shows slightly more impact
+        assert star_fft <= single_fft * 1.001
+    default = {r[0]: r for r in table.rows}["Default"]
+    # FFT loses a visible (but small) fraction going Single -> Star
+    assert 0.80 < default[4] / default[3] <= 1.0

@@ -1,0 +1,34 @@
+"""Figures 10-11: STREAM and RandomAccess with LAM/NUMA runtime options."""
+
+from repro.bench.figures import figure10, figure11
+
+
+def test_figure10_stream_single_star(once):
+    table = once(figure10)
+    print("\n" + table.to_text())
+    by_config = {row[0]: row for row in table.rows}
+    # paper: engaging the second core on STREAM gives a Single:Star
+    # ratio around (or beyond) 2:1 - no per-socket gain
+    for row in table.rows:
+        assert row[3] >= 1.85
+    # localalloc gives the best absolute single-process bandwidth
+    best_single = max(row[1] for row in table.rows)
+    assert by_config["LocalAlloc"][1] >= 0.999 * best_single
+    # interleave sacrifices locality: clearly lower bandwidth
+    assert by_config["Interleave"][1] < 0.8 * by_config["LocalAlloc"][1]
+
+
+def test_figure11_randomaccess(once):
+    table = once(figure11)
+    print("\n" + table.to_text())
+    by_config = {row[0]: row for row in table.rows}
+    # RA is latency-bound: interleave's remote hops are devastating
+    assert by_config["Interleave"][1] < 0.6 * by_config["LocalAlloc"][1]
+    # paper: Single:Star ratio below 2:1 - the second core is a net
+    # per-socket gain for RandomAccess (unlike STREAM)
+    for row in table.rows:
+        single, star = row[1], row[2]
+        assert single / star < 1.5
+    # paper: the SysV semaphore cost cripples the MPI variant
+    assert by_config["USysV"][3] > 1.3 * by_config["SysV"][3]
+    assert by_config["LocalAlloc+USysV"][3] > 1.3 * by_config["LocalAlloc"][3]

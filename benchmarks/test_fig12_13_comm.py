@@ -1,0 +1,32 @@
+"""Figures 12-13: communication bandwidth and latency with runtime options."""
+
+from repro.bench.figures import figure12, figure13
+
+
+def test_figure12_communication_bandwidth(once):
+    table = once(figure12)
+    print("\n" + table.to_text())
+    by_config = {row[0]: row for row in table.rows}
+    # paper: USysV's spin locks give PTRANS a clear advantage over SysV
+    assert (by_config["LocalAlloc+USysV"][1]
+            > 1.05 * by_config["LocalAlloc"][1])
+    # placement matters too: localalloc beats interleave on bulk moves
+    assert by_config["LocalAlloc"][1] > 1.3 * by_config["Interleave"][1]
+    # ring bandwidth is below PingPong (more simultaneous link pressure)
+    for row in table.rows:
+        assert row[3] < row[2]
+
+
+def test_figure13_communication_latency(once):
+    table = once(figure13)
+    print("\n" + table.to_text())
+    by_config = {row[0]: row for row in table.rows}
+    # paper: SysV latencies overwhelm everything else
+    assert by_config["SysV"][1] > 5 * by_config["USysV"][1]
+    assert by_config["Default"][1] > 5 * by_config["USysV"][1]
+    # ring latency >= PingPong latency in every configuration
+    for row in table.rows:
+        assert row[2] >= row[1] * 0.999
+    # microsecond scale sanity
+    assert 0.3 < by_config["USysV"][1] < 5.0
+    assert 10.0 < by_config["SysV"][1] < 60.0

@@ -1,0 +1,54 @@
+"""Figures 14-15: Intel MPI Benchmarks across MPICH2 / LAM / OpenMPI."""
+
+from repro.bench.figures import (
+    figure14,
+    figure14_latency,
+    figure15,
+    figure15_latency,
+)
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def test_figure14_pingpong_crossovers(once):
+    bw = once(figure14)
+    print("\n" + bw.to_text())
+    # paper: LAM is superior for messages smaller than 16 KB
+    for size in (64, 1024, 4096):
+        assert bw.at("LAM", size) == max(
+            bw.at(impl, size) for impl in ("LAM", "MPICH2", "OpenMPI"))
+    # paper: OpenMPI shows the best intermediate-size performance
+    assert bw.at("OpenMPI", 64 * KB) == max(
+        bw.at(impl, 64 * KB) for impl in ("LAM", "MPICH2", "OpenMPI"))
+    # paper: MPICH is superior for large messages
+    for size in (1 * MB, 4 * MB):
+        assert bw.at("MPICH2", size) == max(
+            bw.at(impl, size) for impl in ("LAM", "MPICH2", "OpenMPI"))
+
+
+def test_figure14_latency_ordering(once):
+    lat = once(figure14_latency)
+    print("\n" + lat.to_text())
+    # paper: MPICH2 has a high latency overhead for small messages,
+    # becoming comparable around 16 KB
+    assert lat.at("MPICH2", 64) > 1.5 * lat.at("LAM", 64)
+    ratio_16k = lat.at("MPICH2", 16 * KB) / lat.at("LAM", 16 * KB)
+    assert 0.9 < ratio_16k < 1.15
+
+
+def test_figure15_exchange(once):
+    bw = once(figure15)
+    print("\n" + bw.to_text())
+    # the same qualitative structure holds under Exchange
+    assert bw.at("LAM", 1024) >= bw.at("MPICH2", 1024)
+    assert bw.at("MPICH2", 4 * MB) >= bw.at("LAM", 4 * MB)
+
+
+def test_figure15_latency(once):
+    lat = once(figure15_latency)
+    print("\n" + lat.to_text())
+    for impl in ("LAM", "MPICH2", "OpenMPI"):
+        # per-repetition time grows monotonically with message size
+        values = [lat.at(impl, x) for x in lat.xs()]
+        assert values == sorted(values)

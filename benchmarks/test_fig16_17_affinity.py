@@ -1,0 +1,49 @@
+"""Figures 16-17: OpenMPI intra-node communication vs processor affinity."""
+
+from repro.bench.figures import (
+    figure16,
+    figure16_latency,
+    figure17,
+    figure17_latency,
+)
+
+MB = 1024 * 1024
+
+
+def test_figure16_intra_socket_benefit(once):
+    bw = once(figure16)
+    print("\n" + bw.to_text())
+    # paper: a small but non-negligible bandwidth benefit (approx.
+    # 10-13%) from confining communication within one multi-core socket
+    for size in (1 * MB, 4 * MB):
+        benefit = bw.at("2 procs, bound 0", size) / bw.at("2 procs, unbound",
+                                                          size) - 1.0
+        assert 0.05 < benefit < 0.25
+    # binding to either socket is equivalent
+    assert bw.at("2 procs, bound 0", 1 * MB) == bw.at("2 procs, bound 1",
+                                                      1 * MB)
+
+
+def test_figure16_latency_benefit(once):
+    lat = once(figure16_latency)
+    print("\n" + lat.to_text())
+    # paper: a latency benefit also appears for small messages
+    assert lat.at("2 procs, bound 0", 64) < lat.at("2 procs, unbound", 64)
+    # parked processes make the unbound case strictly worse
+    assert (lat.at("2 procs, unbound, 2 parked", 64)
+            > lat.at("2 procs, unbound", 64))
+
+
+def test_figure17_exchange_affinity(once):
+    bw = once(figure17)
+    print("\n" + bw.to_text())
+    assert bw.at("2 procs, bound 0", 1 * MB) > bw.at("2 procs, unbound",
+                                                     1 * MB)
+    # the 4-process Exchange shares the node's copy bandwidth
+    assert bw.at("4 procs", 1 * MB) < bw.at("2 procs, bound 0", 1 * MB)
+
+
+def test_figure17_latency(once):
+    lat = once(figure17_latency)
+    print("\n" + lat.to_text())
+    assert lat.at("2 procs, bound 0", 64) <= lat.at("2 procs, unbound", 64)

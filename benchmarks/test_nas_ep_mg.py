@@ -1,0 +1,47 @@
+"""Extension bench: the NAS EP/MG kernels beyond the paper's subset.
+
+The paper evaluates CG and FT; EP and MG complete the suite's
+characterization spectrum — EP as the placement-insensitive control,
+MG as the mixed bandwidth/latency probe.
+"""
+
+from repro.core import ALL_SCHEMES, AffinityScheme, TableResult, run_workload
+from repro.machine import longs
+from repro.workloads import NasEP, NasMG
+
+
+def _sweep(workload_factory, ntasks):
+    table = {}
+    for scheme in ALL_SCHEMES:
+        try:
+            table[str(scheme)] = run_workload(
+                longs(), workload_factory(ntasks), scheme).wall_time
+        except ValueError:
+            pass
+    return table
+
+
+def test_ep_control_case(once):
+    times = once(_sweep, lambda n: NasEP(n), 8)
+    rendered = TableResult(title="NAS EP @8 tasks (Longs)",
+                           headers=["scheme", "seconds"])
+    for scheme, seconds in times.items():
+        rendered.add_row(scheme, seconds)
+    print("\n" + rendered.to_text())
+    # EP must be flat across every placement scheme (< 10% spread)
+    assert max(times.values()) < 1.10 * min(times.values())
+
+
+def test_mg_mixed_sensitivity(once):
+    times = once(_sweep, lambda n: NasMG(n), 8)
+    rendered = TableResult(title="NAS MG @8 tasks (Longs)",
+                           headers=["scheme", "seconds"])
+    for scheme, seconds in times.items():
+        rendered.add_row(scheme, seconds)
+    print("\n" + rendered.to_text())
+    # MG sits between EP (flat) and CG (strongly placement-sensitive)
+    membind = times["Two MPI + Membind"]
+    local = times["Two MPI + Local Alloc"]
+    assert 1.2 < membind / local < 4.0
+    inter = times["Interleave"]
+    assert local < inter < membind

@@ -1,0 +1,70 @@
+"""Tables 2-3: NAS CG/FT under the six numactl schemes."""
+
+from repro.bench.tables import table02, table03
+
+DEFAULT = "Default"
+ONE_LOCAL = "One MPI + Local Alloc"
+ONE_MEMBIND = "One MPI + Membind"
+TWO_LOCAL = "Two MPI + Local Alloc"
+TWO_MEMBIND = "Two MPI + Membind"
+INTERLEAVE = "Interleave"
+
+
+def _row(table, ntasks, kernel):
+    for row in table.rows:
+        if row[0] == ntasks and row[1] == kernel:
+            return dict(zip(table.headers, row))
+    raise KeyError((ntasks, kernel))
+
+
+def test_table02_longs_cg(once):
+    table = once(table02)
+    print("\n" + table.to_text())
+    r8 = _row(table, 8, "CG")
+    # paper @8 tasks: 50.93 | 51.15 | 109.11 | 49.24 | 115.87 | 67.23
+    assert r8[ONE_LOCAL] < 1.1 * r8[DEFAULT]
+    assert r8[ONE_MEMBIND] > 2.0 * r8[ONE_LOCAL]      # membind worst-case
+    assert r8[TWO_MEMBIND] > 2.0 * r8[TWO_LOCAL]
+    assert r8[ONE_LOCAL] < r8[INTERLEAVE] < r8[ONE_MEMBIND]
+    r16 = _row(table, 16, "CG")
+    # One-MPI schemes are infeasible at 16 tasks (the paper's dashes)
+    assert r16[ONE_LOCAL] is None and r16[ONE_MEMBIND] is None
+    assert r16[TWO_MEMBIND] > 2.0 * r16[TWO_LOCAL]    # paper: 121.87 vs 54.45
+    # paper: CG stops scaling from 8 to 16 tasks on the ladder
+    assert r16[DEFAULT] > 0.6 * r8[DEFAULT]
+
+
+def test_table02_longs_ft(once):
+    table = once(table02)
+    r8 = _row(table, 8, "FFT")
+    # paper @8: 42.32 | 39.96 | 69.79 | 62.80 | 81.95 | 47.13
+    assert r8[ONE_MEMBIND] > 1.25 * r8[ONE_LOCAL]
+    assert r8[TWO_MEMBIND] > 1.2 * r8[TWO_LOCAL]
+    # FT is less placement-sensitive than CG at the interleave column
+    r8cg = _row(table, 8, "CG")
+    ft_spread = r8[INTERLEAVE] / r8[ONE_LOCAL]
+    cg_spread = r8cg[INTERLEAVE] / r8cg[ONE_LOCAL]
+    assert ft_spread < cg_spread
+
+
+def test_table02_over_25_percent_improvement(once):
+    """The abstract's claim: placement is worth over 25% on key kernels."""
+    table = once(table02)
+    r16 = _row(table, 16, "CG")
+    worst_feasible = max(v for k, v in r16.items()
+                         if isinstance(v, float))
+    best = min(v for k, v in r16.items() if isinstance(v, float))
+    assert (worst_feasible - best) / worst_feasible > 0.25
+
+
+def test_table03_dmz(once):
+    table = once(table03)
+    print("\n" + table.to_text())
+    r2 = _row(table, 2, "CG")
+    # paper: DMZ's default is near-optimal (106.8 vs 106.24 localalloc)
+    assert r2[DEFAULT] < 1.05 * r2[ONE_LOCAL]
+    # membind still costs something, but far less than on the ladder
+    assert 1.05 < r2[ONE_MEMBIND] / r2[ONE_LOCAL] < 1.5
+    r4 = _row(table, 4, "CG")
+    assert r4[ONE_LOCAL] is None  # only 2 sockets
+    assert r4[TWO_MEMBIND] > 1.05 * r4[TWO_LOCAL]  # paper: 86.93 vs 68.16

@@ -1,0 +1,29 @@
+"""Table 4: NAS multi-core parallel efficiency across the systems."""
+
+from repro.bench.tables import table04
+
+
+def _row(table, kernel, system):
+    for row in table.rows:
+        if row[0] == kernel and row[1] == system:
+            return dict(zip(table.headers, row))
+    raise KeyError((kernel, system))
+
+
+def test_table04_efficiency_shapes(once):
+    table = once(table04)
+    print("\n" + table.to_text())
+    cg_longs = _row(table, "CG", "Longs")
+    ft_longs = _row(table, "FT", "Longs")
+    # efficiency decays with core count on the ladder
+    assert (cg_longs["2 cores"] > cg_longs["4 cores"]
+            > cg_longs["8 cores"] > cg_longs["16 cores"])
+    # the 16-core collapse the paper highlights (CG worse than FT)
+    assert cg_longs["16 cores"] < 0.7
+    assert cg_longs["16 cores"] < ft_longs["16 cores"]
+    # small systems stay near-ideal at 2 cores
+    for system in ("Tiger", "DMZ"):
+        assert _row(table, "CG", system)["2 cores"] > 0.9
+    # dashes where core counts exceed the machine
+    assert _row(table, "CG", "Tiger")["4 cores"] is None
+    assert _row(table, "FT", "DMZ")["8 cores"] is None

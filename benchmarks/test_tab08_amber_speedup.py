@@ -1,0 +1,27 @@
+"""Table 8: AMBER PME/GB speedup across cores and systems."""
+
+from repro.bench.tables import table08
+
+
+def _row(table, cores, system):
+    for row in table.rows:
+        if row[0] == cores and row[1] == system:
+            return dict(zip(table.headers, row))
+    raise KeyError((cores, system))
+
+
+def test_table08_amber_speedups(once):
+    table = once(table08)
+    print("\n" + table.to_text())
+    longs16 = _row(table, 16, "Longs")
+    # paper @16: GB benchmarks near-linear (14.29 / 14.93), PME
+    # saturating (7.24 / 7.35 / 7.97)
+    assert longs16["gb_cox2"] > 12.0
+    assert longs16["gb_mb"] > 11.5
+    for pme in ("dhfr", "factor_ix", "jac"):
+        assert 6.0 < longs16[pme] < 11.5
+        assert longs16[pme] < longs16["gb_cox2"]
+    # near-linear everywhere at small counts (paper: 1.90-1.98 at 2)
+    dmz2 = _row(table, 2, "DMZ")
+    for name in ("dhfr", "factor_ix", "gb_cox2", "gb_mb", "jac"):
+        assert 1.8 < dmz2[name] <= 2.05

@@ -1,0 +1,47 @@
+"""Tables 10-11: LAMMPS speedups and the LJ numactl sweep."""
+
+from repro.bench.tables import table10, table11
+
+DEFAULT = "Default"
+TWO_LOCAL = "Two MPI + Local Alloc"
+TWO_MEMBIND = "Two MPI + Membind"
+
+
+def _row10(table, cores, system):
+    for row in table.rows:
+        if row[0] == cores and row[1] == system:
+            return dict(zip(table.headers, row))
+    raise KeyError((cores, system))
+
+
+def test_table10_lammps_speedups(once):
+    table = once(table10)
+    print("\n" + table.to_text())
+    longs16 = _row10(table, 16, "Longs")
+    # paper @16 on Longs: LJ 10.65, Chain 19.95 (superlinear), EAM 12.54
+    assert longs16["Chain"] > 16.5
+    assert 8.0 < longs16["LJ"] < 14.0
+    assert longs16["LJ"] < longs16["EAM"] < longs16["Chain"]
+    # chain is superlinear already at 2 cores (paper: 2.13-2.23)
+    for system in ("DMZ", "Longs", "Tiger"):
+        assert _row10(table, 2, system)["Chain"] > 2.0
+    # consistency across the dual-core systems (paper Section 4.1)
+    assert abs(_row10(table, 2, "DMZ")["LJ"]
+               - _row10(table, 2, "Longs")["LJ"]) < 0.2
+
+
+def test_table11_lj_numactl(once):
+    table = once(table11)
+    print("\n" + table.to_text())
+    def row(ntasks, system):
+        for r in table.rows:
+            if r[0] == ntasks and r[1] == system:
+                return dict(zip(table.headers, r))
+        raise KeyError((ntasks, system))
+    longs16 = row(16, "Longs")
+    # paper @16: membind 0.77 vs 0.63 two-local
+    assert longs16[TWO_MEMBIND] > 1.1 * longs16[TWO_LOCAL]
+    # DMZ is essentially placement-insensitive (paper: 1.54-1.74 band)
+    dmz4 = row(4, "DMZ")
+    feasible = [v for v in dmz4.values() if isinstance(v, float)]
+    assert max(feasible) < 1.25 * min(feasible)

@@ -1,0 +1,53 @@
+"""Tables 12-14: POP scaling and numactl sensitivity of both phases."""
+
+from repro.bench.tables import table12, table13, table14
+
+DEFAULT = "Default"
+ONE_LOCAL = "One MPI + Local Alloc"
+TWO_LOCAL = "Two MPI + Local Alloc"
+TWO_MEMBIND = "Two MPI + Membind"
+INTERLEAVE = "Interleave"
+
+
+def _row(table, ntasks, system):
+    for row in table.rows:
+        if row[0] == ntasks and row[1] == system:
+            return dict(zip(table.headers, row))
+    raise KeyError((ntasks, system))
+
+
+def test_table12_pop_scaling(once):
+    table = once(table12)
+    print("\n" + table.to_text())
+    longs16 = _row(table, 16, "Longs")
+    # paper: both phases scale almost linearly (16.11 / 14.85 at 16)
+    assert longs16["Baroclinic"] > 13.0
+    assert longs16["Barotropic"] > 10.0
+    dmz4 = _row(table, 4, "DMZ")
+    assert dmz4["Baroclinic"] > 3.6  # paper: 3.87
+
+
+def test_table13_baroclinic_numactl(once):
+    table = once(table13)
+    print("\n" + table.to_text())
+    longs8 = _row(table, 8, "Longs")
+    # paper @8: membind 184.33 vs 84.5 two-local (~2.2x)
+    assert longs8[TWO_MEMBIND] > 1.6 * longs8[TWO_LOCAL]
+    # paper @8: interleave 98.09 vs 87.58 default (mild)
+    assert 1.0 < longs8[INTERLEAVE] / longs8[DEFAULT] < 1.6
+    # magnitudes track the paper's x1 benchmark (358.57s at 2 tasks)
+    longs2 = _row(table, 2, "Longs")
+    assert 250 < longs2[DEFAULT] < 480
+
+
+def test_table14_barotropic_numactl(once):
+    table = once(table14)
+    print("\n" + table.to_text())
+    longs4 = _row(table, 4, "Longs")
+    # paper @4: membind 34.92 vs 17.51 two-local
+    assert longs4[TWO_MEMBIND] > 1.2 * longs4[TWO_LOCAL]
+    # barotropic is an order of magnitude below baroclinic
+    t13 = table13()
+    bc = _row(t13, 4, "Longs")[DEFAULT]
+    bt = longs4[DEFAULT]
+    assert 5 < bc / bt < 25

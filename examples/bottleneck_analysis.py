@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Bottleneck analysis and timelines for contrasting workloads.
+
+Runs three workloads with opposite characters on the DMZ node — STREAM
+(memory-bound), DGEMM (compute-bound), and a latency-heavy allreduce
+loop (communication-bound) — and prints each run's resource report and
+per-rank timeline.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro.core import (
+    AffinityScheme,
+    Allreduce,
+    Compute,
+    JobRunner,
+    Workload,
+    analyze,
+    render_timeline,
+    resolve_scheme,
+)
+from repro.machine import dmz
+from repro.workloads import DgemmBench, StreamTriad
+
+
+class ChattyWorkload(Workload):
+    """Small compute slices separated by allreduces."""
+
+    name = "chatty"
+    ntasks = 4
+
+    def program(self, rank):
+        for _ in range(40):
+            yield Compute(flops=2e6, flop_efficiency=0.5)
+            yield Allreduce(nbytes=8)
+
+
+def characterize(workload, scheme=AffinityScheme.TWO_MPI_LOCAL) -> None:
+    system = dmz()
+    affinity = resolve_scheme(scheme, system, workload.ntasks)
+    runner = JobRunner(system, affinity, trace=True)
+    result = runner.run(workload)
+    report = analyze(runner, result)
+    print(report.to_table().to_text())
+    print(render_timeline(runner.machine.tracer, width=64,
+                          time_scale=workload.time_scale))
+    print()
+
+
+def main() -> None:
+    characterize(StreamTriad(4, elements_per_task=2_000_000, passes=4))
+    characterize(DgemmBench(4, 1200))
+    characterize(ChattyWorkload(), scheme=AffinityScheme.DEFAULT)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Hybrid MPI+OpenMP vs pure MPI — the paper's proposed programming model.
+
+Section 3.4 concludes that systems with multi-core processors expose
+*three* classes of communication channel (intra-socket, inter-socket,
+inter-node) and proposes OpenMP within each socket with MPI between
+sockets.  This example quantifies that proposal on the modeled Longs
+system for NAS CG: same 16 cores, two decompositions.
+
+Run:  python examples/hybrid_programming.py
+"""
+
+from repro.core import AffinityScheme, JobRunner, run_workload
+from repro.machine import longs
+from repro.openmp import fork_join_cost
+from repro.workloads import HybridNasCG, NasCG, hybrid_affinity
+
+
+def main() -> None:
+    system = longs()
+    print(f"system: {system.name} ({system.sockets} sockets x "
+          f"{system.cores_per_socket} cores)")
+    print(f"OpenMP fork/join overhead for a 2-thread team: "
+          f"{fork_join_cost(2) * 1e6:.2f} us per region\n")
+
+    pure = run_workload(system, NasCG(16), AffinityScheme.TWO_MPI_LOCAL)
+    print("pure MPI, 16 ranks (2 per socket, --localalloc):")
+    print(f"  wall time {pure.wall_time:7.2f} s   "
+          f"messages {pure.messages:6d}   "
+          f"comm {pure.category_time('comm'):5.2f} s")
+
+    hybrid = JobRunner(system, hybrid_affinity(system, 8, 2)).run(
+        HybridNasCG(8, 2))
+    print("hybrid, 8 ranks x 2 OpenMP threads (1 rank per socket):")
+    print(f"  wall time {hybrid.wall_time:7.2f} s   "
+          f"messages {hybrid.messages:6d}   "
+          f"comm {hybrid.category_time('comm'):5.2f} s")
+
+    delta = (pure.wall_time - hybrid.wall_time) / pure.wall_time * 100
+    verdict = "faster" if delta >= 0 else "slower"
+    print(f"\nhybrid removes {pure.messages - hybrid.messages} intra-socket "
+          f"messages and is {abs(delta):.1f}% {verdict}")
+    print("(the paper predicted such a model 'might be a high-performance "
+          "alternative')")
+
+
+if __name__ == "__main__":
+    main()

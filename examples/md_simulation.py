@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Molecular dynamics: run the functional substrate, then characterize it.
+
+Part 1 integrates a small Lennard-Jones system with the velocity-Verlet
+integrator (checking energy conservation) and evaluates a PME
+reciprocal energy against the exact Ewald sum — the numerics behind the
+AMBER/LAMMPS workload models.
+
+Part 2 reproduces the LAMMPS scaling contrast of Table 10: the cache-
+resident *chain* benchmark goes superlinear while *LJ* bends below
+linear on the 8-socket Longs system.
+
+Run:  python examples/md_simulation.py
+"""
+
+import numpy as np
+
+from repro.apps.md import (
+    LammpsBench,
+    lj_forces,
+    neighbor_pairs,
+    pme_grid_size,
+    random_system,
+    reciprocal_energy,
+    velocity_verlet,
+)
+from repro.apps.md.pme import ewald_reciprocal_reference
+from repro.apps.md.system import ParticleSystem
+from repro.core import run_workload
+from repro.machine import longs
+
+
+def lattice(cells: int, spacing: float = 1.2) -> ParticleSystem:
+    grid = np.arange(cells) * spacing + 0.5
+    positions = np.array(np.meshgrid(grid, grid, grid)).T.reshape(-1, 3)
+    n = positions.shape[0]
+    rng = np.random.default_rng(1)
+    return ParticleSystem(positions=positions,
+                          velocities=rng.normal(0, 0.05, size=(n, 3)),
+                          masses=np.ones(n), charges=np.zeros(n),
+                          box=cells * spacing)
+
+
+def functional_md() -> None:
+    print("== functional MD: LJ melt on a 4^3 lattice ==")
+    system = lattice(4)
+
+    def force_fn(positions):
+        pairs = neighbor_pairs(positions, system.box, 1.7)
+        return lj_forces(positions, pairs, system.box, cutoff=1.7)
+
+    _, e0 = velocity_verlet(system, force_fn, dt=0.002, steps=1)
+    _, e1 = velocity_verlet(system, force_fn, dt=0.002, steps=200)
+    drift = abs(e1 - e0) / max(1.0, abs(e0))
+    print(f"  {system.natoms} atoms, 200 steps: "
+          f"total energy {e0:.4f} -> {e1:.4f} (drift {drift:.2%})")
+
+    print("== functional PME: mesh energy vs direct Ewald ==")
+    ionic = random_system(8, box=5.0, seed=7, charged=True)
+    grid = pme_grid_size(ionic.natoms)
+    pme = reciprocal_energy(ionic.positions, ionic.charges, ionic.box,
+                            grid=32, alpha=0.8)
+    exact = ewald_reciprocal_reference(ionic.positions, ionic.charges,
+                                       ionic.box, alpha=0.8, kmax=10)
+    print(f"  grid heuristic for {ionic.natoms} atoms: {grid}^3")
+    print(f"  PME reciprocal energy {pme:.6f} vs exact {exact:.6f} "
+          f"({abs(pme - exact) / abs(exact):.2%} off)")
+
+
+def characterization() -> None:
+    print("\n== LAMMPS scaling on Longs (Table 10 shape) ==")
+    system = longs()
+    print(f"  {'cores':>5} | {'LJ':>6} | {'Chain':>6} | {'EAM':>6}")
+    base = {pot: run_workload(system, LammpsBench(pot, 1)).wall_time
+            for pot in ("lj", "chain", "eam")}
+    for cores in (2, 4, 8, 16):
+        speedups = [
+            base[pot] / run_workload(system, LammpsBench(pot, cores)).wall_time
+            for pot in ("lj", "chain", "eam")
+        ]
+        flag = "  <- superlinear" if speedups[1] > cores else ""
+        print(f"  {cores:>5} | {speedups[0]:6.2f} | {speedups[1]:6.2f} "
+              f"| {speedups[2]:6.2f}{flag}")
+    print("  chain's per-task working set drops into L2 as tasks are "
+          "added,\n  producing the paper's superlinear column.")
+
+
+if __name__ == "__main__":
+    functional_md()
+    characterization()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: run one kernel under two placement schemes.
+
+Builds the paper's 8-socket Longs system, runs the NAS CG class B
+benchmark on 8 MPI tasks under the kernel's default placement and under
+`numactl --localalloc` with one task per socket, and reports the
+improvement — the paper's headline effect (Section 3.5, Table 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AffinityScheme, improvement_percent, resolve_scheme, run_workload
+from repro.machine import longs
+from repro.workloads import NasCG
+
+NTASKS = 8
+
+
+def main() -> None:
+    system = longs()
+    print(f"system: {system.name} — {system.sockets} sockets x "
+          f"{system.cores_per_socket} cores "
+          f"({system.description})")
+
+    workload = NasCG(NTASKS)
+    print(f"workload: {workload.name} "
+          f"(NAS CG class B, {workload.na} rows)")
+
+    results = {}
+    for scheme in (AffinityScheme.DEFAULT, AffinityScheme.ONE_MPI_LOCAL,
+                   AffinityScheme.ONE_MPI_MEMBIND):
+        affinity = resolve_scheme(scheme, system, NTASKS)
+        result = run_workload(system, NasCG(NTASKS), scheme)
+        results[scheme] = result
+        print(f"\n{scheme.value}")
+        print(f"  command      : {affinity.numactl.command_line()}")
+        print(f"  wall time    : {result.wall_time:8.2f} s")
+        print(f"  compute time : {result.category_time('compute'):8.2f} s")
+        print(f"  comm time    : {result.category_time('comm'):8.2f} s")
+        print(f"  MPI traffic  : {result.messages} messages, "
+              f"{result.bytes_sent / 1e6:.1f} MB")
+
+    default = results[AffinityScheme.DEFAULT].wall_time
+    best = results[AffinityScheme.ONE_MPI_LOCAL].wall_time
+    worst = results[AffinityScheme.ONE_MPI_MEMBIND].wall_time
+    print(f"\nlocalalloc vs default : "
+          f"{improvement_percent(default, best):+.1f}% improvement")
+    print(f"membind vs localalloc : "
+          f"{improvement_percent(worst, best):+.1f}% improvement "
+          f"(membind is the paper's worst case)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""repro: reproduction of "Characterization of Scientific Workloads on
+Systems with Multi-Core Processors" (Alam, Barrett, Kuehn, Roth, Vetter;
+IISWC 2006).
+
+The package provides:
+
+* :mod:`repro.machine` — parameterized multi-core NUMA machine models of
+  the paper's three evaluation systems (Tiger, DMZ, Longs);
+* :mod:`repro.numa` / :mod:`repro.osmodel` — `numactl`-style page
+  placement policies and a Linux scheduler model;
+* :mod:`repro.mpi` — a simulated MPI runtime with implementation
+  profiles (MPICH2/LAM/OpenMPI) and locking sub-layers (SysV/USysV);
+* :mod:`repro.kernels` / :mod:`repro.workloads` — instrumented
+  scientific kernels (STREAM, BLAS, FFT, CG, RandomAccess, PTRANS, HPL)
+  and the benchmark suites built on them (lmbench STREAM, HPCC, Intel
+  MPI Benchmarks, NAS CG/FT);
+* :mod:`repro.apps` — molecular-dynamics (AMBER-like, LAMMPS-like) and
+  ocean-model (POP-like) applications;
+* :mod:`repro.core` — the characterization toolkit: affinity schemes,
+  experiments, sweeps, metrics, reports;
+* :mod:`repro.bench` — one generator per paper table and figure.
+
+Quickstart::
+
+    from repro.machine import longs
+    from repro.core import AffinityScheme, run_workload
+    from repro.workloads.nas import NasCG
+
+    result = run_workload(longs(), NasCG(ntasks=8),
+                          AffinityScheme.ONE_MPI_LOCAL)
+    print(result.wall_time)
+"""
+
+from . import core, machine, mpi, numa, osmodel, sim
+from .core import AffinityScheme, Experiment, JobResult, run_workload
+from .machine import by_name, dmz, longs, tiger
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "machine",
+    "mpi",
+    "numa",
+    "osmodel",
+    "sim",
+    "AffinityScheme",
+    "Experiment",
+    "JobResult",
+    "run_workload",
+    "tiger",
+    "dmz",
+    "longs",
+    "by_name",
+    "__version__",
+]

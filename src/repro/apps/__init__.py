@@ -1,0 +1,5 @@
+"""Full applications: molecular dynamics and the Parallel Ocean Program."""
+
+from . import md, pop
+
+__all__ = ["md", "pop"]

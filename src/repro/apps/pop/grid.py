@@ -1,0 +1,55 @@
+"""POP grid geometry and 2-D domain decomposition.
+
+The paper's *x1* configuration: a shifted-polar horizontal grid of
+320×384 points with 40 vertical levels (Section 4.2), decomposed into
+rectangular blocks over the MPI ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = ["PopGrid", "X1_GRID", "factor_grid", "block_shape"]
+
+
+@dataclass(frozen=True)
+class PopGrid:
+    """Global grid dimensions."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self):
+        if min(self.nx, self.ny, self.nz) < 1:
+            raise ValueError("grid dimensions must be positive")
+
+    @property
+    def horizontal_points(self) -> int:
+        return self.nx * self.ny
+
+    @property
+    def points(self) -> int:
+        return self.nx * self.ny * self.nz
+
+
+#: the paper's x1 benchmark configuration (~1 degree, 40 levels)
+X1_GRID = PopGrid(nx=320, ny=384, nz=40)
+
+
+def factor_grid(ntasks: int) -> Tuple[int, int]:
+    """Near-square process grid (px, py) with px * py = ntasks."""
+    if ntasks < 1:
+        raise ValueError("ntasks must be positive")
+    best = (1, ntasks)
+    for px in range(1, int(ntasks ** 0.5) + 1):
+        if ntasks % px == 0:
+            best = (px, ntasks // px)
+    return best
+
+
+def block_shape(grid: PopGrid, ntasks: int) -> Tuple[int, int]:
+    """Local block extent (bx, by) of one rank (ceil division)."""
+    px, py = factor_grid(ntasks)
+    return -(-grid.nx // px), -(-grid.ny // py)

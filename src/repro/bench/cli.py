@@ -1,0 +1,109 @@
+"""``repro-bench``: regenerate paper tables and figures from the CLI.
+
+Usage::
+
+    repro-bench list                 # available targets
+    repro-bench tab02 fig08          # specific targets
+    repro-bench all                  # everything (minutes)
+    repro-bench tab02 --csv out/     # also write CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable, Dict, Union
+
+from ..core import SeriesResult, TableResult
+from . import ablations, extensions, figures, tables
+
+__all__ = ["main", "TARGETS"]
+
+Result = Union[TableResult, SeriesResult]
+
+TARGETS: Dict[str, Callable[[], Result]] = {}
+for _num in range(1, 15):
+    TARGETS[f"tab{_num:02d}"] = getattr(tables, f"table{_num:02d}")
+for _num in range(2, 18):
+    TARGETS[f"fig{_num:02d}"] = getattr(figures, f"figure{_num:02d}")
+for _num in (14, 15, 16, 17):
+    TARGETS[f"fig{_num:02d}lat"] = getattr(figures, f"figure{_num:02d}_latency")
+for _name in ("probe_cost", "topology", "lock_cost", "fragmentation",
+              "hybrid"):
+    TARGETS[f"abl_{_name}"] = getattr(ablations, f"ablation_{_name}")
+
+
+def _fidelity():
+    """Quantitative model-vs-paper agreement for every numeric table."""
+    from .fidelity import fidelity_table
+
+    return fidelity_table()
+
+
+TARGETS["fidelity"] = _fidelity
+TARGETS["ext_npb"] = extensions.ext_npb_spectrum
+TARGETS["ext_hybrid"] = extensions.ext_hybrid_scaling
+
+
+def _render(name: str, result: Result, csv_dir: str | None,
+            show_plot: bool = False) -> None:
+    print("=" * 72)
+    print(result.to_text())
+    if show_plot and isinstance(result, SeriesResult):
+        from ..core.asciiplot import plot
+
+        print(plot(result))
+    if csv_dir:
+        table = result if isinstance(result, TableResult) else result.to_table()
+        path = os.path.join(csv_dir, f"{name}.csv")
+        with open(path, "w") as handle:
+            handle.write(table.to_csv())
+        print(f"[csv written to {path}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate tables/figures of the IISWC 2006 "
+                    "multi-core characterization paper from the model.",
+    )
+    parser.add_argument("targets", nargs="*",
+                        help="targets like tab02, fig08, or 'all' / 'list'")
+    parser.add_argument("--csv", metavar="DIR", default=None,
+                        help="also write each result as CSV into DIR")
+    parser.add_argument("--plot", action="store_true",
+                        help="render figures as ASCII charts too")
+    parser.add_argument("--report", metavar="FILE", default=None,
+                        help="write all requested targets into one "
+                             "markdown report")
+    args = parser.parse_args(argv)
+
+    if not args.targets or "list" in args.targets:
+        print("available targets:")
+        for name, fn in sorted(TARGETS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:10s} {doc}")
+        return 0
+
+    names = sorted(TARGETS) if "all" in args.targets else args.targets
+    unknown = [n for n in names if n not in TARGETS]
+    if unknown:
+        print(f"unknown targets: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    if args.csv:
+        os.makedirs(args.csv, exist_ok=True)
+    results = {}
+    for name in names:
+        results[name] = TARGETS[name]()
+        _render(name, results[name], args.csv, show_plot=args.plot)
+    if args.report:
+        from .report_writer import write_report
+
+        write_report(args.report, results)
+        print(f"[report written to {args.report}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Shared plumbing for the table/figure generators.
+
+The HPCC figures vary a *runtime configuration*: a NUMA placement
+scheme combined with a LAM locking sub-layer.  LAM 7.7.1's default
+sub-layer is the System V semaphore device (the paper attributes the
+default curves' high latencies to "the high cost of the Linux
+implementation of the SystemV semaphore"), so the six Figure 8
+configurations resolve as below.
+
+Run results are memoized per-process: several tables are different
+projections of the same sweep (Tables 13/14 share POP runs; Tables 7/9
+share JAC runs), and pytest-benchmark repeats calls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core import (
+    AffinityScheme,
+    JobResult,
+    JobRunner,
+    ResolvedAffinity,
+    Workload,
+    resolve_scheme,
+)
+from ..machine import MachineSpec, by_name
+from ..mpi import MpiImplementation
+from ..numa import LocalAlloc
+from ..osmodel import spread
+
+__all__ = [
+    "RUNTIME_CONFIGS",
+    "RuntimeConfig",
+    "bound_spread_affinity",
+    "run",
+    "run_cached",
+    "clear_cache",
+]
+
+
+RuntimeConfig = Tuple[str, AffinityScheme, str]
+
+#: the six LAM/NUMA runtime configurations of Figures 8-13
+RUNTIME_CONFIGS: List[RuntimeConfig] = [
+    ("Default", AffinityScheme.DEFAULT, "sysv"),
+    ("LocalAlloc", AffinityScheme.TWO_MPI_LOCAL, "sysv"),
+    ("Interleave", AffinityScheme.INTERLEAVE, "sysv"),
+    ("SysV", AffinityScheme.DEFAULT, "sysv"),
+    ("USysV", AffinityScheme.DEFAULT, "usysv"),
+    ("LocalAlloc+USysV", AffinityScheme.TWO_MPI_LOCAL, "usysv"),
+]
+
+
+def bound_spread_affinity(spec: MachineSpec, ntasks: int) -> ResolvedAffinity:
+    """Bound one-core-per-socket-first placement with local pages.
+
+    The lmbench STREAM and BLAS scaling figures activate the first core
+    of each socket before any second core; this builds that affinity
+    directly (it is the Default scheme minus scheduler noise).
+    """
+    placement = spread(spec, ntasks, bound=True)
+    return ResolvedAffinity(
+        scheme=AffinityScheme.DEFAULT,
+        spec=spec,
+        placement=placement,
+        policies=tuple(LocalAlloc() for _ in range(ntasks)),
+        numactl=resolve_scheme(AffinityScheme.DEFAULT, spec, ntasks).numactl,
+    )
+
+
+def run(spec: MachineSpec, workload: Workload,
+        scheme: AffinityScheme = AffinityScheme.DEFAULT,
+        impl: Optional[MpiImplementation] = None,
+        lock: Optional[str] = None,
+        affinity: Optional[ResolvedAffinity] = None,
+        parked: int = 0) -> JobResult:
+    """Run one configuration (uncached)."""
+    from ..mpi import OPENMPI
+
+    if affinity is None:
+        affinity = resolve_scheme(scheme, spec, workload.ntasks, parked=parked)
+    runner = JobRunner(spec, affinity,
+                       impl=impl if impl is not None else OPENMPI, lock=lock)
+    return runner.run(workload)
+
+
+_CACHE: Dict[Tuple, JobResult] = {}
+
+
+def run_cached(key: Tuple, factory: Callable[[], JobResult]) -> JobResult:
+    """Memoize a run under an explicit hashable key."""
+    if key not in _CACHE:
+        _CACHE[key] = factory()
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all memoized results (tests use this for isolation)."""
+    _CACHE.clear()

@@ -1,0 +1,78 @@
+"""Extension benches: characterizations beyond the paper's tables.
+
+These targets apply the paper's methodology to systems it did not
+measure: the full NPB kernel spectrum (EP/MG alongside CG/FT), and the
+hybrid MPI+OpenMP scaling curve its conclusion only conjectures about.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core import ALL_SCHEMES, AffinityScheme, JobRunner, TableResult
+from ..machine import longs
+from ..workloads import NasCG, NasEP, NasFT, NasMG
+from ..workloads.hybrid import HybridNasCG, hybrid_affinity
+from .common import run, run_cached
+
+__all__ = ["ext_npb_spectrum", "ext_hybrid_scaling"]
+
+
+def ext_npb_spectrum() -> TableResult:
+    """All four NPB kernels x the six schemes at 8 tasks on Longs.
+
+    One table that spans the suite's characterization spectrum: EP
+    (compute-pure control), MG (mixed bandwidth/latency), FT
+    (bandwidth-heavy transpose), CG (latency-sensitive irregular).
+    """
+    kernels: List = [
+        ("EP", lambda: NasEP(8)),
+        ("MG", lambda: NasMG(8)),
+        ("FT", lambda: NasFT(8)),
+        ("CG", lambda: NasCG(8)),
+    ]
+    table = TableResult(
+        title="extension: NPB spectrum x numactl at 8 tasks (Longs, seconds)",
+        headers=["Kernel"] + [str(s) for s in ALL_SCHEMES],
+    )
+    spec = longs()
+    for name, factory in kernels:
+        row: List = [name]
+        for scheme in ALL_SCHEMES:
+            try:
+                result = run_cached(("ext-npb", name, scheme.value),
+                                    lambda: run(spec, factory(), scheme))
+                row.append(result.wall_time)
+            except ValueError:
+                row.append(None)
+        table.add_row(*row)
+    table.notes.append("placement sensitivity grows with memory/latency "
+                       "dependence: EP flat, MG moderate, CG extreme")
+    return table
+
+
+def ext_hybrid_scaling() -> TableResult:
+    """Pure MPI vs hybrid across socket counts on Longs.
+
+    Extends the single-point `abl_hybrid` comparison into a scaling
+    curve: at every socket count the hybrid variant uses the same cores
+    with half the ranks and a 2-thread team each.
+    """
+    table = TableResult(
+        title="extension: pure MPI vs hybrid MPI+OpenMP scaling (Longs, CG)",
+        headers=["sockets", "cores", "pure MPI (s)", "hybrid (s)",
+                 "hybrid msgs / pure msgs"],
+    )
+    spec = longs()
+    for sockets in (2, 4, 8):
+        cores = 2 * sockets
+        pure = run_cached(("ext-hyb-pure", sockets), lambda: run(
+            spec, NasCG(cores), AffinityScheme.TWO_MPI_LOCAL))
+        hybrid = run_cached(("ext-hyb-omp", sockets), lambda: JobRunner(
+            spec, hybrid_affinity(spec, sockets, 2)).run(
+                HybridNasCG(sockets, 2)))
+        table.add_row(sockets, cores, pure.wall_time, hybrid.wall_time,
+                      hybrid.messages / max(1, pure.messages))
+    table.notes.append("the hybrid model eliminates intra-socket MPI "
+                       "(Section 3.4's three communication classes)")
+    return table

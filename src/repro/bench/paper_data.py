@@ -1,0 +1,159 @@
+"""The paper's measured values, transcribed as data.
+
+Every numeric table of the evaluation section (Tables 2–4 and 7–14),
+keyed to match the generated tables so
+:mod:`repro.bench.fidelity` can join model output against the paper
+row by row.  Dashes in the paper are ``None``.
+
+Scheme-column order everywhere: Default, One MPI + Local Alloc,
+One MPI + Membind, Two MPI + Local Alloc, Two MPI + Membind,
+Interleave (the Table 5 order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "SCHEME_ORDER",
+    "TABLE02",
+    "TABLE03",
+    "TABLE04",
+    "TABLE07",
+    "TABLE08",
+    "TABLE09",
+    "TABLE10",
+    "TABLE11",
+    "TABLE12",
+    "TABLE13",
+    "TABLE14",
+]
+
+SCHEME_ORDER = [
+    "Default",
+    "One MPI + Local Alloc",
+    "One MPI + Membind",
+    "Two MPI + Local Alloc",
+    "Two MPI + Membind",
+    "Interleave",
+]
+
+SchemeRow = Tuple[Optional[float], ...]
+
+#: Table 2 — NAS CG/FT x numactl on Longs (seconds);
+#: key: (MPI tasks, kernel)
+TABLE02: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "CG"): (162.81, 162.68, 162.72, 172.08, 170.79, 190.18),
+    (4, "CG"): (98.51, 88.21, 111.02, 102.94, 99.54, 109.93),
+    (8, "CG"): (50.93, 51.15, 109.11, 49.24, 115.87, 67.23),
+    (16, "CG"): (54.17, None, None, 54.45, 121.87, 72.62),
+    (2, "FFT"): (118.97, 118.56, 123.15, 129.18, 129.12, 137.79),
+    (4, "FFT"): (79.96, 67.72, 91.84, 74.38, 92.79, 84.89),
+    (8, "FFT"): (42.32, 39.96, 69.79, 62.80, 81.95, 47.13),
+    (16, "FFT"): (30.77, None, None, 31.36, 63.39, 41.48),
+}
+
+#: Table 3 — NAS CG/FT x numactl on DMZ (seconds)
+TABLE03: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "CG"): (106.8, 106.24, 125.87, 111.17, 111.20, 115.02),
+    (4, "CG"): (59.22, None, None, 68.16, 86.93, 66.74),
+    (2, "FFT"): (93.58, 100.84, 115.42, 108.30, 101.18, 105.13),
+    (4, "FFT"): (57.05, None, None, 57.03, 75.50, 63.67),
+}
+
+#: Table 4 — NAS multi-core speedup (parallel efficiency);
+#: key: (kernel, system) -> values for 2/4/8/16 cores
+TABLE04: Dict[Tuple[str, str], SchemeRow] = {
+    ("CG", "DMZ"): (1.07, 0.86, None, None),
+    ("CG", "Longs"): (1.07, 0.73, 0.52, 0.25),
+    ("CG", "Tiger"): (1.01, None, None, None),
+    ("FT", "DMZ"): (0.82, 0.64, None, None),
+    ("FT", "Longs"): (0.85, 0.69, 0.62, 0.42),
+    ("FT", "Tiger"): (0.88, None, None, None),
+}
+
+#: Table 7 — FFT time in the JAC benchmark (seconds);
+#: key: (MPI tasks, system)
+TABLE07: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "Longs"): (3.13, 2.76, 3.13, 3.3, 3.31, 3.50),
+    (4, "Longs"): (1.83, 1.45, 1.78, 1.48, 1.77, 1.75),
+    (8, "Longs"): (0.81, 0.82, 1.17, 0.77, 1.01, 0.85),
+    (16, "Longs"): (0.63, None, None, 0.57, 1.32, 2.22),
+    (2, "DMZ"): (1.81, 1.77, 2.39, 2.25, 2.25, 1.96),
+    (4, "DMZ"): (1.03, None, None, 1.08, 1.51, 1.09),
+}
+
+#: Table 8 — AMBER multi-core speedup;
+#: key: (cores, system) -> (dhfr, factor_ix, gb_cox2, gb_mb, jac)
+TABLE08: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "DMZ"): (1.90, 1.91, 1.98, 1.98, 1.96),
+    (4, "DMZ"): (3.45, 3.35, 3.92, 3.94, 3.63),
+    (2, "Longs"): (1.95, 1.89, 1.98, 2.06, 1.93),
+    (4, "Longs"): (3.63, 3.43, 3.92, 4.07, 3.78),
+    (8, "Longs"): (6.02, 5.94, 7.63, 7.96, 6.22),
+    (16, "Longs"): (7.24, 7.35, 14.29, 14.93, 7.97),
+}
+
+#: Table 9 — overall JAC runtime (seconds); key: (MPI tasks, system)
+TABLE09: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "Longs"): (38.08, 35.21, 35.63, 35.91, 36.75, 36.99),
+    (4, "Longs"): (20.18, 18.70, 19.72, 18.83, 19.63, 19.97),
+    (8, "Longs"): (11.47, 11.39, 13.85, 11.12, 13.42, 12.06),
+    (16, "Longs"): (8.96, None, None, 8.95, 14.71, 14.99),
+    (2, "DMZ"): (27.05, 26.30, 28.08, 28.01, 27.59, 27.27),
+    (4, "DMZ"): (14.38, None, None, 14.44, 16.08, 14.74),
+}
+
+#: Table 10 — LAMMPS multi-core speedup;
+#: key: (cores, system) -> (LJ, Chain, EAM)
+TABLE10: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "DMZ"): (1.79, 2.13, 1.96),
+    (4, "DMZ"): (3.61, 4.41, 3.60),
+    (2, "Longs"): (1.89, 2.23, 1.82),
+    (4, "Longs"): (3.51, 5.53, 3.45),
+    (8, "Longs"): (6.63, 11.52, 6.74),
+    (16, "Longs"): (10.65, 19.95, 12.54),
+    (2, "Tiger"): (1.92, 2.13, 1.87),
+}
+
+#: Table 11 — LAMMPS LJ x numactl (seconds); key: (MPI tasks, system)
+TABLE11: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "Longs"): (3.82, 3.6, 3.76, 3.73, 3.73, 3.93),
+    (4, "Longs"): (1.95, 1.87, 1.99, 2.52, 2.99, 2.03),
+    (8, "Longs"): (1.03, 1.02, 1.11, 1.97, 1.067, 1.05),
+    (16, "Longs"): (0.63, None, None, 0.63, 0.77, 0.64),
+    (2, "DMZ"): (3.07037, 2.89618, 3.10457, 3.00691, 3.00305, 2.96663),
+    (4, "DMZ"): (1.55389, None, None, 1.53995, 1.73746, 1.58052),
+}
+
+#: Table 12 — POP multi-core speedup;
+#: key: (cores, system) -> (baroclinic, barotropic)
+TABLE12: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "DMZ"): (2.04, 2.07),
+    (4, "DMZ"): (3.87, 3.99),
+    (2, "Tiger"): (1.97, 1.93),
+    (2, "Longs"): (2.02, 2.002),
+    (4, "Longs"): (4.08, 4.07),
+    (8, "Longs"): (8.26, 8.28),
+    (16, "Longs"): (16.11, 14.85),
+}
+
+#: Table 13 — POP baroclinic time (seconds); key: (MPI tasks, system)
+TABLE13: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "Longs"): (358.57, 332.29, 343.89, 354.01, 354.62, 408.66),
+    (4, "Longs"): (177.64, 163.37, 191.78, 169.08, 275.91, 194.99),
+    (8, "Longs"): (87.58, 86.61, 118.87, 84.5, 184.33, 98.09),
+    (16, "Longs"): (44.93, None, None, 44.9, 75.96, 57.08),
+    (2, "DMZ"): (301.82, 284.53, 326.43, 316.36, 305.34, 306.05),
+    (4, "DMZ"): (150.15, None, None, 154.03, 199.51, 156.79),
+}
+
+#: Table 14 — POP barotropic time (seconds); key: (MPI tasks, system)
+TABLE14: Dict[Tuple[int, str], SchemeRow] = {
+    (2, "Longs"): (36.13, 34.35, 35.12, 37.28, 37.37, 41.41),
+    (4, "Longs"): (17.75, 17.08, 20.3, 17.51, 34.92, 19.29),
+    (8, "Longs"): (8.74, 10.06, 10.41, 8.96, 21.99, 9.31),
+    (16, "Longs"): (4.87, None, None, 4.23, 4.55, 4.36),
+    (2, "DMZ"): (29.78, 26.18, 29.68, 30.40, 28.21, 29.84),
+    (4, "DMZ"): (13.76, None, None, 13.94, 17.55, 14.33),
+}

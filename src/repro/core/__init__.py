@@ -1,0 +1,91 @@
+"""The characterization toolkit: the paper's methodology as a library.
+
+Affinity schemes (Table 5), the workload execution runtime, experiment
+and sweep drivers, metrics, and report rendering.
+"""
+
+from .affinity import (
+    SCHEME_TABLE,
+    AffinityScheme,
+    ResolvedAffinity,
+    membind_node_set,
+    resolve_scheme,
+)
+from .analysis import ResourceReport, analyze
+from .execution import JobResult, JobRunner, run_workload
+from .timeline import render_timeline, to_chrome_trace
+from .experiment import (
+    ALL_SCHEMES,
+    Experiment,
+    SchemeComparison,
+    compare_schemes,
+    scaling_study,
+    scheme_sweep,
+)
+from .metrics import (
+    bandwidth,
+    best_scheme,
+    flops_rate,
+    improvement_percent,
+    parallel_efficiency,
+    per_core,
+    speedup,
+)
+from .ops import (
+    Allgather,
+    Allreduce,
+    Alltoall,
+    Barrier,
+    Bcast,
+    Compute,
+    Op,
+    Recv,
+    Reduce,
+    Send,
+    SendRecv,
+)
+from .report import SeriesResult, TableResult, format_value
+from .workload import Workload
+
+__all__ = [
+    "AffinityScheme",
+    "ResourceReport",
+    "analyze",
+    "render_timeline",
+    "to_chrome_trace",
+    "ResolvedAffinity",
+    "resolve_scheme",
+    "membind_node_set",
+    "SCHEME_TABLE",
+    "ALL_SCHEMES",
+    "Workload",
+    "JobRunner",
+    "JobResult",
+    "run_workload",
+    "Experiment",
+    "scheme_sweep",
+    "scaling_study",
+    "compare_schemes",
+    "SchemeComparison",
+    "Op",
+    "Compute",
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Barrier",
+    "Allreduce",
+    "Alltoall",
+    "Allgather",
+    "Bcast",
+    "Reduce",
+    "TableResult",
+    "SeriesResult",
+    "format_value",
+    "speedup",
+    "parallel_efficiency",
+    "per_core",
+    "flops_rate",
+    "bandwidth",
+    "improvement_percent",
+    "best_scheme",
+]

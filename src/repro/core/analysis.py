@@ -1,0 +1,126 @@
+"""Post-run bottleneck analysis.
+
+After a simulation, the machine's resources know exactly how many
+bytes they moved; combining that with the runner's per-category time
+accounting answers the characterization question the paper asks of
+every workload: *is it compute-, memory-, or communication-bound, and
+on which resource?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from .execution import JobResult, JobRunner
+from .report import TableResult
+
+__all__ = ["ResourceReport", "analyze"]
+
+#: utilization above which a resource counts as a bottleneck candidate
+_HOT_THRESHOLD = 0.5
+
+
+@dataclass
+class ResourceReport:
+    """Utilizations and time fractions of one finished run."""
+
+    workload: str
+    system: str
+    scheme: str
+    wall_time: float
+    #: memory-controller utilization per NUMA node
+    controller_utilization: Dict[int, float]
+    #: directed HT-link utilization per (src, dst) socket pair
+    link_utilization: Dict[Tuple[int, int], float]
+    #: max-over-ranks fraction of wall time per category
+    category_fractions: Dict[str, float]
+
+    @property
+    def hottest_controller(self) -> Tuple[int, float]:
+        """(node, utilization) of the busiest memory controller."""
+        node = max(self.controller_utilization,
+                   key=lambda n: self.controller_utilization[n])
+        return node, self.controller_utilization[node]
+
+    @property
+    def hottest_link(self) -> Tuple[Tuple[int, int], float]:
+        """(edge, utilization) of the busiest HT link (0 if no links)."""
+        if not self.link_utilization:
+            return (0, 0), 0.0
+        edge = max(self.link_utilization,
+                   key=lambda e: self.link_utilization[e])
+        return edge, self.link_utilization[edge]
+
+    def classify(self) -> str:
+        """A one-word bottleneck verdict.
+
+        ``memory`` when a controller is hot, else ``network`` when a
+        link is hot, else ``communication`` when comm time dominates,
+        else ``compute``.
+        """
+        _node, mem_util = self.hottest_controller
+        if mem_util >= _HOT_THRESHOLD:
+            return "memory"
+        _edge, link_util = self.hottest_link
+        if link_util >= _HOT_THRESHOLD:
+            return "network"
+        comm = self.category_fractions.get("comm", 0.0)
+        compute = self.category_fractions.get("compute", 0.0)
+        if comm > compute:
+            return "communication"
+        return "compute"
+
+    def to_table(self) -> TableResult:
+        """Render the report as a table."""
+        table = TableResult(
+            title=(f"resource report: {self.workload} on {self.system} "
+                   f"[{self.scheme}] — {self.classify()}-bound"),
+            headers=["Resource", "Utilization / fraction"],
+        )
+        for node in sorted(self.controller_utilization):
+            table.add_row(f"memory controller {node}",
+                          self.controller_utilization[node])
+        hot_edge, hot_util = self.hottest_link
+        if self.link_utilization:
+            table.add_row(f"hottest HT link {hot_edge[0]}->{hot_edge[1]}",
+                          hot_util)
+        for category in sorted(self.category_fractions):
+            table.add_row(f"time in {category}",
+                          self.category_fractions[category])
+        return table
+
+
+def analyze(runner: JobRunner, result: JobResult) -> ResourceReport:
+    """Build a :class:`ResourceReport` from a runner after ``run()``.
+
+    ``result`` must be the object the runner produced (the runner holds
+    the machine whose resources carry the byte counters).
+    """
+    machine = runner.machine
+    # the engine clock ran in unscaled time; utilization is scale-free
+    elapsed = machine.engine.now
+    if elapsed <= 0:
+        raise ValueError("run the workload before analyzing it")
+    controllers = {
+        node: ctrl.utilization(elapsed)
+        for node, ctrl in enumerate(machine.mem.controllers)
+    }
+    links = {
+        edge: link.utilization(elapsed)
+        for edge, link in machine.net.links.items()
+    }
+    fractions = {}
+    for rank_categories in result.category_times:
+        for category, seconds in rank_categories.items():
+            fraction = seconds / result.wall_time
+            fractions[category] = max(fractions.get(category, 0.0), fraction)
+    return ResourceReport(
+        workload=result.workload,
+        system=result.system,
+        scheme=result.scheme,
+        wall_time=result.wall_time,
+        controller_utilization=controllers,
+        link_utilization=links,
+        category_fractions=fractions,
+    )

@@ -1,0 +1,84 @@
+"""Terminal line plots for :class:`~repro.core.report.SeriesResult`.
+
+The paper's figures are log-x line charts; ``plot(series)`` renders a
+comparable view directly in the terminal so `repro-bench fig14 --plot`
+shows the crossovers without leaving the shell.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from .report import SeriesResult
+
+__all__ = ["plot"]
+
+#: marker per series, cycled in sorted-name order
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, cells: int,
+           log: bool) -> int:
+    """Map a value onto [0, cells-1], optionally logarithmically."""
+    if log:
+        value, lo, hi = (math.log10(max(v, 1e-300))
+                         for v in (value, lo, hi))
+    if hi <= lo:
+        return 0
+    position = (value - lo) / (hi - lo)
+    return min(cells - 1, max(0, round(position * (cells - 1))))
+
+
+def plot(series: SeriesResult, width: int = 64, height: int = 16,
+         log_y: bool = False) -> str:
+    """Render the series as an ASCII chart with a legend.
+
+    ``log_x`` comes from the series itself (message-size sweeps);
+    ``log_y`` is the caller's choice (bandwidth curves usually read
+    better linearly, latency curves logarithmically).
+    """
+    if width < 16 or height < 4:
+        raise ValueError("plot needs at least 16x4 cells")
+    points = [(x, y) for pts in series.series.values() for x, y in pts]
+    if not points:
+        return "(empty figure)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if log_y and y_lo <= 0:
+        raise ValueError("log_y requires positive y values")
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    names = sorted(series.series)
+    for index, name in enumerate(names):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in series.series[name]:
+            col = _scale(x, x_lo, x_hi, width, series.log_x)
+            row = _scale(y, y_lo, y_hi, height, log_y)
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = "*" if cell not in (" ", marker) \
+                else marker
+
+    def fmt(v: float) -> str:
+        return f"{v:.3g}"
+
+    lines = [series.title]
+    top_label = fmt(y_hi).rjust(9)
+    bottom_label = fmt(y_lo).rjust(9)
+    for i, row_cells in enumerate(grid):
+        label = top_label if i == 0 else (
+            bottom_label if i == height - 1 else " " * 9)
+        lines.append(f"{label} |{''.join(row_cells)}|")
+    lines.append(" " * 10 + "+" + "-" * width + "+")
+    lines.append(" " * 11 + fmt(x_lo)
+                 + fmt(x_hi).rjust(width - len(fmt(x_lo))))
+    axis = f"x: {series.x_label}" + (" (log)" if series.log_x else "")
+    axis += f"   y: {series.y_label}" + (" (log)" if log_y else "")
+    lines.append(" " * 11 + axis)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""Experiments and sweeps: the paper's measurement methodology as a library.
+
+* :class:`Experiment` — one (system, workload, scheme, MPI config) cell.
+* :func:`scheme_sweep` — a full paper-style numactl table: task counts ×
+  the six Table 5 schemes, dashes for infeasible combinations.
+* :func:`scaling_study` — parallel-efficiency rows (Table 4 style)
+  against the single-task baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..machine.topology import MachineSpec
+from ..mpi import MpiImplementation, OPENMPI
+from .affinity import AffinityScheme, resolve_scheme
+from .execution import JobResult, JobRunner
+from .metrics import parallel_efficiency
+from .report import TableResult
+from .workload import Workload
+
+__all__ = ["Experiment", "scheme_sweep", "scaling_study", "compare_schemes",
+           "SchemeComparison", "ALL_SCHEMES"]
+
+#: paper column order for the numactl tables
+ALL_SCHEMES: List[AffinityScheme] = [
+    AffinityScheme.DEFAULT,
+    AffinityScheme.ONE_MPI_LOCAL,
+    AffinityScheme.ONE_MPI_MEMBIND,
+    AffinityScheme.TWO_MPI_LOCAL,
+    AffinityScheme.TWO_MPI_MEMBIND,
+    AffinityScheme.INTERLEAVE,
+]
+
+
+@dataclass
+class Experiment:
+    """One measurement cell; ``run()`` is deterministic and repeatable."""
+
+    system: MachineSpec
+    workload: Workload
+    scheme: AffinityScheme = AffinityScheme.DEFAULT
+    impl: MpiImplementation = OPENMPI
+    lock: Optional[str] = None
+    parked: int = 0
+
+    def run(self) -> JobResult:
+        """Resolve the scheme and simulate the workload."""
+        affinity = resolve_scheme(self.scheme, self.system,
+                                  self.workload.ntasks, parked=self.parked)
+        runner = JobRunner(self.system, affinity, impl=self.impl,
+                           lock=self.lock)
+        return runner.run(self.workload)
+
+
+def scheme_sweep(
+    system: MachineSpec,
+    workload_factory: Callable[[int], Workload],
+    task_counts: Sequence[int],
+    schemes: Sequence[AffinityScheme] = tuple(ALL_SCHEMES),
+    impl: MpiImplementation = OPENMPI,
+    lock: Optional[str] = None,
+    value: Callable[[JobResult], float] = lambda r: r.wall_time,
+    title: str = "",
+) -> TableResult:
+    """A paper-style numactl table for one workload on one system.
+
+    Rows are task counts, columns the affinity schemes; infeasible
+    combinations (e.g. One-MPI schemes beyond the socket count) render
+    as dashes, exactly like the paper's tables.
+    """
+    table = TableResult(
+        title=title or f"{system.name}: numactl scheme sweep",
+        headers=["MPI tasks"] + [str(s) for s in schemes],
+    )
+    for ntasks in task_counts:
+        row: List = [ntasks]
+        for scheme in schemes:
+            try:
+                result = Experiment(system, workload_factory(ntasks),
+                                    scheme, impl=impl, lock=lock).run()
+                row.append(value(result))
+            except ValueError:
+                row.append(None)
+        table.add_row(*row)
+    return table
+
+
+@dataclass
+class SchemeComparison:
+    """Outcome of :func:`compare_schemes` for one workload."""
+
+    times: Dict[str, float]
+    best: str
+    worst: str
+
+    @property
+    def best_time(self) -> float:
+        return self.times[self.best]
+
+    @property
+    def improvement_over_default_percent(self) -> float:
+        """How much the best scheme improves on the Default placement."""
+        default = self.times[str(AffinityScheme.DEFAULT)]
+        return (default - self.best_time) / default * 100.0
+
+    @property
+    def spread(self) -> float:
+        """Worst/best runtime ratio across feasible schemes."""
+        return self.times[self.worst] / self.best_time
+
+
+def compare_schemes(
+    system: MachineSpec,
+    workload_factory: Callable[[], Workload],
+    schemes: Sequence[AffinityScheme] = tuple(ALL_SCHEMES),
+    impl: MpiImplementation = OPENMPI,
+    lock: Optional[str] = None,
+    value: Callable[[JobResult], float] = lambda r: r.wall_time,
+) -> SchemeComparison:
+    """Run one workload under every feasible scheme and rank them.
+
+    The programmatic form of the paper's headline question: *which
+    placement should this job use, and what is it worth?*  Infeasible
+    schemes (the tables' dashes) are skipped; the Default scheme must be
+    feasible (it always is).
+    """
+    times: Dict[str, float] = {}
+    for scheme in schemes:
+        try:
+            result = Experiment(system, workload_factory(), scheme,
+                                impl=impl, lock=lock).run()
+        except ValueError:
+            continue
+        times[str(scheme)] = value(result)
+    if not times:
+        raise ValueError("no feasible scheme for this workload")
+    ordered = sorted(times, key=lambda k: times[k])
+    return SchemeComparison(times=times, best=ordered[0], worst=ordered[-1])
+
+
+def scaling_study(
+    systems: Sequence[MachineSpec],
+    workload_factory: Callable[[int], Workload],
+    task_counts: Sequence[int],
+    scheme: AffinityScheme = AffinityScheme.DEFAULT,
+    impl: MpiImplementation = OPENMPI,
+    value: Callable[[JobResult], float] = lambda r: r.wall_time,
+    title: str = "",
+    metric: str = "efficiency",
+) -> TableResult:
+    """Parallel-efficiency (or speedup) rows per system (Table 4 style).
+
+    The baseline is the single-task run of the same workload under the
+    Default scheme.  ``metric`` selects ``"efficiency"`` (t1/(n*tn)) or
+    ``"speedup"`` (t1/tn).  Task counts beyond a system's core count
+    render as dashes.
+    """
+    if metric not in ("efficiency", "speedup"):
+        raise ValueError(f"unknown metric {metric!r}")
+    table = TableResult(
+        title=title or f"multi-core {metric}",
+        headers=["System"] + [f"{n} cores" for n in task_counts],
+    )
+    for system in systems:
+        base = Experiment(system, workload_factory(1),
+                          AffinityScheme.DEFAULT, impl=impl).run()
+        t1 = value(base)
+        row: List = [system.name]
+        for n in task_counts:
+            if n > system.total_cores:
+                row.append(None)
+                continue
+            result = Experiment(system, workload_factory(n), scheme,
+                                impl=impl).run()
+            tn = value(result)
+            if metric == "efficiency":
+                row.append(parallel_efficiency(t1, tn, n))
+            else:
+                row.append(t1 / tn)
+        table.add_row(*row)
+    return table

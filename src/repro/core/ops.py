@@ -1,0 +1,156 @@
+"""Operation descriptors: the vocabulary workloads are written in.
+
+A workload's per-rank program is a generator of these descriptors.  They
+are engine-agnostic — the runtime (:mod:`repro.core.execution`)
+translates each into discrete-event activity on a concrete machine.
+
+``Compute`` characterizes a computation slice by its operation counts:
+
+* ``flops`` — double-precision floating-point operations;
+* ``dram_bytes`` — the *natural* DRAM traffic of the slice (bytes that
+  would move with a cold cache and streaming access);
+* ``working_set`` — bytes of the rank's resident data in the slice
+  (drives the cache model's traffic factor);
+* ``reuse`` — temporal-locality friendliness in [0, 1] (0 = STREAM,
+  ~0.97 = blocked DGEMM);
+* ``flop_efficiency`` — achieved fraction of peak flops when
+  compute-bound (vendor BLAS ≈ 0.85+, compiled Fortran loops much less);
+* ``random_accesses`` — count of dependent, non-overlappable memory
+  accesses (RandomAccess/GUPS-style pointer chasing), charged at the
+  NUMA latency of the rank's page placement.
+
+Every descriptor carries an optional ``phase`` label; the runtime
+accumulates time per phase so application tables (e.g. the FFT phase of
+the AMBER JAC benchmark, Table 7) can be reported separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Op",
+    "Compute",
+    "Send",
+    "Recv",
+    "SendRecv",
+    "Barrier",
+    "Allreduce",
+    "Alltoall",
+    "Allgather",
+    "Bcast",
+    "Reduce",
+]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for all operation descriptors."""
+
+    phase: str = ""
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """A computation slice characterized by operation counts.
+
+    ``stream_bandwidth`` caps the kernel's own single-stream DRAM demand
+    (bytes/s): an irregular kernel like SpMV cannot consume a whole
+    memory link even alone, which is why a second core can still help it
+    on a fast controller while two streaming cores on a slow controller
+    just split the link.
+    """
+
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    working_set: float = 0.0
+    reuse: float = 0.0
+    flop_efficiency: float = 0.5
+    random_accesses: float = 0.0
+    stream_bandwidth: float = float("inf")
+    #: OpenMP-style thread team executing this slice (one rank may fan
+    #: out over its socket's cores; see :mod:`repro.openmp`)
+    threads: int = 1
+
+    def __post_init__(self):
+        if min(self.flops, self.dram_bytes, self.working_set,
+               self.random_accesses) < 0:
+            raise ValueError("operation counts must be non-negative")
+        if not 0.0 <= self.reuse <= 1.0:
+            raise ValueError("reuse must be in [0, 1]")
+        if not 0.0 < self.flop_efficiency <= 1.0:
+            raise ValueError("flop_efficiency must be in (0, 1]")
+        if self.stream_bandwidth <= 0:
+            raise ValueError("stream_bandwidth must be positive")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+
+
+@dataclass(frozen=True)
+class Send(Op):
+    """Blocking send to ``dst``."""
+
+    dst: int = 0
+    nbytes: int = 0
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Recv(Op):
+    """Blocking receive (``None`` = wildcard)."""
+
+    src: Optional[int] = None
+    tag: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SendRecv(Op):
+    """Concurrent send+receive (halo-exchange building block)."""
+
+    send_to: int = 0
+    recv_from: int = 0
+    nbytes: int = 0
+    tag: int = 0
+
+
+@dataclass(frozen=True)
+class Barrier(Op):
+    """Full synchronization of all ranks."""
+
+
+@dataclass(frozen=True)
+class Allreduce(Op):
+    """Allreduce of ``nbytes`` per rank (recursive doubling)."""
+
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class Alltoall(Op):
+    """Personalized all-to-all, ``nbytes`` per rank pair."""
+
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class Allgather(Op):
+    """Ring allgather of ``nbytes`` blocks."""
+
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class Bcast(Op):
+    """Binomial broadcast of ``nbytes`` from ``root``."""
+
+    root: int = 0
+    nbytes: int = 0
+
+
+@dataclass(frozen=True)
+class Reduce(Op):
+    """Binomial reduction of ``nbytes`` toward ``root``."""
+
+    root: int = 0
+    nbytes: int = 0

@@ -1,0 +1,156 @@
+"""Structured results and text rendering for tables and figures.
+
+Every bench generator returns either a :class:`TableResult` (rows ×
+columns, like the paper's Tables 2–14) or a :class:`SeriesResult`
+(named curves over an x axis, like Figures 2–17).  Both render to
+aligned monospace text and CSV, so ``repro-bench`` output can be
+compared line-by-line against the paper.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = ["TableResult", "SeriesResult", "format_value"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_value(value: Cell, digits: int = 2) -> str:
+    """Render one cell: dashes for None, trimmed floats, plain strings."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+@dataclass
+class TableResult:
+    """A paper-style table: headers plus rows of cells."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append one row (must match the header width)."""
+        row = list(cells)
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def column(self, header: str) -> List[Cell]:
+        """All cells of one column."""
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def cell(self, row_key: Cell, header: str, key_column: int = 0) -> Cell:
+        """Cell addressed by first-column key and header name."""
+        idx = self.headers.index(header)
+        for row in self.rows:
+            if row[key_column] == row_key:
+                return row[idx]
+        raise KeyError(f"no row with key {row_key!r}")
+
+    def to_text(self, digits: int = 2) -> str:
+        """Aligned monospace rendering."""
+        cells = [self.headers] + [
+            [format_value(c, digits) for c in row] for row in self.rows
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(len(self.headers))]
+        out = io.StringIO()
+        out.write(self.title + "\n")
+        rule = "-+-".join("-" * w for w in widths)
+        out.write(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)) + "\n")
+        out.write(rule + "\n")
+        for row in cells[1:]:
+            out.write(" | ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+        for note in self.notes:
+            out.write(f"note: {note}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (no quoting needed for our content)."""
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(",".join(format_value(c, digits=6) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> str:
+        """Machine-readable rendering: {title, headers, rows, notes}."""
+        return json.dumps({
+            "title": self.title,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+        })
+
+
+@dataclass
+class SeriesResult:
+    """A paper-style figure: named series over a shared x axis."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: Dict[str, List[Tuple[float, float]]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+    log_x: bool = False
+
+    def add_point(self, name: str, x: float, y: float) -> None:
+        """Append one (x, y) sample to a series, creating it on first use."""
+        self.series.setdefault(name, []).append((x, y))
+
+    def xs(self) -> List[float]:
+        """Union of all x values, sorted."""
+        values = {x for points in self.series.values() for x, _y in points}
+        return sorted(values)
+
+    def at(self, name: str, x: float) -> Optional[float]:
+        """The y value of ``name`` at ``x``, or None if absent."""
+        for px, py in self.series.get(name, []):
+            if px == x:
+                return py
+        return None
+
+    def to_table(self) -> TableResult:
+        """Tabulate the figure: one row per x, one column per series."""
+        table = TableResult(
+            title=self.title,
+            headers=[self.x_label] + sorted(self.series),
+            notes=list(self.notes),
+        )
+        for x in self.xs():
+            table.add_row(x, *[self.at(name, x) for name in sorted(self.series)])
+        return table
+
+    def to_text(self, digits: int = 3) -> str:
+        """Rendered as the equivalent table plus the y-axis label."""
+        return f"[y: {self.y_label}]\n" + self.to_table().to_text(digits)
+
+    def to_json(self) -> str:
+        """Machine-readable rendering with per-series point lists."""
+        return json.dumps({
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "log_x": self.log_x,
+            "series": {name: points for name, points in self.series.items()},
+            "notes": self.notes,
+        })

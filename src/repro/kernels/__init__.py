@@ -1,0 +1,11 @@
+"""Instrumented scientific kernels.
+
+Each module pairs a *functional* implementation (real numpy math,
+validated in the test suite) with an *operation-count model* (a
+:class:`~repro.core.ops.Compute` descriptor at paper-scale sizes) used
+by the workload drivers.
+"""
+
+from . import blas, cg, fft, hpl, ptrans, randomaccess, stream
+
+__all__ = ["stream", "blas", "fft", "cg", "randomaccess", "ptrans", "hpl"]

@@ -1,0 +1,67 @@
+"""Analytic cache model.
+
+The model answers one question: *what fraction of a kernel's natural DRAM
+traffic actually reaches DRAM*, given the kernel's per-task working set
+and its temporal-reuse friendliness.  This single knob reproduces the
+paper's spectrum:
+
+* STREAM (``reuse = 0``) always pays full traffic — adding a second core
+  per socket halves per-core bandwidth;
+* blocked DGEMM (``reuse ≈ 0.97``) pays almost nothing — Star DGEMM
+  matches Single DGEMM (Figure 9);
+* kernels whose per-task working set shrinks below L2 as tasks are added
+  (LAMMPS *chain*) see their traffic factor collapse, producing the
+  superlinear speedups of Table 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .topology import CoreSpec
+
+__all__ = ["CacheModel", "traffic_factor"]
+
+
+def traffic_factor(working_set: float, cache_bytes: float, reuse: float,
+                   floor: float = 0.02) -> float:
+    """Fraction of natural DRAM traffic that misses all caches.
+
+    ``reuse`` in [0, 1] is the fraction of accesses that would hit in an
+    infinitely large cache (temporal locality of the algorithm).  Only
+    the resident fraction of the working set can capture that reuse, so::
+
+        factor = 1 - reuse * min(1, cache / working_set)
+
+    clamped below at ``floor`` (compulsory misses never vanish).
+    """
+    if not 0.0 <= reuse <= 1.0:
+        raise ValueError(f"reuse must be in [0,1], got {reuse}")
+    if working_set < 0 or cache_bytes < 0:
+        raise ValueError("working_set and cache_bytes must be non-negative")
+    if working_set == 0:
+        return floor
+    resident = min(1.0, cache_bytes / working_set)
+    return max(floor, 1.0 - reuse * resident)
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Per-core cache hierarchy bound to a :class:`CoreSpec`."""
+
+    core: CoreSpec
+    traffic_floor: float = 0.02
+
+    @property
+    def capacity(self) -> float:
+        """Effective per-core capacity (L2 dominates on K8; L1 folded in)."""
+        return self.core.l2_bytes + self.core.l1d_bytes
+
+    def dram_traffic_factor(self, working_set: float, reuse: float) -> float:
+        """Multiplier applied to a phase's natural DRAM traffic."""
+        return traffic_factor(working_set, self.capacity, reuse,
+                              floor=self.traffic_floor)
+
+    def fits(self, working_set: float) -> bool:
+        """True when the working set is cache-resident."""
+        return working_set <= self.capacity

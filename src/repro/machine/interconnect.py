@@ -1,0 +1,88 @@
+"""Coherent HyperTransport interconnect model.
+
+Each undirected edge of the socket graph becomes two directed
+:class:`~repro.sim.resources.BandwidthResource` links (HT is full
+duplex).  Payloads traverse every link on the shortest path concurrently
+(independent-bottleneck approximation), so a congested rung of the
+ladder throttles exactly the transfers crossing it — this is what
+exposes the "topology and congestion effects on the HT8501's
+HyperTransport ladder" (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from ..sim import BandwidthResource, Engine, Event
+from .topology import MachineSpec, build_socket_graph
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Directed-link network over the socket graph with shortest-path routing."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec):
+        self.engine = engine
+        self.spec = spec
+        self.graph = build_socket_graph(spec)
+        params = spec.params
+        self.links: Dict[Tuple[int, int], BandwidthResource] = {}
+        for u, v in self.graph.edges:
+            for a, b in ((u, v), (v, u)):
+                self.links[(a, b)] = BandwidthResource(
+                    engine, params.ht_link_bandwidth, name=f"ht:{a}->{b}"
+                )
+        # Pre-compute shortest paths once; the graph is tiny and static.
+        self._paths: Dict[Tuple[int, int], List[int]] = {}
+        for src, targets in nx.all_pairs_shortest_path(self.graph):
+            for dst, path in targets.items():
+                self._paths[(src, dst)] = path
+
+    def path(self, src: int, dst: int) -> List[int]:
+        """Socket sequence of the route from ``src`` to ``dst`` (inclusive)."""
+        try:
+            return self._paths[(src, dst)]
+        except KeyError:
+            raise ValueError(f"no route between sockets {src} and {dst}") from None
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of HT links crossed between two sockets."""
+        return len(self.path(src, dst)) - 1
+
+    def path_links(self, src: int, dst: int) -> List[BandwidthResource]:
+        """The directed link resources along the route."""
+        path = self.path(src, dst)
+        return [self.links[(path[i], path[i + 1])] for i in range(len(path) - 1)]
+
+    def path_latency(self, src: int, dst: int) -> float:
+        """Pure wire/router latency of the route (seconds)."""
+        return self.hops(src, dst) * self.spec.params.ht_link_latency
+
+    def transfer(self, src: int, dst: int, nbytes: float,
+                 weight: float = 1.0) -> Event:
+        """Move ``nbytes`` from socket ``src`` to ``dst``.
+
+        The returned event fires when the payload has cleared every link
+        on the path.  Same-socket transfers complete immediately (the
+        caller models the local copy through the memory system).
+        """
+        links = self.path_links(src, dst)
+        if not links:
+            ev = Event(self.engine)
+            ev.succeed(self.engine.now)
+            return ev
+        flows = [link.transfer(nbytes, weight=weight) for link in links]
+        return self.engine.all_of(flows)
+
+    def max_hops(self) -> int:
+        """Diameter of the socket graph in hops."""
+        if self.spec.sockets == 1:
+            return 0
+        return max(
+            self.hops(s, d)
+            for s in range(self.spec.sockets)
+            for d in range(self.spec.sockets)
+        )

@@ -1,0 +1,149 @@
+"""Memory-system model: per-socket controllers, contention, coherence.
+
+Every socket owns one on-die memory controller (the Opteron design).
+A controller is a fair-share :class:`BandwidthResource` whose effective
+capacity is::
+
+    peak * achievable_fraction / (1 + probe_cost * (sockets - 1))
+
+The divisor models coherence-probe broadcast: on 2006 Opterons every
+cacheline fill probes all other sockets, and on the 8-socket ladder the
+probe/response round trips consume enough controller and link occupancy
+that the *best achievable single-core bandwidth is less than half* of a
+small system's (Section 3.3's "most disturbing" observation).
+
+Remote accesses additionally traverse HT links and carry a per-hop
+occupancy surcharge; latency-bound traffic (RandomAccess) is charged per
+access using the hop-count latency plus a queueing multiplier.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from ..sim import BandwidthResource, Engine, Event
+from .interconnect import Interconnect
+from .topology import MachineSpec
+
+__all__ = ["MemorySystem"]
+
+
+class MemorySystem:
+    """All memory controllers of a machine plus the access cost model."""
+
+    def __init__(self, engine: Engine, spec: MachineSpec,
+                 interconnect: Interconnect):
+        self.engine = engine
+        self.spec = spec
+        self.net = interconnect
+        params = spec.params
+        self._coherence = 1.0 / (
+            1.0 + params.coherence_probe_cost * (spec.sockets - 1)
+        )
+        capacity = (
+            spec.socket.dram_peak_bandwidth
+            * params.dram_achievable_fraction
+            * self._coherence
+        )
+        self.controllers = [
+            BandwidthResource(engine, capacity, name=f"mem:{s}")
+            for s in range(spec.sockets)
+        ]
+
+    @property
+    def coherence_factor(self) -> float:
+        """Bandwidth retained after coherence-probe overhead (0 < f <= 1)."""
+        return self._coherence
+
+    @property
+    def controller_capacity(self) -> float:
+        """Effective bytes/s of one controller after coherence derating."""
+        return self.controllers[0].capacity
+
+    # -- streaming (bandwidth-bound) traffic ------------------------------
+
+    def stream(self, from_socket: int, traffic: Mapping[int, float],
+               weight: float = 1.0) -> Event:
+        """Issue streaming DRAM traffic from a core on ``from_socket``.
+
+        ``traffic`` maps home NUMA node (socket id) -> bytes.  Each
+        portion occupies its home controller; remote portions also cross
+        every HT link en route and pay a per-hop occupancy surcharge.
+        The event fires when all portions have drained.
+        """
+        flows = []
+        params = self.spec.params
+        for node, nbytes in traffic.items():
+            if nbytes <= 0:
+                continue
+            hops = self.net.hops(from_socket, node)
+            surcharge = 1.0 + params.hop_bandwidth_derate * hops
+            flows.append(
+                self.controllers[node].transfer(nbytes * surcharge, weight=weight)
+            )
+            if hops:
+                flows.append(
+                    self.net.transfer(from_socket, node, nbytes, weight=weight)
+                )
+        if not flows:
+            ev = Event(self.engine)
+            ev.succeed(self.engine.now)
+            return ev
+        return self.engine.all_of(flows)
+
+    def stream_cost_factor(self, from_socket: int,
+                           distribution: Mapping[int, float]) -> float:
+        """Serial per-stream cost multiplier for a traffic distribution.
+
+        A single core cannot exceed one controller's bandwidth, and each
+        HT hop of a remote access lowers the achievable per-stream rate
+        (latency-limited outstanding-request window).  The runtime uses
+        ``traffic * factor / controller_capacity`` as a floor on a
+        compute phase's memory time.
+        """
+        total = sum(distribution.values())
+        if total <= 0:
+            return 1.0
+        penalty = self.spec.params.remote_stream_penalty
+        return sum(
+            frac / total * (1.0 + penalty * self.net.hops(from_socket, node))
+            for node, frac in distribution.items()
+        )
+
+    # -- latency-bound traffic ---------------------------------------------
+
+    def access_latency(self, from_socket: int, node: int,
+                       extra_sharers: int = 0) -> float:
+        """Seconds for one dependent (non-overlapped) access to ``node``.
+
+        ``extra_sharers`` is the number of *other* request streams hitting
+        the same controller; each adds a queueing increment.
+        """
+        params = self.spec.params
+        hops = self.net.hops(from_socket, node)
+        base = params.dram_latency + params.hop_latency * hops
+        return base * (1.0 + params.latency_contention_factor * max(0, extra_sharers))
+
+    def expected_latency(self, from_socket: int,
+                         distribution: Mapping[int, float],
+                         extra_sharers: int = 0) -> float:
+        """Average access latency under a node-fraction distribution."""
+        total = sum(distribution.values())
+        if total <= 0:
+            raise ValueError("distribution must have positive mass")
+        return sum(
+            frac / total * self.access_latency(from_socket, node, extra_sharers)
+            for node, frac in distribution.items()
+        )
+
+    # -- quick analytic estimate (used by reports and sanity tests) -------
+
+    def ideal_stream_bandwidth(self, from_socket: int, node: int,
+                               sharers_on_controller: int = 1) -> float:
+        """Closed-form per-stream bandwidth with static fair sharing."""
+        if sharers_on_controller < 1:
+            raise ValueError("at least one sharer (the stream itself)")
+        params = self.spec.params
+        hops = self.net.hops(from_socket, node)
+        surcharge = 1.0 + params.hop_bandwidth_derate * hops
+        return self.controller_capacity / (sharers_on_controller * surcharge)

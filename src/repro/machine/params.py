@@ -1,0 +1,111 @@
+"""Calibration parameters for the machine model.
+
+Every constant that converts operation counts into simulated time lives
+here, with the source of its value documented.  The three evaluation
+systems (Table 1 of the paper) are expressed as
+:class:`~repro.machine.topology.MachineSpec` presets in
+:mod:`repro.machine.systems`, built from these parameter blocks.
+
+Values are first-order 2006-era Opteron numbers:
+
+* DDR-400 dual-channel peak = 6.4 GB/s per socket; a single K8 core
+  sustains roughly 60–65 % of that on STREAM ("more than 4 GB/s one
+  would typically expect from an Opteron" — Section 3.3).
+* K8 issues 2 double-precision flops/cycle through SSE2, so a 2.2 GHz
+  Opteron peaks at 4.4 GFlop/s ("each capable of 4.4 GFlop/s" —
+  Section 2).
+* Local DRAM load-to-use latency ~ 60 ns; each coherent HyperTransport
+  hop adds ~ 55 ns (AMD Software Optimization Guide, ref. [3]).
+* System V semaphore operations cost microseconds (two syscalls and a
+  context switch under contention) while user-space spin locks cost
+  tens of nanoseconds — the root of the paper's sysv/usysv findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["PerfParams", "DEFAULT_PARAMS"]
+
+KB = 1024
+MB = 1024 * 1024
+GB = 1e9  # bandwidth numbers use decimal gigabytes like the paper
+
+
+@dataclass(frozen=True)
+class PerfParams:
+    """Tunable first-order performance constants.
+
+    The defaults reproduce the paper's qualitative behaviour; the system
+    presets override a handful of fields (probe cost, scheduler noise).
+    """
+
+    # -- memory system ---------------------------------------------------
+    #: fraction of DRAM peak a single streaming core achieves
+    dram_achievable_fraction: float = 0.65
+    #: local DRAM access latency (seconds)
+    dram_latency: float = 60e-9
+    #: extra latency per coherent HT hop for a remote access (seconds)
+    hop_latency: float = 55e-9
+    #: per-remote-hop *occupancy* surcharge: extra controller/link busy
+    #: time consumed by a remote access (probe/response overhead)
+    hop_bandwidth_derate: float = 0.20
+    #: per-remote-hop *serial stream* penalty: a single core's streaming
+    #: rate is limited by its outstanding-request window, so each hop of
+    #: added latency lowers the achievable per-stream bandwidth even on
+    #: idle controllers.  This is why interleave/membind lose to
+    #: localalloc although they spread load over more controllers.
+    remote_stream_penalty: float = 0.28
+    #: coherence probe overhead per additional socket in the system; the
+    #: effective controller bandwidth is achievable / (1 + cost*(S-1)).
+    #: The ladder preset uses a larger value (broadcast probes traverse
+    #: multiple hops), which produces the Longs bandwidth collapse.
+    coherence_probe_cost: float = 0.16
+    #: additional queueing multiplier per extra requester at a controller
+    #: applied to latency-bound accesses
+    latency_contention_factor: float = 0.35
+
+    # -- interconnect ----------------------------------------------------
+    #: coherent HyperTransport usable bandwidth per direction (bytes/s)
+    ht_link_bandwidth: float = 3.2 * GB
+    #: per-hop wire+router latency for message payloads (seconds)
+    ht_link_latency: float = 40e-9
+
+    # -- intra-node MPI transport ----------------------------------------
+    #: single-stream shared-memory copy bandwidth when both endpoints sit
+    #: on the same socket.  Dual-core K8 has private L2s, so even
+    #: same-socket copies go through DRAM; the intra-socket advantage is
+    #: only the avoided HT crossing (the paper's 10-13% benefit,
+    #: Section 3.4), not a cache-to-cache multiple.
+    intra_socket_copy_bandwidth: float = 1.60 * GB
+    #: single-stream copy bandwidth when endpoints sit on distinct sockets
+    inter_socket_copy_bandwidth: float = 1.42 * GB
+    #: shared-memory transports move large payloads in fixed fragments,
+    #: each paying one queue-lock round trip — this is why the SysV
+    #: sub-layer degrades even bandwidth-bound benchmarks like PTRANS
+    shm_fragment_bytes: float = 64 * KB
+    #: cost of one System V semaphore acquire/release pair (seconds)
+    sysv_lock_cost: float = 11e-6
+    #: cost of one user-space spin-lock acquire/release pair (seconds)
+    usysv_lock_cost: float = 0.35e-6
+    #: cost of one pthread mutex acquire/release pair (seconds)
+    pthread_lock_cost: float = 1.2e-6
+
+    # -- OS scheduler model ----------------------------------------------
+    #: for unbound runs: expected fraction of a task's accesses that turn
+    #: remote because the scheduler migrated it off its first-touch node
+    migration_remote_fraction: float = 0.08
+    #: per-context-switch overhead when more tasks than cores share a core
+    context_switch_cost: float = 5e-6
+
+    # -- cache model -------------------------------------------------------
+    #: floor on the DRAM-traffic factor (compulsory misses never vanish)
+    compulsory_traffic_floor: float = 0.02
+
+    def with_overrides(self, **kwargs) -> "PerfParams":
+        """A copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: baseline parameter block shared by the small (2-socket) systems
+DEFAULT_PARAMS = PerfParams()

@@ -1,0 +1,168 @@
+"""Hardware topology: cores, sockets, NUMA nodes, and the socket graph.
+
+Terminology follows Section 2 of the paper exactly:
+
+* a **core** is the fundamental execution unit;
+* a **socket** contains one or more cores plus a memory link (every
+  socket is one NUMA node on Opteron — the memory controller is on-die);
+* a **node** (here: :class:`MachineSpec`, a single shared-memory box)
+  is a group of sockets communicating over coherent HyperTransport.
+
+The socket-level interconnect is a :mod:`networkx` graph.  Three builders
+cover the evaluation systems: a single link for two-socket boxes (Tiger,
+DMZ) and the 2×4 *ladder* of the Iwill H8501 (Longs, Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from .params import GB, KB, MB, PerfParams
+
+__all__ = [
+    "CoreSpec",
+    "SocketSpec",
+    "MachineSpec",
+    "Core",
+    "Socket",
+    "build_socket_graph",
+    "ladder_positions",
+]
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static description of one core."""
+
+    frequency_hz: float
+    flops_per_cycle: float = 2.0  # SSE2 double precision on K8
+    l1d_bytes: int = 64 * KB
+    l2_bytes: int = 1 * MB  # private per core on dual-core K8
+
+    @property
+    def peak_flops(self) -> float:
+        """Peak double-precision flop rate of the core."""
+        return self.frequency_hz * self.flops_per_cycle
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """Static description of one socket: cores plus the memory link."""
+
+    cores_per_socket: int
+    core: CoreSpec
+    dram_peak_bandwidth: float = 6.4 * GB  # DDR-400 dual channel
+    dram_bytes: int = 4 * 1024 ** 3
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Static description of a shared-memory node (one paper system).
+
+    ``topology`` selects the socket-graph builder: ``"single"`` (one
+    socket), ``"pair"`` (two sockets, one HT link), ``"ladder"``
+    (2×(S/2) mesh as in the Iwill H8501), ``"ring"`` (each socket links
+    to two neighbours), or ``"crossbar"`` (every socket pair directly
+    linked — the what-if topology for ablation studies).
+    """
+
+    name: str
+    sockets: int
+    socket: SocketSpec
+    topology: str = "pair"
+    params: PerfParams = field(default_factory=PerfParams)
+    description: str = ""
+
+    _TOPOLOGIES = ("single", "pair", "ladder", "ring", "crossbar")
+
+    def __post_init__(self):
+        if self.sockets < 1:
+            raise ValueError("a machine needs at least one socket")
+        if self.topology not in self._TOPOLOGIES:
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if self.topology == "single" and self.sockets != 1:
+            raise ValueError("'single' topology requires exactly 1 socket")
+        if self.topology == "pair" and self.sockets != 2:
+            raise ValueError("'pair' topology requires exactly 2 sockets")
+        if self.topology == "ladder" and self.sockets % 2:
+            raise ValueError("'ladder' topology requires an even socket count")
+        if self.topology in ("ring", "crossbar") and self.sockets < 3:
+            raise ValueError(
+                f"'{self.topology}' topology requires at least 3 sockets"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores in the machine."""
+        return self.sockets * self.socket.cores_per_socket
+
+    @property
+    def cores_per_socket(self) -> int:
+        return self.socket.cores_per_socket
+
+
+@dataclass(frozen=True)
+class Core:
+    """One concrete core instance: global id plus its socket."""
+
+    core_id: int
+    socket_id: int
+    local_index: int  # index within the socket
+    spec: CoreSpec
+
+
+@dataclass
+class Socket:
+    """One concrete socket instance with its core list."""
+
+    socket_id: int
+    spec: SocketSpec
+    cores: List[Core] = field(default_factory=list)
+
+    @property
+    def core_ids(self) -> List[int]:
+        return [c.core_id for c in self.cores]
+
+
+def ladder_positions(sockets: int) -> Dict[int, Tuple[int, int]]:
+    """Grid coordinates (row, column) of each socket in a 2×(S/2) ladder."""
+    cols = sockets // 2
+    return {s: (s // cols, s % cols) for s in range(sockets)}
+
+
+def build_socket_graph(spec: MachineSpec) -> nx.Graph:
+    """The socket-level HyperTransport graph for a machine spec.
+
+    Edges carry no attributes here; bandwidth/latency are attached by the
+    interconnect model, which owns the dynamic state.
+    """
+    g = nx.Graph()
+    g.add_nodes_from(range(spec.sockets))
+    if spec.topology == "single":
+        return g
+    if spec.topology == "pair":
+        g.add_edge(0, 1)
+        return g
+    if spec.topology == "ring":
+        for s in range(spec.sockets):
+            g.add_edge(s, (s + 1) % spec.sockets)
+        return g
+    if spec.topology == "crossbar":
+        for a in range(spec.sockets):
+            for b in range(a + 1, spec.sockets):
+                g.add_edge(a, b)
+        return g
+    # ladder: two rows, sockets//2 columns; rungs between rows, rails
+    # along each row (Figure 1 of the paper).
+    positions = ladder_positions(spec.sockets)
+    by_pos = {pos: s for s, pos in positions.items()}
+    cols = spec.sockets // 2
+    for col in range(cols):
+        g.add_edge(by_pos[(0, col)], by_pos[(1, col)])  # rung
+        if col + 1 < cols:
+            g.add_edge(by_pos[(0, col)], by_pos[(0, col + 1)])  # top rail
+            g.add_edge(by_pos[(1, col)], by_pos[(1, col + 1)])  # bottom rail
+    return g

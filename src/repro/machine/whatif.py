@@ -1,0 +1,64 @@
+"""What-if machine builder for ablation and projection studies.
+
+The paper closes by expecting "improvements in future Opteron products"
+to fix the 8-socket scalability problems.  :func:`hypothetical` builds
+machines that test such projections: different socket counts, clock
+rates, interconnect topologies, and coherence-probe costs, all sharing
+the calibrated baseline parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .params import DEFAULT_PARAMS, PerfParams
+from .topology import CoreSpec, MachineSpec, SocketSpec
+
+__all__ = ["hypothetical"]
+
+
+def hypothetical(
+    name: str,
+    sockets: int,
+    cores_per_socket: int = 2,
+    frequency_ghz: float = 1.8,
+    topology: Optional[str] = None,
+    coherence_probe_cost: Optional[float] = None,
+    params: Optional[PerfParams] = None,
+    dram_peak_bandwidth: Optional[float] = None,
+) -> MachineSpec:
+    """A machine spec with selected properties overridden.
+
+    ``topology`` defaults to something sensible for the socket count
+    (single / pair / ladder).  ``coherence_probe_cost`` overrides the
+    probe-broadcast overhead — the knob behind the Longs bandwidth
+    collapse — leaving every other parameter at the calibrated default.
+    """
+    if topology is None:
+        if sockets == 1:
+            topology = "single"
+        elif sockets == 2:
+            topology = "pair"
+        else:
+            topology = "ladder"
+    base = params if params is not None else DEFAULT_PARAMS
+    if coherence_probe_cost is not None:
+        if coherence_probe_cost < 0:
+            raise ValueError("coherence_probe_cost must be non-negative")
+        base = base.with_overrides(coherence_probe_cost=coherence_probe_cost)
+    socket_kwargs = {}
+    if dram_peak_bandwidth is not None:
+        socket_kwargs["dram_peak_bandwidth"] = dram_peak_bandwidth
+    return MachineSpec(
+        name=name,
+        sockets=sockets,
+        socket=SocketSpec(
+            cores_per_socket=cores_per_socket,
+            core=CoreSpec(frequency_hz=frequency_ghz * 1e9),
+            **socket_kwargs,
+        ),
+        topology=topology,
+        params=base,
+        description=f"hypothetical: {sockets}x{cores_per_socket} "
+                    f"@{frequency_ghz} GHz, {topology}",
+    )

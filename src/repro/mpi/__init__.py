@@ -1,0 +1,46 @@
+"""Simulated MPI runtime for intra-node message passing.
+
+Rank endpoints with MPI point-to-point semantics and collective
+algorithms, parameterized by implementation profiles (MPICH2 / LAM /
+OpenMPI) and locking sub-layers (SysV semaphores vs. user-space spin
+locks), with all payload movement charged to the machine's memory
+controllers and HyperTransport links.
+"""
+
+from .implementations import (
+    IMPLEMENTATIONS,
+    LAM,
+    MPICH2,
+    OPENMPI,
+    LockLayer,
+    MpiImplementation,
+    implementation_by_name,
+)
+from .data_collectives import (
+    allgather_data,
+    allreduce_data,
+    alltoall_data,
+    bcast_data,
+    reduce_data,
+)
+from .simmpi import Message, MpiStats, MpiWorld
+from .transport import ShmTransport
+
+__all__ = [
+    "MpiWorld",
+    "Message",
+    "MpiStats",
+    "ShmTransport",
+    "MpiImplementation",
+    "LockLayer",
+    "MPICH2",
+    "LAM",
+    "OPENMPI",
+    "IMPLEMENTATIONS",
+    "implementation_by_name",
+    "allreduce_data",
+    "reduce_data",
+    "bcast_data",
+    "allgather_data",
+    "alltoall_data",
+]

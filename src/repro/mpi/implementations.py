@@ -1,0 +1,152 @@
+"""MPI implementation profiles and locking sub-layers.
+
+Section 3.4 compares three intra-node shared-memory transports — MPICH2
+1.0.3, LAM 7.1.2, and OpenMPI 1.0.1 — and finds *no* universal winner:
+
+* MPICH2 has high small-message overhead, becoming comparable around
+  16 KB, and is the best for large messages;
+* LAM is superior below ~16 KB;
+* OpenMPI wins for intermediate sizes.
+
+Those crossovers are protocol effects, captured here by four knobs per
+implementation: the per-message software overhead, the eager/rendezvous
+threshold, the rendezvous handshake cost, and how well the two
+shared-buffer copies of a rendezvous transfer are pipelined.
+
+Section 3.3 separately varies the *locking sub-layer* of LAM's shared-
+memory device: ``sysv`` (System V semaphores — two syscalls per lock
+operation, microseconds) against ``usysv`` (user-space spin locks,
+sub-microsecond).  The sub-layer cost is paid on every message enqueue/
+dequeue, which is why it dominates small-message benchmarks
+(RandomAccess, the latency plots of Figure 13) and is negligible for
+bandwidth-bound transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from ..machine.params import KB, PerfParams
+
+__all__ = [
+    "LockLayer",
+    "MpiImplementation",
+    "MPICH2",
+    "LAM",
+    "OPENMPI",
+    "IMPLEMENTATIONS",
+    "implementation_by_name",
+]
+
+
+@dataclass(frozen=True)
+class LockLayer:
+    """A queue-locking mechanism of the shared-memory transport."""
+
+    name: str
+
+    def cost(self, params: PerfParams) -> float:
+        """Seconds for one acquire/release pair."""
+        try:
+            return {
+                "sysv": params.sysv_lock_cost,
+                "usysv": params.usysv_lock_cost,
+                "pthread": params.pthread_lock_cost,
+            }[self.name]
+        except KeyError:
+            raise ValueError(f"unknown lock layer {self.name!r}") from None
+
+
+@dataclass(frozen=True)
+class MpiImplementation:
+    """Protocol parameters of one MPI shared-memory transport.
+
+    ``software_overhead`` is the per-message sender+receiver CPU cost;
+    ``eager_threshold`` switches eager (copy-in, later copy-out; the two
+    copies never overlap) to rendezvous (handshake, then a pipelined
+    bulk transfer whose effective copy count is ``2 - pipelining``);
+    ``copy_bandwidth_factor`` scales the machine's single-stream copy
+    bandwidth (implementation memcpy quality).
+    """
+
+    name: str
+    software_overhead: float
+    eager_threshold: int
+    rendezvous_overhead: float
+    pipelining: float
+    copy_bandwidth_factor: float = 1.0
+    default_lock: str = "usysv"
+
+    def __post_init__(self):
+        if not 0.0 <= self.pipelining <= 1.0:
+            raise ValueError("pipelining must be in [0, 1]")
+        if self.eager_threshold < 0:
+            raise ValueError("eager_threshold must be non-negative")
+
+    def is_eager(self, nbytes: int) -> bool:
+        """True when a message of this size uses the eager protocol."""
+        return nbytes <= self.eager_threshold
+
+    def copy_cost_factor(self, nbytes: int) -> float:
+        """Effective number of serialized buffer copies for the payload."""
+        if self.is_eager(nbytes):
+            return 2.0
+        return 2.0 - self.pipelining
+
+    def protocol_overhead(self, nbytes: int) -> float:
+        """Per-message software cost excluding locking and copies."""
+        if self.is_eager(nbytes):
+            return self.software_overhead
+        return self.software_overhead + self.rendezvous_overhead
+
+    def with_lock(self, lock: str) -> "MpiImplementation":
+        """Variant using a different default locking sub-layer."""
+        return replace(self, default_lock=lock)
+
+
+#: MPICH2 1.0.3 (nemesis-era shared memory): costly message setup, large
+#: rendezvous handshake, but the best-pipelined large-message path.
+MPICH2 = MpiImplementation(
+    name="MPICH2",
+    software_overhead=1.6e-6,
+    eager_threshold=16 * KB,
+    rendezvous_overhead=30e-6,
+    pipelining=0.65,
+    copy_bandwidth_factor=1.05,
+)
+
+#: LAM 7.1.2: leanest small-message path (best below 16 KB) with a large
+#: eager window, but a poorly pipelined rendezvous path for big payloads.
+LAM = MpiImplementation(
+    name="LAM",
+    software_overhead=0.45e-6,
+    eager_threshold=64 * KB,
+    rendezvous_overhead=2.0e-6,
+    pipelining=0.20,
+)
+
+#: OpenMPI 1.0.1: moderate overheads with an early rendezvous switch —
+#: the best intermediate-size performer.
+OPENMPI = MpiImplementation(
+    name="OpenMPI",
+    software_overhead=0.8e-6,
+    eager_threshold=4 * KB,
+    rendezvous_overhead=5e-6,
+    pipelining=0.55,
+)
+
+IMPLEMENTATIONS: Dict[str, MpiImplementation] = {
+    impl.name.lower(): impl for impl in (MPICH2, LAM, OPENMPI)
+}
+
+
+def implementation_by_name(name: str) -> MpiImplementation:
+    """Look up an implementation profile case-insensitively."""
+    try:
+        return IMPLEMENTATIONS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown MPI implementation {name!r}; "
+            f"choose from {sorted(IMPLEMENTATIONS)}"
+        ) from None

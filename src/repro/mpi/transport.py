@@ -1,0 +1,117 @@
+"""Shared-memory message transport through the machine's memory system.
+
+Every intra-node MPI message is one or two buffer copies: the sender
+copies its payload into a shared-memory buffer and the receiver copies
+it out.  Both copies are real DRAM traffic on the buffer's home NUMA
+node — which is how the MPI layer interacts with memory placement (the
+paper's observation that "the MPI sub-layer is affecting page
+placement", Section 3.3): the transport asks the active NUMA policy
+where each rank's buffer pages live.
+
+Copies are modeled as flows on the buffer node's memory controller
+(contending with application traffic), flows on the HT links crossed by
+the data, and a single-stream rate cap (a memcpy cannot exceed one
+core's copy bandwidth even on an idle controller).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..machine import Machine
+from ..sim import Event
+from .implementations import MpiImplementation
+
+__all__ = ["ShmTransport"]
+
+
+class ShmTransport:
+    """Copy engine for one MPI world."""
+
+    def __init__(self, machine: Machine, impl: MpiImplementation,
+                 buffer_node_of_rank: Dict[int, int]):
+        self.machine = machine
+        self.impl = impl
+        self.buffer_node_of_rank = dict(buffer_node_of_rank)
+
+    def buffer_node(self, sender_rank: int) -> int:
+        """Home NUMA node of ``sender_rank``'s shared send buffer."""
+        return self.buffer_node_of_rank[sender_rank]
+
+    def _stream_bandwidth(self, socket_a: int, socket_b: int) -> float:
+        """Single-stream copy bandwidth between a core and a buffer node."""
+        params = self.machine.spec.params
+        if socket_a == socket_b:
+            base = params.intra_socket_copy_bandwidth
+        else:
+            base = params.inter_socket_copy_bandwidth
+        return base * self.impl.copy_bandwidth_factor
+
+    def _copy(self, core_socket: int, buffer_node: int, nbytes: float,
+              copies: float) -> Event:
+        """``copies`` serialized buffer copies touching ``buffer_node``.
+
+        The event combines: controller occupancy (``nbytes * copies``),
+        HT link occupancy for the remote portion, and the single-stream
+        rate cap.
+        """
+        engine = self.machine.engine
+        if nbytes <= 0:
+            ev = Event(engine)
+            ev.succeed(engine.now)
+            return ev
+        stream_bw = self._stream_bandwidth(core_socket, buffer_node)
+        parts = [
+            self.machine.mem.controllers[buffer_node].transfer(nbytes * copies),
+            engine.timeout(nbytes * copies / stream_bw),
+        ]
+        if core_socket != buffer_node:
+            parts.append(
+                self.machine.net.transfer(core_socket, buffer_node, nbytes)
+            )
+        return engine.all_of(parts)
+
+    def copy_in(self, sender_socket: int, sender_rank: int,
+                nbytes: float) -> Event:
+        """Sender-side copy of the payload into the shared buffer."""
+        return self._copy(sender_socket, self.buffer_node(sender_rank),
+                          nbytes, copies=1.0)
+
+    def copy_out(self, receiver_socket: int, sender_rank: int,
+                 nbytes: float) -> Event:
+        """Receiver-side copy of the payload out of the shared buffer."""
+        return self._copy(receiver_socket, self.buffer_node(sender_rank),
+                          nbytes, copies=1.0)
+
+    def bulk(self, sender_socket: int, sender_rank: int,
+             receiver_socket: int, nbytes: float) -> Event:
+        """Rendezvous bulk transfer with protocol pipelining.
+
+        The effective copy count is ``2 - pipelining``: a perfectly
+        pipelined protocol overlaps copy-in and copy-out into roughly
+        one buffer traversal.  The slower endpoint sets the stream cap.
+        """
+        engine = self.machine.engine
+        if nbytes <= 0:
+            ev = Event(engine)
+            ev.succeed(engine.now)
+            return ev
+        buffer = self.buffer_node(sender_rank)
+        copies = self.impl.copy_cost_factor(nbytes)
+        stream_bw = min(
+            self._stream_bandwidth(sender_socket, buffer),
+            self._stream_bandwidth(receiver_socket, buffer),
+        )
+        parts = [
+            self.machine.mem.controllers[buffer].transfer(nbytes * copies),
+            engine.timeout(nbytes * copies / stream_bw),
+        ]
+        if sender_socket != buffer:
+            parts.append(self.machine.net.transfer(sender_socket, buffer, nbytes))
+        if receiver_socket != buffer:
+            parts.append(self.machine.net.transfer(buffer, receiver_socket, nbytes))
+        return engine.all_of(parts)
+
+    def wire_latency(self, sender_socket: int, receiver_socket: int) -> float:
+        """Pure propagation latency between the endpoints' sockets."""
+        return self.machine.net.path_latency(sender_socket, receiver_socket)

@@ -1,0 +1,35 @@
+"""NUMA memory-placement substrate.
+
+Page-placement policies matching Linux/`numactl` semantics (first-touch
+default, localalloc, membind, interleave), a 4 KB page table for
+page-granular validation, and a `numactl` front-end mirroring the CLI
+the paper drives its experiments with.
+"""
+
+from .numactl import NumactlConfig, parse_numactl
+from .numastat import NodeStats, numastat
+from .pages import PAGE_SIZE, PageTable, Region
+from .policy import (
+    FirstTouch,
+    Interleave,
+    LocalAlloc,
+    Membind,
+    MemoryPolicy,
+    Preferred,
+)
+
+__all__ = [
+    "MemoryPolicy",
+    "FirstTouch",
+    "LocalAlloc",
+    "Membind",
+    "Interleave",
+    "Preferred",
+    "PageTable",
+    "Region",
+    "PAGE_SIZE",
+    "NumactlConfig",
+    "parse_numactl",
+    "NodeStats",
+    "numastat",
+]

@@ -1,0 +1,148 @@
+"""A `numactl`-style front-end over the policy objects.
+
+The paper drives all placement through the ``numactl`` command
+(Section 2.1).  :class:`NumactlConfig` mirrors the CLI options the paper
+uses — ``--physcpubind``, ``--cpunodebind``, ``--localalloc``,
+``--membind``, ``--interleave`` — validates their combinations the same
+way the real tool does, and resolves to a
+:class:`~repro.numa.policy.MemoryPolicy` plus a CPU-binding constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from .policy import (
+    FirstTouch,
+    Interleave,
+    LocalAlloc,
+    Membind,
+    MemoryPolicy,
+    Preferred,
+)
+
+__all__ = ["NumactlConfig", "parse_numactl"]
+
+
+@dataclass(frozen=True)
+class NumactlConfig:
+    """One ``numactl`` invocation.
+
+    ``cpunodebind`` restricts execution to the cores of the listed NUMA
+    nodes; ``physcpubind`` restricts to explicit core ids (at most one of
+    the two may be given).  Exactly one memory policy option may be set.
+    An entirely-empty config is the "Default" scheme (no numactl).
+    """
+
+    cpunodebind: Optional[Tuple[int, ...]] = None
+    physcpubind: Optional[Tuple[int, ...]] = None
+    localalloc: bool = False
+    membind: Optional[Tuple[int, ...]] = None
+    interleave: Optional[Tuple[int, ...]] = None
+    preferred: Optional[int] = None
+
+    def __post_init__(self):
+        mem_opts = sum(
+            [bool(self.localalloc), self.membind is not None,
+             self.interleave is not None, self.preferred is not None]
+        )
+        if mem_opts > 1:
+            raise ValueError(
+                "numactl accepts at most one of "
+                "--localalloc/--membind/--interleave/--preferred"
+            )
+        if self.cpunodebind is not None and self.physcpubind is not None:
+            raise ValueError(
+                "numactl accepts at most one of --cpunodebind/--physcpubind"
+            )
+        # An empty interleave tuple means --interleave=all; every other
+        # id list must be non-empty.
+        for name in ("cpunodebind", "physcpubind", "membind"):
+            value = getattr(self, name)
+            if value is not None and len(value) == 0:
+                raise ValueError(f"--{name} requires at least one id")
+
+    @property
+    def binds_cpu(self) -> bool:
+        """True when the config restricts which cores may run the task."""
+        return self.cpunodebind is not None or self.physcpubind is not None
+
+    def memory_policy(self, default_remote_fraction: float = 0.0) -> MemoryPolicy:
+        """Resolve to a policy object.
+
+        ``default_remote_fraction`` is the scheduler-migration fraction
+        applied to the *default* (no option) policy for unbound tasks.
+        """
+        if self.localalloc:
+            return LocalAlloc()
+        if self.membind is not None:
+            return Membind(nodes=tuple(self.membind))
+        if self.interleave is not None:
+            return Interleave(nodes=tuple(self.interleave))
+        if self.preferred is not None:
+            return Preferred(node=self.preferred)
+        remote = 0.0 if self.binds_cpu else default_remote_fraction
+        return FirstTouch(remote_fraction=remote)
+
+    def command_line(self) -> str:
+        """The equivalent ``numactl`` invocation (for reports)."""
+        parts = ["numactl"]
+        if self.cpunodebind is not None:
+            parts.append("--cpunodebind=" + ",".join(map(str, self.cpunodebind)))
+        if self.physcpubind is not None:
+            parts.append("--physcpubind=" + ",".join(map(str, self.physcpubind)))
+        if self.localalloc:
+            parts.append("--localalloc")
+        if self.membind is not None:
+            parts.append("--membind=" + ",".join(map(str, self.membind)))
+        if self.interleave is not None:
+            nodes = ",".join(map(str, self.interleave)) or "all"
+            parts.append("--interleave=" + nodes)
+        if self.preferred is not None:
+            parts.append(f"--preferred={self.preferred}")
+        return " ".join(parts) if len(parts) > 1 else "(no numactl)"
+
+
+def _parse_ids(text: str) -> Tuple[int, ...]:
+    """Parse a numactl id list: ``0-3``, ``0,2,5``, ``all`` handled upstream."""
+    ids = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if "-" in chunk:
+            lo, hi = chunk.split("-", 1)
+            ids.extend(range(int(lo), int(hi) + 1))
+        else:
+            ids.append(int(chunk))
+    return tuple(ids)
+
+
+def parse_numactl(argv: Sequence[str]) -> NumactlConfig:
+    """Parse a ``numactl`` argument vector into a config.
+
+    Supports the option subset the paper uses.  ``--interleave=all``
+    maps to the empty tuple (resolved to all nodes at query time).
+    """
+    kwargs: dict = {}
+    for arg in argv:
+        if arg == "numactl":
+            continue
+        if arg == "--localalloc":
+            kwargs["localalloc"] = True
+            continue
+        if "=" not in arg:
+            raise ValueError(f"unsupported numactl argument {arg!r}")
+        opt, value = arg.split("=", 1)
+        if opt == "--interleave":
+            kwargs["interleave"] = () if value == "all" else _parse_ids(value)
+        elif opt == "--membind":
+            kwargs["membind"] = _parse_ids(value)
+        elif opt == "--cpunodebind":
+            kwargs["cpunodebind"] = _parse_ids(value)
+        elif opt == "--physcpubind":
+            kwargs["physcpubind"] = _parse_ids(value)
+        elif opt == "--preferred":
+            kwargs["preferred"] = int(value)
+        else:
+            raise ValueError(f"unsupported numactl option {opt!r}")
+    return NumactlConfig(**kwargs)

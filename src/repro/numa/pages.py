@@ -1,0 +1,136 @@
+"""Page-granular NUMA accounting.
+
+A :class:`PageTable` records, per task, which NUMA node each 4 KB page
+landed on.  The analytic executor uses policy-level traffic
+distributions instead, but the page table exists to validate that those
+distributions match a faithful page-by-page realization (see the
+property tests) and to support page-level experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .policy import MemoryPolicy
+
+__all__ = ["PAGE_SIZE", "Region", "PageTable"]
+
+PAGE_SIZE = 4096
+
+
+@dataclass
+class Region:
+    """One allocation: a run of pages with their home nodes."""
+
+    task: int
+    nbytes: int
+    page_nodes: List[int]
+
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_nodes)
+
+    def node_histogram(self) -> Dict[int, int]:
+        """Pages per home node."""
+        return dict(Counter(self.page_nodes))
+
+    def node_fractions(self) -> Dict[int, float]:
+        """Fraction of the region's pages on each node."""
+        total = self.num_pages
+        return {n: c / total for n, c in self.node_histogram().items()}
+
+
+@dataclass
+class PageTable:
+    """All regions of a simulated address space, grouped by task."""
+
+    num_nodes: int
+    regions: List[Region] = field(default_factory=list)
+    _next_page_index: Dict[int, int] = field(default_factory=dict)
+
+    def allocate(self, task: int, nbytes: int, toucher_node: int,
+                 policy: MemoryPolicy) -> Region:
+        """Touch ``nbytes`` of fresh memory from ``toucher_node``.
+
+        Page indices continue across a task's allocations so round-robin
+        policies interleave correctly across regions.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {nbytes}")
+        num_pages = -(-nbytes // PAGE_SIZE)  # ceil division
+        start = self._next_page_index.get(task, 0)
+        nodes = [
+            policy.place_page(toucher_node, start + i, self.num_nodes)
+            for i in range(num_pages)
+        ]
+        self._next_page_index[task] = start + num_pages
+        region = Region(task=task, nbytes=nbytes, page_nodes=nodes)
+        self.regions.append(region)
+        return region
+
+    def task_regions(self, task: int) -> List[Region]:
+        """All regions allocated by one task."""
+        return [r for r in self.regions if r.task == task]
+
+    def task_fractions(self, task: int) -> Dict[int, float]:
+        """Aggregate node fractions over all of a task's pages."""
+        counts: Counter = Counter()
+        for region in self.task_regions(task):
+            counts.update(region.node_histogram())
+        total = sum(counts.values())
+        if total == 0:
+            return {}
+        return {n: c / total for n, c in counts.items()}
+
+    def node_load(self) -> Dict[int, int]:
+        """Total pages resident on each node (hotspot detection)."""
+        counts: Counter = Counter()
+        for region in self.regions:
+            counts.update(region.node_histogram())
+        return dict(counts)
+
+    def mbind(self, region: Region, policy: MemoryPolicy,
+              toucher_node: int) -> int:
+        """Linux ``mbind(2)`` with MPOL_MF_MOVE: re-place an existing region.
+
+        The region's pages are re-assigned as if the new policy had
+        governed the original touches (page indices restart at the
+        region boundary, matching the syscall's per-VMA scope).
+        Returns the number of pages whose home node changed.
+        """
+        if region not in self.regions:
+            raise ValueError("region does not belong to this page table")
+        moved = 0
+        for i in range(region.num_pages):
+            new_node = policy.place_page(toucher_node, i, self.num_nodes)
+            if region.page_nodes[i] != new_node:
+                region.page_nodes[i] = new_node
+                moved += 1
+        return moved
+
+    def migrate_pages(self, task: int, from_nodes: List[int],
+                      to_nodes: List[int]) -> int:
+        """Linux ``migrate_pages(2)`` semantics: move a task's pages.
+
+        Every page of ``task`` resident on ``from_nodes[i]`` moves to
+        ``to_nodes[i]`` (the two lists pair up, like the syscall's old/
+        new node masks).  Returns the number of pages moved.
+        """
+        if len(from_nodes) != len(to_nodes):
+            raise ValueError("from_nodes and to_nodes must pair up")
+        mapping = {}
+        for src, dst in zip(from_nodes, to_nodes):
+            for node in (src, dst):
+                if not 0 <= node < self.num_nodes:
+                    raise ValueError(f"node {node} outside "
+                                     f"[0, {self.num_nodes})")
+            mapping[src] = dst
+        moved = 0
+        for region in self.task_regions(task):
+            for i, node in enumerate(region.page_nodes):
+                if node in mapping:
+                    region.page_nodes[i] = mapping[node]
+                    moved += 1
+        return moved

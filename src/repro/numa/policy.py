@@ -1,0 +1,241 @@
+"""NUMA page-placement policies.
+
+These mirror the Linux/`numactl` semantics the paper exercises
+(Section 2.1 and Table 5):
+
+* :class:`FirstTouch` — the kernel default: a page lands on the node of
+  the CPU that first touches it.  For unbound runs the scheduler may
+  migrate the task afterwards, leaving a fraction of its pages remote;
+  the scheme layer injects that fraction.
+* :class:`LocalAlloc` — ``numactl --localalloc``: allocate on the node
+  running the allocation.  Combined with CPU binding this pins every
+  page local.
+* :class:`Membind` — ``numactl --membind=<nodes>``: *force* pages onto a
+  fixed node set regardless of where the task runs.  The paper found
+  this the worst performer; binding every task's memory to a small node
+  set turns those controllers into hotspots and makes most accesses
+  remote.
+* :class:`Interleave` — ``numactl --interleave=<nodes>``: round-robin
+  pages across the node set, trading locality for load spreading.
+
+Each policy answers two queries: the *page-granular* decision
+(:meth:`place_page`, used by the page-table allocator) and the
+*aggregate* node-fraction distribution of a task's traffic
+(:meth:`traffic_distribution`, used by the analytic fast path).  A
+property test asserts the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+__all__ = [
+    "MemoryPolicy",
+    "FirstTouch",
+    "LocalAlloc",
+    "Membind",
+    "Interleave",
+    "Preferred",
+]
+
+
+class MemoryPolicy:
+    """Base class for page-placement policies."""
+
+    #: short name used in reports (matches numactl vocabulary)
+    name: str = "policy"
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        """Home node for the ``page_index``-th page touched from ``toucher_node``."""
+        raise NotImplementedError
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        """Fraction of a task's memory traffic landing on each node."""
+        raise NotImplementedError
+
+    def _validate(self, toucher_node: int, num_nodes: int) -> None:
+        if not 0 <= toucher_node < num_nodes:
+            raise ValueError(
+                f"toucher node {toucher_node} outside [0, {num_nodes})"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+@dataclass(frozen=True, repr=False)
+class FirstTouch(MemoryPolicy):
+    """Kernel default: pages land where first touched.
+
+    ``remote_fraction`` models post-allocation scheduler migration for
+    unbound tasks: that fraction of traffic is spread uniformly over the
+    other nodes (zero for bound tasks).
+    """
+
+    remote_fraction: float = 0.0
+    name: str = "default"
+
+    def __post_init__(self):
+        if not 0.0 <= self.remote_fraction < 1.0:
+            raise ValueError("remote_fraction must be in [0, 1)")
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        self._validate(toucher_node, num_nodes)
+        if num_nodes == 1 or self.remote_fraction == 0.0:
+            return toucher_node
+        # Deterministic realization of the migration fraction: every
+        # k-th page is displaced, cycling over the other nodes.
+        period = max(1, round(1.0 / self.remote_fraction))
+        if page_index % period == period - 1:
+            others = [n for n in range(num_nodes) if n != toucher_node]
+            return others[(page_index // period) % len(others)]
+        return toucher_node
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        self._validate(home_node, num_nodes)
+        if num_nodes == 1 or self.remote_fraction == 0.0:
+            return {home_node: 1.0}
+        spread = self.remote_fraction / (num_nodes - 1)
+        dist = {n: spread for n in range(num_nodes) if n != home_node}
+        dist[home_node] = 1.0 - self.remote_fraction
+        return dist
+
+
+@dataclass(frozen=True, repr=False)
+class LocalAlloc(MemoryPolicy):
+    """``--localalloc``: always allocate on the toucher's node."""
+
+    name: str = "localalloc"
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        self._validate(toucher_node, num_nodes)
+        return toucher_node
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        self._validate(home_node, num_nodes)
+        return {home_node: 1.0}
+
+
+@dataclass(frozen=True, repr=False)
+class Membind(MemoryPolicy):
+    """``--membind=<nodes>``: force pages onto a fixed node set."""
+
+    nodes: Tuple[int, ...] = (0,)
+    name: str = "membind"
+
+    def __post_init__(self):
+        if not self.nodes:
+            raise ValueError("membind requires at least one node")
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("membind node set contains duplicates")
+
+    def _check_nodes(self, num_nodes: int) -> None:
+        bad = [n for n in self.nodes if not 0 <= n < num_nodes]
+        if bad:
+            raise ValueError(f"membind nodes {bad} outside [0, {num_nodes})")
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        self._validate(toucher_node, num_nodes)
+        self._check_nodes(num_nodes)
+        # Allocation fills the bound set round-robin (the kernel fills
+        # the first node until pressure, but round-robin is the steady
+        # state for concurrent tasks and keeps the model deterministic).
+        return self.nodes[page_index % len(self.nodes)]
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        self._validate(home_node, num_nodes)
+        self._check_nodes(num_nodes)
+        share = 1.0 / len(self.nodes)
+        return {n: share for n in self.nodes}
+
+
+@dataclass(frozen=True, repr=False)
+class Preferred(MemoryPolicy):
+    """``--preferred=<node>``: allocate on one node, spill elsewhere.
+
+    Unlike ``--membind`` the kernel falls back to other nodes under
+    memory pressure instead of failing; ``spill_fraction`` models the
+    share of the task's pages that did not fit on the preferred node
+    (spread uniformly over the others).
+    """
+
+    node: int = 0
+    spill_fraction: float = 0.0
+    name: str = "preferred"
+
+    def __post_init__(self):
+        if self.node < 0:
+            raise ValueError("preferred node must be non-negative")
+        if not 0.0 <= self.spill_fraction < 1.0:
+            raise ValueError("spill_fraction must be in [0, 1)")
+
+    def _check(self, num_nodes: int) -> None:
+        if self.node >= num_nodes:
+            raise ValueError(
+                f"preferred node {self.node} outside [0, {num_nodes})"
+            )
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        self._validate(toucher_node, num_nodes)
+        self._check(num_nodes)
+        if num_nodes == 1 or self.spill_fraction == 0.0:
+            return self.node
+        period = max(1, round(1.0 / self.spill_fraction))
+        if page_index % period == period - 1:
+            others = [n for n in range(num_nodes) if n != self.node]
+            return others[(page_index // period) % len(others)]
+        return self.node
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        self._validate(home_node, num_nodes)
+        self._check(num_nodes)
+        if num_nodes == 1 or self.spill_fraction == 0.0:
+            return {self.node: 1.0}
+        spread = self.spill_fraction / (num_nodes - 1)
+        dist = {n: spread for n in range(num_nodes) if n != self.node}
+        dist[self.node] = 1.0 - self.spill_fraction
+        return dist
+
+
+@dataclass(frozen=True, repr=False)
+class Interleave(MemoryPolicy):
+    """``--interleave=<nodes>``: round-robin pages over the node set.
+
+    An empty ``nodes`` tuple means "all nodes" (the common
+    ``--interleave=all`` invocation), resolved at query time.
+    """
+
+    nodes: Tuple[int, ...] = ()
+    name: str = "interleave"
+
+    def _node_set(self, num_nodes: int) -> Sequence[int]:
+        if not self.nodes:
+            return range(num_nodes)
+        bad = [n for n in self.nodes if not 0 <= n < num_nodes]
+        if bad:
+            raise ValueError(f"interleave nodes {bad} outside [0, {num_nodes})")
+        return self.nodes
+
+    def place_page(self, toucher_node: int, page_index: int,
+                   num_nodes: int) -> int:
+        self._validate(toucher_node, num_nodes)
+        nodes = self._node_set(num_nodes)
+        return nodes[page_index % len(nodes)]
+
+    def traffic_distribution(self, home_node: int,
+                             num_nodes: int) -> Dict[int, float]:
+        self._validate(home_node, num_nodes)
+        nodes = self._node_set(num_nodes)
+        share = 1.0 / len(nodes)
+        return {n: share for n in nodes}

@@ -1,0 +1,11 @@
+"""OpenMP-style intra-socket threading (the paper's proposed hybrid model).
+
+Supplies thread teams and fork/join costs; threaded compute slices are
+expressed by setting ``threads`` on :class:`repro.core.ops.Compute`,
+and :mod:`repro.workloads.hybrid` builds hybrid MPI+OpenMP variants of
+the NAS kernels.
+"""
+
+from .threading import ThreadTeam, fork_join_cost
+
+__all__ = ["ThreadTeam", "fork_join_cost"]

@@ -1,0 +1,78 @@
+"""Intra-process threading model (OpenMP-style parallel regions).
+
+The paper's conclusion proposes a programming model that uses "OpenMP
+only within each multi-core processor, and MPI for communication both
+between processor sockets and between system nodes" as the best match
+for the three classes of communication channel it identifies
+(Section 3.4).  This module supplies the missing substrate: a thread
+team bound to the cores of one socket, executing compute slices with
+fork/join overhead and shared-memory-link semantics.
+
+A threaded :class:`~repro.core.ops.Compute` divides its flop and
+latency work across the team while its DRAM traffic becomes a
+weight-``T`` flow on the socket's controller — T streams from one
+socket contend exactly like T single-threaded processes would, so the
+model preserves the paper's bandwidth findings while eliminating
+intra-socket MPI messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..machine.topology import MachineSpec
+
+__all__ = ["ThreadTeam", "fork_join_cost"]
+
+#: base cost of waking one worker thread for a parallel region (seconds)
+_FORK_BASE = 0.9e-6
+#: per-doubling barrier cost at region end (tree barrier)
+_JOIN_STEP = 0.35e-6
+
+
+def fork_join_cost(threads: int) -> float:
+    """Fork/join overhead of one parallel region with ``threads`` workers.
+
+    A fork wakes workers in a tree (log T steps) and the closing
+    barrier costs another log T; single-threaded regions are free.
+    """
+    if threads < 1:
+        raise ValueError(f"threads must be >= 1, got {threads}")
+    if threads == 1:
+        return 0.0
+    steps = math.ceil(math.log2(threads))
+    return _FORK_BASE + (steps * (_FORK_BASE + _JOIN_STEP))
+
+
+@dataclass(frozen=True)
+class ThreadTeam:
+    """A team of OpenMP threads owned by one MPI rank.
+
+    ``threads`` may not exceed the cores available to the rank on its
+    socket — the paper's proposal explicitly scopes OpenMP to one
+    multi-core processor.
+    """
+
+    threads: int
+
+    def __post_init__(self):
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+
+    def validate_for(self, spec: MachineSpec) -> None:
+        """Check the team fits within one socket of ``spec``."""
+        if self.threads > spec.cores_per_socket:
+            raise ValueError(
+                f"team of {self.threads} threads exceeds the "
+                f"{spec.cores_per_socket} cores of a {spec.name} socket"
+            )
+
+    @property
+    def region_overhead(self) -> float:
+        """Fork/join cost of one parallel region."""
+        return fork_join_cost(self.threads)
+
+    def speedup_for_flops(self) -> float:
+        """Parallel-region flop speedup (ideal within a socket)."""
+        return float(self.threads)

@@ -1,0 +1,137 @@
+"""`sched_setaffinity` / `taskset`-style CPU masks.
+
+Section 2.1 notes that besides ``numactl``, "recent Linux kernels also
+contain system calls such as sched_setaffinity to set processor
+affinity".  This module emulates that interface: CPU sets with mask
+semantics, a per-task registry, and a bridge that turns registered
+masks into a :class:`~repro.osmodel.placement.Placement` the runtime
+can execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List
+
+from ..machine.topology import MachineSpec
+from .placement import Placement
+
+__all__ = ["CpuSet", "AffinityRegistry", "parse_cpu_list"]
+
+
+def parse_cpu_list(text: str) -> "CpuSet":
+    """Parse a taskset-style CPU list: ``"0,2,4-7"`` or hex ``"0xf"``."""
+    text = text.strip()
+    if text.lower().startswith("0x"):
+        return CpuSet.from_mask(int(text, 16))
+    cpus: List[int] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            raise ValueError(f"empty element in CPU list {text!r}")
+        if "-" in chunk:
+            lo, hi = chunk.split("-", 1)
+            if int(hi) < int(lo):
+                raise ValueError(f"descending range {chunk!r}")
+            cpus.extend(range(int(lo), int(hi) + 1))
+        else:
+            cpus.append(int(chunk))
+    return CpuSet(cpus)
+
+
+class CpuSet:
+    """An immutable set of CPU ids with cpu_set_t mask semantics."""
+
+    def __init__(self, cpus: Iterable[int]):
+        frozen = frozenset(int(c) for c in cpus)
+        if not frozen:
+            raise ValueError("a CPU set may not be empty")
+        if any(c < 0 for c in frozen):
+            raise ValueError("CPU ids must be non-negative")
+        self._cpus: FrozenSet[int] = frozen
+
+    @classmethod
+    def from_mask(cls, mask: int) -> "CpuSet":
+        """Build from a bitmask (bit i set = CPU i allowed)."""
+        if mask <= 0:
+            raise ValueError(f"mask must be positive, got {mask:#x}")
+        return cls(i for i in range(mask.bit_length()) if mask >> i & 1)
+
+    def to_mask(self) -> int:
+        """The equivalent bitmask."""
+        mask = 0
+        for cpu in self._cpus:
+            mask |= 1 << cpu
+        return mask
+
+    def cpus(self) -> List[int]:
+        """Sorted CPU ids."""
+        return sorted(self._cpus)
+
+    def __contains__(self, cpu: int) -> bool:
+        return cpu in self._cpus
+
+    def __len__(self) -> int:
+        return len(self._cpus)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CpuSet) and self._cpus == other._cpus
+
+    def __hash__(self) -> int:
+        return hash(self._cpus)
+
+    def __and__(self, other: "CpuSet") -> "CpuSet":
+        overlap = self._cpus & other._cpus
+        if not overlap:
+            raise ValueError("CPU sets do not intersect")
+        return CpuSet(overlap)
+
+    def __or__(self, other: "CpuSet") -> "CpuSet":
+        return CpuSet(self._cpus | other._cpus)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CpuSet({self.cpus()})"
+
+
+class AffinityRegistry:
+    """Tracks per-task CPU masks against one machine, like the kernel."""
+
+    def __init__(self, spec: MachineSpec):
+        self.spec = spec
+        self._masks: Dict[int, CpuSet] = {}
+        self._all = CpuSet(range(spec.total_cores))
+
+    def sched_setaffinity(self, task: int, cpuset: CpuSet) -> None:
+        """Restrict ``task`` to ``cpuset`` (must be valid CPUs)."""
+        invalid = [c for c in cpuset.cpus() if c >= self.spec.total_cores]
+        if invalid:
+            raise ValueError(
+                f"CPUs {invalid} do not exist on {self.spec.name} "
+                f"({self.spec.total_cores} cores)"
+            )
+        self._masks[task] = cpuset
+
+    def sched_getaffinity(self, task: int) -> CpuSet:
+        """Current mask of ``task`` (all CPUs if never restricted)."""
+        return self._masks.get(task, self._all)
+
+    def to_placement(self, tasks: Iterable[int]) -> Placement:
+        """Assign each task the lowest free CPU in its mask.
+
+        This mirrors how MPI launch wrappers of the era pinned ranks:
+        deterministic first-fit over the allowed set.  Raises when two
+        tasks' masks cannot be satisfied simultaneously.
+        """
+        chosen: List[int] = []
+        used: set = set()
+        task_list = list(tasks)
+        for task in task_list:
+            mask = self.sched_getaffinity(task)
+            free = [c for c in mask.cpus() if c not in used]
+            if not free:
+                raise ValueError(
+                    f"no free CPU for task {task} within {mask.cpus()}"
+                )
+            chosen.append(free[0])
+            used.add(free[0])
+        return Placement(tuple(chosen), self.spec.cores_per_socket,
+                         bound=True)

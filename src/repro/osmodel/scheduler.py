@@ -1,0 +1,67 @@
+"""Linux scheduler model for unbound runs.
+
+The paper's "Default" configuration lets the 2.6 kernel place and
+occasionally migrate tasks.  Two first-order consequences matter for the
+characterization:
+
+* the kernel's load balancer initially spreads runnable tasks across
+  sockets (so the Default column behaves close to one-task-per-socket at
+  low task counts), and
+* migrations after first-touch leave a fraction of each task's pages
+  remote — the :class:`~repro.numa.policy.FirstTouch` policy's
+  ``remote_fraction`` — which is why Default trails "One MPI + Local
+  Alloc" slightly on Longs (Table 2).
+
+"Parked" processes (Figures 16–17: extra processes that exist but do not
+communicate) occupy cores and raise the effective migration noise of the
+active tasks; :meth:`SchedulerModel.noise_factor` models that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.topology import MachineSpec
+from .placement import Placement, spread
+
+__all__ = ["SchedulerModel"]
+
+
+@dataclass(frozen=True)
+class SchedulerModel:
+    """Deterministic model of default-kernel task placement."""
+
+    spec: MachineSpec
+
+    def default_placement(self, ntasks: int, parked: int = 0) -> Placement:
+        """Where the load balancer puts ``ntasks`` runnable tasks.
+
+        ``parked`` extra idle-but-present processes are placed after the
+        active ones (they matter only through :meth:`remote_fraction`).
+        """
+        total = ntasks + parked
+        if total > self.spec.total_cores:
+            raise ValueError(
+                f"{total} processes oversubscribe {self.spec.total_cores} cores"
+            )
+        placement = spread(self.spec, total, bound=False)
+        return Placement(
+            placement.core_of_rank[:ntasks],
+            self.spec.cores_per_socket,
+            bound=False,
+        )
+
+    def remote_fraction(self, parked: int = 0) -> float:
+        """Expected remote-page fraction for an unbound task.
+
+        Parked processes give the balancer more reasons to migrate, so
+        each parked process adds half of the base migration fraction.
+        """
+        base = self.spec.params.migration_remote_fraction
+        return min(0.9, base * (1.0 + 0.5 * parked))
+
+    def oversubscription_penalty(self, tasks_on_core: int) -> float:
+        """Multiplier on runtime when a core time-shares tasks."""
+        if tasks_on_core < 1:
+            raise ValueError("tasks_on_core must be >= 1")
+        return float(tasks_on_core)

@@ -1,0 +1,30 @@
+"""Discrete-event simulation engine.
+
+A compact, deterministic simpy-style kernel: generator-coroutine
+processes, one-shot events, counting semaphores, FIFO stores, and
+fluid-flow bandwidth sharing.  All timing effects in the machine model —
+memory-link contention, HyperTransport congestion, MPI message overlap —
+are expressed through these primitives.
+"""
+
+from .engine import EmptySchedule, Engine
+from .events import AllOf, AnyOf, Event, Interrupt, Timeout
+from .process import Process
+from .resources import BandwidthResource, Resource, Store
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "Engine",
+    "EmptySchedule",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "Store",
+    "BandwidthResource",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,75 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects timestamped records emitted by model
+components (compute phases, message sends, page allocations).  Traces are
+cheap append-only lists of :class:`TraceRecord`; analysis helpers
+aggregate them into the per-phase summaries the characterization toolkit
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry.
+
+    ``time``/``duration`` are simulated seconds; ``category`` is a short
+    tag (``"compute"``, ``"send"``, ``"page_alloc"`` ...); ``rank`` is the
+    MPI rank or ``-1`` for system events; ``detail`` carries free-form
+    fields.
+    """
+
+    time: float
+    category: str
+    rank: int = -1
+    duration: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """Append-only trace sink with simple aggregation queries."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def emit(self, time: float, category: str, rank: int = -1,
+             duration: float = 0.0, **detail: Any) -> None:
+        """Record one event (no-op when tracing is disabled)."""
+        if self.enabled:
+            self.records.append(
+                TraceRecord(time=time, category=category, rank=rank,
+                            duration=duration, detail=detail)
+            )
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def by_category(self, category: str) -> List[TraceRecord]:
+        """All records with the given category tag."""
+        return [r for r in self.records if r.category == category]
+
+    def by_rank(self, rank: int) -> List[TraceRecord]:
+        """All records emitted on behalf of ``rank``."""
+        return [r for r in self.records if r.rank == rank]
+
+    def total_time(self, category: str, rank: Optional[int] = None) -> float:
+        """Sum of durations for a category (optionally one rank only)."""
+        return sum(
+            r.duration
+            for r in self.records
+            if r.category == category and (rank is None or r.rank == rank)
+        )
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

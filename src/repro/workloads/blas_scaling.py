@@ -1,0 +1,66 @@
+"""BLAS level 1/3 scaling workloads (Figures 4–7).
+
+Each rank repeatedly executes its own DAXPY or DGEMM instance
+("embarrassingly parallel", like running one benchmark binary per
+core).  ``vendor=True`` models the ACML library, ``vendor=False`` the
+"vanilla" compiled loop — the paper's Figures 4/6 vs. 5/7 contrast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.ops import Barrier, Op
+from ..core.workload import Workload
+from ..kernels import blas
+
+__all__ = ["DaxpyBench", "DgemmBench"]
+
+
+class DaxpyBench(Workload):
+    """Per-rank DAXPY sweeps of length ``n``."""
+
+    def __init__(self, ntasks: int, n: int, vendor: bool = True,
+                 repeats: int = 50):
+        if n < 1 or repeats < 1:
+            raise ValueError("n and repeats must be positive")
+        self.ntasks = ntasks
+        self.n = n
+        self.vendor = vendor
+        self.repeats = repeats
+        flavor = "acml" if vendor else "vanilla"
+        self.name = f"daxpy-{flavor}[n={n},p={ntasks}]"
+
+    @property
+    def flops_per_task(self) -> float:
+        """Total DAXPY flops each rank performs."""
+        return blas.daxpy_flops(self.n) * self.repeats
+
+    def program(self, rank: int) -> Iterator[Op]:
+        yield Barrier()
+        yield blas.daxpy_model(self.n, vendor=self.vendor,
+                               repeats=self.repeats, phase="daxpy")
+        yield Barrier()
+
+
+class DgemmBench(Workload):
+    """Per-rank n×n DGEMM."""
+
+    def __init__(self, ntasks: int, n: int, vendor: bool = True):
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.ntasks = ntasks
+        self.n = n
+        self.vendor = vendor
+        flavor = "acml" if vendor else "vanilla"
+        self.name = f"dgemm-{flavor}[n={n},p={ntasks}]"
+
+    @property
+    def flops_per_task(self) -> float:
+        """Total DGEMM flops each rank performs."""
+        return blas.dgemm_flops(self.n)
+
+    def program(self, rank: int) -> Iterator[Op]:
+        yield Barrier()
+        yield blas.dgemm_model(self.n, vendor=self.vendor, phase="dgemm")
+        yield Barrier()

@@ -1,0 +1,43 @@
+"""LMbench3 STREAM scaling workload (Figures 2 and 3).
+
+Every active rank sweeps the triad over its private arrays; aggregate
+and per-core bandwidth follow from the phase time.  The paper activates
+one core per socket first, then the second cores — that policy lives in
+the affinity layer (:func:`repro.osmodel.spread`), which the Default
+and One-MPI schemes both realize.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.ops import Barrier, Op
+from ..core.workload import Workload
+from ..kernels import stream
+
+__all__ = ["StreamTriad", "triad_bytes_moved"]
+
+
+class StreamTriad(Workload):
+    """Concurrent STREAM triad on every rank (lmbench bw_mem style)."""
+
+    def __init__(self, ntasks: int, elements_per_task: int = 4_000_000,
+                 passes: int = 10):
+        if elements_per_task < 1 or passes < 1:
+            raise ValueError("elements_per_task and passes must be positive")
+        self.ntasks = ntasks
+        self.elements_per_task = elements_per_task
+        self.passes = passes
+        self.name = f"stream-triad[{ntasks}]"
+
+    def program(self, rank: int) -> Iterator[Op]:
+        yield Barrier()
+        yield stream.triad_model(self.elements_per_task, passes=self.passes,
+                                 phase="triad")
+        yield Barrier()
+
+
+def triad_bytes_moved(workload: StreamTriad) -> float:
+    """Total DRAM bytes the triad phase moves across all ranks."""
+    return (stream.BYTES_PER_ELEMENT["triad"] * workload.elements_per_task
+            * workload.passes * workload.ntasks)

@@ -1,0 +1,116 @@
+"""Tests for the sched_setaffinity-style CPU mask API."""
+
+import pytest
+
+from repro.machine import dmz, longs
+from repro.osmodel import AffinityRegistry, CpuSet, parse_cpu_list
+
+
+# -- CpuSet ---------------------------------------------------------------
+
+def test_cpuset_basic_roundtrip():
+    cpus = CpuSet([0, 2, 3])
+    assert cpus.cpus() == [0, 2, 3]
+    assert cpus.to_mask() == 0b1101
+    assert CpuSet.from_mask(0b1101) == cpus
+
+
+def test_cpuset_membership_and_len():
+    cpus = CpuSet([1, 5])
+    assert 5 in cpus and 0 not in cpus
+    assert len(cpus) == 2
+
+
+def test_cpuset_validation():
+    with pytest.raises(ValueError):
+        CpuSet([])
+    with pytest.raises(ValueError):
+        CpuSet([-1])
+    with pytest.raises(ValueError):
+        CpuSet.from_mask(0)
+
+
+def test_cpuset_set_algebra():
+    a, b = CpuSet([0, 1, 2]), CpuSet([2, 3])
+    assert (a & b).cpus() == [2]
+    assert (a | b).cpus() == [0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        CpuSet([0]) & CpuSet([1])
+
+
+def test_cpuset_hashable():
+    assert len({CpuSet([0, 1]), CpuSet([1, 0])}) == 1
+
+
+# -- parse_cpu_list -----------------------------------------------------------
+
+def test_parse_cpu_list_forms():
+    assert parse_cpu_list("0,2,4-6").cpus() == [0, 2, 4, 5, 6]
+    assert parse_cpu_list("0xf").cpus() == [0, 1, 2, 3]
+    assert parse_cpu_list("3").cpus() == [3]
+
+
+def test_parse_cpu_list_errors():
+    with pytest.raises(ValueError):
+        parse_cpu_list("5-2")
+    with pytest.raises(ValueError):
+        parse_cpu_list("1,,2")
+
+
+# -- AffinityRegistry ------------------------------------------------------------
+
+def test_registry_default_mask_is_all_cpus():
+    registry = AffinityRegistry(dmz())
+    assert registry.sched_getaffinity(42).cpus() == [0, 1, 2, 3]
+
+
+def test_registry_set_and_get():
+    registry = AffinityRegistry(dmz())
+    registry.sched_setaffinity(1, CpuSet([2]))
+    assert registry.sched_getaffinity(1).cpus() == [2]
+
+
+def test_registry_rejects_nonexistent_cpus():
+    registry = AffinityRegistry(dmz())
+    with pytest.raises(ValueError):
+        registry.sched_setaffinity(1, CpuSet([7]))
+
+
+def test_registry_builds_placement_first_fit():
+    spec = longs()
+    registry = AffinityRegistry(spec)
+    registry.sched_setaffinity(100, parse_cpu_list("4-5"))
+    registry.sched_setaffinity(101, parse_cpu_list("4-5"))
+    placement = registry.to_placement([100, 101])
+    assert placement.core_of_rank == (4, 5)
+    assert placement.socket_of_rank(0) == 2
+    assert placement.bound
+
+
+def test_registry_placement_conflict_detected():
+    registry = AffinityRegistry(dmz())
+    registry.sched_setaffinity(1, CpuSet([0]))
+    registry.sched_setaffinity(2, CpuSet([0]))
+    with pytest.raises(ValueError):
+        registry.to_placement([1, 2])
+
+
+def test_registry_placement_runs_in_model():
+    """Masks -> placement -> simulation end to end."""
+    from repro.core import AffinityScheme, JobRunner, ResolvedAffinity
+    from repro.core.affinity import resolve_scheme
+    from repro.numa import LocalAlloc
+    from repro.workloads import StreamTriad
+
+    spec = dmz()
+    registry = AffinityRegistry(spec)
+    registry.sched_setaffinity(0, CpuSet([0]))
+    registry.sched_setaffinity(1, CpuSet([2]))
+    placement = registry.to_placement([0, 1])
+    affinity = ResolvedAffinity(
+        scheme=AffinityScheme.DEFAULT, spec=spec, placement=placement,
+        policies=(LocalAlloc(), LocalAlloc()),
+        numactl=resolve_scheme(AffinityScheme.DEFAULT, spec, 2).numactl,
+    )
+    result = JobRunner(spec, affinity).run(StreamTriad(2, 100_000, passes=2))
+    assert result.wall_time > 0

@@ -1,0 +1,125 @@
+"""Tests for post-run analysis and timeline rendering."""
+
+import pytest
+
+from repro.core import (
+    AffinityScheme,
+    Allreduce,
+    Compute,
+    JobRunner,
+    Workload,
+    analyze,
+    render_timeline,
+    resolve_scheme,
+)
+from repro.machine import GB, dmz, longs
+from repro.sim import Tracer
+
+
+class MixedWorkload(Workload):
+    name = "mixed"
+
+    def __init__(self, ntasks=2, mem_heavy=False):
+        self.ntasks = ntasks
+        self.mem_heavy = mem_heavy
+
+    def program(self, rank):
+        if self.mem_heavy:
+            yield Compute(dram_bytes=2 * GB, working_set=2 * GB)
+        else:
+            yield Compute(flops=5e9, flop_efficiency=0.9)
+        yield Allreduce(nbytes=1024)
+
+
+def run_with_runner(spec, workload, scheme=AffinityScheme.TWO_MPI_LOCAL,
+                    trace=False):
+    affinity = resolve_scheme(scheme, spec, workload.ntasks)
+    runner = JobRunner(spec, affinity, trace=trace)
+    return runner, runner.run(workload)
+
+
+# -- analysis -------------------------------------------------------------------
+
+def test_analyze_memory_bound_classification():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2, mem_heavy=True))
+    report = analyze(runner, result)
+    assert report.classify() == "memory"
+    node, util = report.hottest_controller
+    assert util > 0.5
+
+
+def test_analyze_compute_bound_classification():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2, mem_heavy=False))
+    report = analyze(runner, result)
+    assert report.classify() == "compute"
+
+
+def test_analyze_fractions_sane():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2))
+    report = analyze(runner, result)
+    assert 0.0 < report.category_fractions["compute"] <= 1.0
+    assert "comm" in report.category_fractions
+
+
+def test_analyze_reports_links_on_remote_traffic():
+    spec = longs()
+    runner, result = run_with_runner(spec, MixedWorkload(4, mem_heavy=True),
+                                     AffinityScheme.INTERLEAVE)
+    report = analyze(runner, result)
+    _edge, util = report.hottest_link
+    assert util > 0.0
+
+
+def test_analyze_before_run_raises():
+    spec = dmz()
+    affinity = resolve_scheme(AffinityScheme.DEFAULT, spec, 2)
+    runner = JobRunner(spec, affinity)
+    with pytest.raises(ValueError):
+        analyze(runner, None)  # engine has not advanced
+
+
+def test_report_to_table_renders():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2, mem_heavy=True))
+    text = analyze(runner, result).to_table().to_text()
+    assert "memory controller 0" in text
+    assert "memory-bound" in text
+
+
+# -- timeline --------------------------------------------------------------------
+
+def test_timeline_requires_trace():
+    assert "no op-level trace" in render_timeline(Tracer(enabled=True))
+
+
+def test_timeline_renders_lanes():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2), trace=True)
+    text = render_timeline(runner.machine.tracer)
+    assert "rank   0" in text and "rank   1" in text
+    assert "#" in text  # compute glyph present
+
+
+def test_timeline_marks_communication():
+    class CommHeavy(Workload):
+        name = "commheavy"
+        ntasks = 2
+
+        def program(self, rank):
+            for _ in range(3):
+                yield Compute(flops=1e8, flop_efficiency=0.9)
+                yield Allreduce(nbytes=4 << 20)
+
+    runner, result = run_with_runner(dmz(), CommHeavy(), trace=True)
+    text = render_timeline(runner.machine.tracer)
+    assert "~" in text
+
+
+def test_timeline_width_validation():
+    with pytest.raises(ValueError):
+        render_timeline(Tracer(), width=5)
+
+
+def test_timeline_scales_reported_horizon():
+    runner, result = run_with_runner(dmz(), MixedWorkload(2), trace=True)
+    text_raw = render_timeline(runner.machine.tracer, time_scale=1.0)
+    text_scaled = render_timeline(runner.machine.tracer, time_scale=10.0)
+    assert text_raw.splitlines()[0] != text_scaled.splitlines()[0]

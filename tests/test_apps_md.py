@@ -1,0 +1,316 @@
+"""Tests for the MD substrate: particles, force fields, PME, GB, drivers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.md import (
+    AMBER_BENCHMARKS,
+    BENCHMARK_TABLE,
+    LAMMPS_BENCHMARKS,
+    AmberSander,
+    LammpsBench,
+    ParticleSystem,
+    bond_forces,
+    born_radii,
+    brute_force_pairs,
+    chain_system,
+    decomposition_faces,
+    eam_forces,
+    gb_energy,
+    ghost_atoms,
+    lj_forces,
+    minimum_image,
+    neighbor_pairs,
+    pme_grid_size,
+    random_system,
+    reciprocal_energy,
+    spread_charges,
+    velocity_verlet,
+)
+from repro.apps.md.gb import gb_energy_pairwise_reference
+from repro.apps.md.pme import ewald_reciprocal_reference
+from repro.core import AffinityScheme, run_workload
+from repro.machine import dmz, longs
+
+
+# -- particle systems ------------------------------------------------------
+
+def test_random_system_shapes_and_neutrality():
+    system = random_system(10, box=5.0, charged=True)
+    assert system.natoms == 10
+    assert float(np.sum(system.charges)) == pytest.approx(0.0)
+    assert np.all(system.positions >= 0) and np.all(system.positions < 5.0)
+
+
+def test_random_system_odd_count_still_neutral():
+    system = random_system(7, box=5.0, charged=True)
+    assert float(np.sum(system.charges)) == pytest.approx(0.0)
+
+
+def test_particle_system_validation():
+    with pytest.raises(ValueError):
+        ParticleSystem(np.zeros((3, 2)), np.zeros((3, 3)),
+                       np.ones(3), np.zeros(3), box=1.0)
+    with pytest.raises(ValueError):
+        random_system(5, box=5.0).box  # fine
+        ParticleSystem(np.zeros((3, 3)), np.zeros((3, 3)),
+                       np.ones(3), np.zeros(3), box=-1.0)
+
+
+def test_chain_system_bond_topology():
+    system, bonds = chain_system(n_chains=3, beads_per_chain=5, box=10.0)
+    assert system.natoms == 15
+    assert bonds.shape == (12, 2)  # 4 bonds per chain
+    # bonds never cross chains
+    assert all(j - i == 1 and i // 5 == j // 5 for i, j in bonds)
+
+
+def test_minimum_image_wraps():
+    assert minimum_image(np.array([4.9]), box=5.0)[0] == pytest.approx(-0.1)
+    assert minimum_image(np.array([0.3]), box=5.0)[0] == pytest.approx(0.3)
+
+
+def test_neighbor_pairs_match_brute_force():
+    system = random_system(60, box=6.0, seed=3)
+    cutoff = 1.5
+    fast = neighbor_pairs(system.positions, system.box, cutoff)
+    slow = brute_force_pairs(system.positions, system.box, cutoff)
+    assert set(map(tuple, fast)) == set(map(tuple, slow))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), n=st.integers(10, 80))
+def test_neighbor_pairs_property(seed, n):
+    system = random_system(n, box=8.0, seed=seed)
+    cutoff = 2.0
+    fast = neighbor_pairs(system.positions, system.box, cutoff)
+    slow = brute_force_pairs(system.positions, system.box, cutoff)
+    assert set(map(tuple, fast)) == set(map(tuple, slow))
+
+
+def test_neighbor_pairs_cutoff_validation():
+    system = random_system(10, box=4.0)
+    with pytest.raises(ValueError):
+        neighbor_pairs(system.positions, system.box, cutoff=3.0)
+
+
+# -- force fields ---------------------------------------------------------------
+
+def test_lj_forces_newtons_third_law():
+    system = random_system(40, box=6.0, seed=5)
+    pairs = neighbor_pairs(system.positions, system.box, 2.5)
+    forces, energy = lj_forces(system.positions, pairs, system.box)
+    # net force vanishes relative to the largest pair force
+    scale = max(1.0, float(np.abs(forces).max()))
+    assert np.allclose(np.sum(forces, axis=0) / scale, 0.0, atol=1e-12)
+
+
+def test_lj_two_particles_at_minimum():
+    # the LJ minimum sits at r = 2^(1/6) sigma where force vanishes
+    r_min = 2.0 ** (1.0 / 6.0)
+    positions = np.array([[0.0, 0.0, 0.0], [r_min, 0.0, 0.0]])
+    pairs = np.array([[0, 1]])
+    forces, _ = lj_forces(positions, pairs, box=10.0)
+    assert np.allclose(forces, 0.0, atol=1e-10)
+
+
+def test_bond_forces_restoring():
+    positions = np.array([[0.0, 0.0, 0.0], [1.5, 0.0, 0.0]])
+    bonds = np.array([[0, 1]])
+    forces, energy = bond_forces(positions, bonds, box=10.0, k=10.0, r0=1.0)
+    # stretched bond pulls the particles together
+    assert forces[0, 0] > 0 and forces[1, 0] < 0
+    assert energy == pytest.approx(10.0 * 0.25)
+
+
+def test_eam_forces_antisymmetric():
+    system = random_system(30, box=5.0, seed=9)
+    pairs = neighbor_pairs(system.positions, system.box, 2.0)
+    forces, energy = eam_forces(system.positions, pairs, system.box)
+    assert np.allclose(np.sum(forces, axis=0), 0.0, atol=1e-9)
+    assert energy < 0  # embedding term dominates
+
+
+def _lattice_system(cells: int = 3, spacing: float = 1.2) -> ParticleSystem:
+    """Non-overlapping cubic lattice (stable LJ starting point)."""
+    grid = np.arange(cells) * spacing + 0.5
+    positions = np.array(np.meshgrid(grid, grid, grid)).T.reshape(-1, 3)
+    n = positions.shape[0]
+    rng = np.random.default_rng(11)
+    return ParticleSystem(
+        positions=positions,
+        velocities=rng.normal(0, 0.02, size=(n, 3)),
+        masses=np.ones(n),
+        charges=np.zeros(n),
+        box=cells * spacing,
+    )
+
+
+def test_velocity_verlet_conserves_energy():
+    system = _lattice_system()
+
+    def force_fn(positions):
+        pairs = neighbor_pairs(positions, system.box, 1.7)
+        return lj_forces(positions, pairs, system.box, cutoff=1.7)
+
+    _, e_start = velocity_verlet(system, force_fn, dt=0.001, steps=1)
+    _, e_end = velocity_verlet(system, force_fn, dt=0.001, steps=100)
+    assert e_end == pytest.approx(e_start, rel=0.05, abs=0.05)
+
+
+def test_velocity_verlet_validation():
+    system = random_system(4, box=5.0)
+    with pytest.raises(ValueError):
+        velocity_verlet(system, lambda p: (np.zeros_like(p), 0.0),
+                        dt=-0.1, steps=1)
+
+
+# -- PME ---------------------------------------------------------------------------
+
+def test_pme_grid_size_powers_of_two():
+    assert pme_grid_size(23_558) == 64
+    assert pme_grid_size(1) == 8
+    assert pme_grid_size(90_906) == 128
+
+
+def test_spread_charges_conserves_total_charge():
+    system = random_system(50, box=5.0, seed=13, charged=True)
+    mesh = spread_charges(system.positions, system.charges, system.box, 16)
+    assert float(np.sum(mesh)) == pytest.approx(float(np.sum(system.charges)),
+                                                abs=1e-9)
+
+
+def test_reciprocal_energy_matches_direct_ewald():
+    """PME mesh energy agrees with the meshless reciprocal sum."""
+    rng = np.random.default_rng(17)
+    positions = rng.uniform(1.0, 4.0, size=(6, 3))
+    charges = np.array([1.0, -1.0, 1.0, -1.0, 1.0, -1.0])
+    box = 5.0
+    pme = reciprocal_energy(positions, charges, box, grid=32, alpha=0.8)
+    exact = ewald_reciprocal_reference(positions, charges, box,
+                                       alpha=0.8, kmax=10)
+    assert pme == pytest.approx(exact, rel=0.08)
+
+
+def test_reciprocal_energy_positive_for_single_charge():
+    positions = np.array([[2.5, 2.5, 2.5]])
+    charges = np.array([1.0])
+    assert reciprocal_energy(positions, charges, 5.0, grid=16) > 0
+
+
+# -- GB ------------------------------------------------------------------------------
+
+def test_born_radii_shrink_with_crowding():
+    sparse = np.array([[0.0, 0.0, 0.0], [10.0, 0.0, 0.0]])
+    dense = np.array([[0.0, 0.0, 0.0], [0.5, 0.0, 0.0]])
+    assert born_radii(dense).mean() < born_radii(sparse).mean()
+
+
+def test_gb_energy_matches_pairwise_reference():
+    rng = np.random.default_rng(19)
+    positions = rng.uniform(0, 4, size=(8, 3))
+    charges = rng.choice([-1.0, 1.0], size=8)
+    radii = np.full(8, 1.4)
+    fast = gb_energy(positions, charges, radii)
+    slow = gb_energy_pairwise_reference(positions, charges, radii)
+    assert fast == pytest.approx(slow, rel=1e-10)
+
+
+def test_gb_energy_negative_for_net_charge():
+    # solvation always stabilizes a charged solute
+    positions = np.zeros((1, 3))
+    assert gb_energy(positions, np.array([1.0]), np.array([1.5])) < 0
+
+
+def test_gb_energy_validation():
+    with pytest.raises(ValueError):
+        gb_energy(np.zeros((1, 3)), np.ones(1), np.ones(1), eps_out=-1)
+
+
+# -- AMBER driver -------------------------------------------------------------------
+
+def test_amber_benchmark_table_matches_paper_table6():
+    rows = {r["Benchmark"]: r for r in BENCHMARK_TABLE}
+    assert rows["dhfr"]["Number of atoms"] == 22_930
+    assert rows["factor_ix"]["Number of atoms"] == 90_906
+    assert rows["gb_mb"]["MD technique"] == "GB"
+    assert rows["JAC"]["MD technique"] == "PME"
+    assert len(rows) == 5
+
+
+def test_amber_unknown_benchmark():
+    with pytest.raises(ValueError):
+        AmberSander("water_box", 2)
+
+
+def test_amber_pme_has_fft_phase():
+    result = run_workload(dmz(), AmberSander("jac", 2, simulated_steps=2))
+    assert result.phase_time("fft") > 0
+    assert result.phase_time("direct") > 0
+
+
+def test_amber_gb_has_no_fft_phase():
+    result = run_workload(dmz(), AmberSander("gb_mb", 2, simulated_steps=2))
+    assert result.phase_time("fft") == 0
+    assert result.phase_time("gb") > 0
+
+
+def test_amber_gb_outscales_pme_at_16():
+    """Table 8's headline: GB near-linear, PME saturating."""
+    spec = longs()
+    def speedup(name):
+        t1 = run_workload(spec, AmberSander(name, 1, simulated_steps=4)).wall_time
+        t16 = run_workload(spec, AmberSander(name, 16, simulated_steps=4)).wall_time
+        return t1 / t16
+    assert speedup("gb_mb") > 12.0     # paper: 14.93
+    assert 6.0 < speedup("jac") < 11.0  # paper: 7.97
+
+
+# -- LAMMPS driver ----------------------------------------------------------------
+
+def test_lammps_benchmarks_registered():
+    assert set(LAMMPS_BENCHMARKS) == {"lj", "chain", "eam"}
+    with pytest.raises(ValueError):
+        LammpsBench("tersoff", 2)
+
+
+def test_decomposition_faces_progression():
+    assert decomposition_faces(1) == 0
+    assert decomposition_faces(2) == 2
+    assert decomposition_faces(4) == 4
+    assert decomposition_faces(16) == 6
+
+
+def test_ghost_atoms_surface_scaling():
+    # ghosts per rank shrink slower than 1/p (surface vs volume)
+    g2 = ghost_atoms(32_000, 2, shell=1.5)
+    g16 = ghost_atoms(32_000, 16, shell=1.5)
+    local2, local16 = 32_000 / 2, 32_000 / 16
+    assert g16 / local16 > g2 / local2
+
+
+def test_lammps_eam_two_halo_passes():
+    from repro.core.ops import SendRecv
+
+    wl = LammpsBench("eam", 4, simulated_steps=1)
+    halos = [op for op in wl.program(0) if isinstance(op, SendRecv)]
+    lj = [op for op in LammpsBench("lj", 4, simulated_steps=1).program(0)
+          if isinstance(op, SendRecv)]
+    assert len(halos) == 2 * len(lj)
+
+
+def test_lammps_chain_superlinear_on_longs():
+    """Table 10: chain exceeds perfect speedup via cache residency."""
+    spec = longs()
+    t1 = run_workload(spec, LammpsBench("chain", 1, simulated_steps=5)).wall_time
+    t16 = run_workload(spec, LammpsBench("chain", 16, simulated_steps=5)).wall_time
+    assert t1 / t16 > 16.5  # paper: 19.95
+
+
+def test_lammps_lj_sublinear_on_longs():
+    spec = longs()
+    t1 = run_workload(spec, LammpsBench("lj", 1, simulated_steps=5)).wall_time
+    t16 = run_workload(spec, LammpsBench("lj", 16, simulated_steps=5)).wall_time
+    assert 8.0 < t1 / t16 < 14.0  # paper: 10.65

@@ -1,0 +1,171 @@
+"""Tests for the POP substrate: grid, functional solvers, workload."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pop import (
+    X1_GRID,
+    Laplacian2D,
+    Pop,
+    baroclinic_step,
+    block_shape,
+    factor_grid,
+    solve_barotropic,
+    stencil_apply,
+    total_tracer,
+)
+from repro.core import AffinityScheme, run_workload
+from repro.machine import dmz, longs
+
+
+# -- grid -------------------------------------------------------------------
+
+def test_x1_grid_matches_paper():
+    assert (X1_GRID.nx, X1_GRID.ny, X1_GRID.nz) == (320, 384, 40)
+    assert X1_GRID.horizontal_points == 320 * 384
+
+
+def test_factor_grid_near_square():
+    assert factor_grid(16) == (4, 4)
+    assert factor_grid(8) == (2, 4)
+    assert factor_grid(1) == (1, 1)
+    assert factor_grid(7) == (1, 7)
+
+
+def test_factor_grid_validation():
+    with pytest.raises(ValueError):
+        factor_grid(0)
+
+
+def test_block_shape_covers_grid():
+    bx, by = block_shape(X1_GRID, 16)
+    px, py = factor_grid(16)
+    assert bx * px >= X1_GRID.nx
+    assert by * py >= X1_GRID.ny
+
+
+# -- barotropic solver ----------------------------------------------------------
+
+def test_stencil_apply_matches_dense_laplacian():
+    nx, ny = 5, 4
+    n = nx * ny
+    dense = np.zeros((n, n))
+    for i in range(nx):
+        for j in range(ny):
+            row = i * ny + j
+            dense[row, row] = 4.0
+            for di, dj in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+                ii, jj = i + di, j + dj
+                if 0 <= ii < nx and 0 <= jj < ny:
+                    dense[row, ii * ny + jj] = -1.0
+    rng = np.random.default_rng(23)
+    v = rng.normal(size=n)
+    assert np.allclose(stencil_apply(v, nx, ny), dense @ v)
+
+
+def test_solve_barotropic_recovers_solution():
+    nx, ny = 12, 10
+    rng = np.random.default_rng(29)
+    truth = rng.normal(size=nx * ny)
+    rhs = stencil_apply(truth, nx, ny)
+    solution, iterations = solve_barotropic(rhs, nx, ny, tol=1e-10)
+    assert np.allclose(solution, truth, atol=1e-6)
+    assert iterations > 0
+
+
+def test_solve_barotropic_validates_shape():
+    with pytest.raises(ValueError):
+        solve_barotropic(np.zeros(10), 3, 4)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_barotropic_solver_property(seed):
+    nx, ny = 8, 8
+    rng = np.random.default_rng(seed)
+    truth = rng.normal(size=nx * ny)
+    rhs = stencil_apply(truth, nx, ny)
+    solution, _ = solve_barotropic(rhs, nx, ny, tol=1e-10)
+    assert np.allclose(solution, truth, atol=1e-5)
+
+
+def test_laplacian_operator_interface():
+    op = Laplacian2D(4, 4)
+    assert op.shape == (16, 16)
+    v = np.ones(16)
+    assert (op @ v).shape == (16,)
+
+
+# -- baroclinic step --------------------------------------------------------------
+
+def test_baroclinic_step_conserves_tracer():
+    rng = np.random.default_rng(31)
+    tracer = rng.uniform(1.0, 2.0, size=(8, 8, 4))
+    stepped = baroclinic_step(tracer, velocity=(0.5, -0.3, 0.1))
+    assert total_tracer(stepped) == pytest.approx(total_tracer(tracer))
+
+
+def test_baroclinic_step_diffuses_peaks():
+    tracer = np.zeros((6, 6, 6))
+    tracer[3, 3, 3] = 1.0
+    stepped = baroclinic_step(tracer, velocity=(0, 0, 0), diffusivity=0.1)
+    assert stepped[3, 3, 3] < 1.0
+    assert stepped.min() >= 0.0
+
+
+def test_baroclinic_step_rejects_unstable_cfl():
+    with pytest.raises(ValueError):
+        baroclinic_step(np.zeros((4, 4, 4)), velocity=(20.0, 0, 0), dt=0.1)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_baroclinic_conservation_property(seed):
+    rng = np.random.default_rng(seed)
+    tracer = rng.uniform(0.5, 1.5, size=(6, 5, 4))
+    velocity = rng.uniform(-1, 1, size=3)
+    stepped = baroclinic_step(tracer, velocity, diffusivity=0.02, dt=0.05)
+    assert total_tracer(stepped) == pytest.approx(total_tracer(tracer),
+                                                  rel=1e-9)
+
+
+# -- workload -----------------------------------------------------------------------
+
+def test_pop_workload_phases():
+    result = run_workload(dmz(), Pop(2, simulated_steps=1))
+    assert result.phase_time("baroclinic") > 0
+    assert result.phase_time("barotropic") > 0
+    # baroclinic dominates (paper: ~10x the barotropic time)
+    assert result.phase_time("baroclinic") > 3 * result.phase_time("barotropic")
+
+
+def test_pop_validation():
+    with pytest.raises(ValueError):
+        Pop(2, simulated_steps=0)
+    with pytest.raises(ValueError):
+        Pop(2, solver_coarsening=0)
+
+
+def test_pop_near_linear_scaling_on_longs():
+    """Table 12: both phases scale nearly linearly to 16 cores."""
+    spec = longs()
+    base = run_workload(spec, Pop(1, simulated_steps=1))
+    big = run_workload(spec, Pop(16, simulated_steps=1))
+    bc = base.phase_time("baroclinic") / big.phase_time("baroclinic")
+    bt = base.phase_time("barotropic") / big.phase_time("barotropic")
+    assert bc > 13.0   # paper: 16.11
+    assert bt > 10.0   # paper: 14.85
+
+
+def test_pop_membind_hurts_baroclinic_on_longs():
+    """Table 13: membind roughly doubles baroclinic time at 8 tasks."""
+    spec = longs()
+    t_local = run_workload(spec, Pop(8, simulated_steps=1),
+                           AffinityScheme.TWO_MPI_LOCAL)
+    t_membind = run_workload(spec, Pop(8, simulated_steps=1),
+                             AffinityScheme.TWO_MPI_MEMBIND)
+    ratio = (t_membind.phase_time("baroclinic")
+             / t_local.phase_time("baroclinic"))
+    assert 1.5 < ratio < 3.0  # paper: 184.33 / 84.5 = 2.18

@@ -1,0 +1,70 @@
+"""Calibration anchors: the headline numbers EXPERIMENTS.md relies on.
+
+These tests freeze the model's most-cited calibration points so that
+future parameter edits that silently break a reproduced result fail
+loudly here rather than deep inside a benchmark.
+"""
+
+import pytest
+
+from repro.bench.common import bound_spread_affinity, run
+from repro.core import AffinityScheme, run_workload
+from repro.machine import GB, Machine, dmz, longs, tiger
+from repro.workloads import NasCG, StreamTriad, triad_bytes_moved
+from repro.apps.pop import Pop
+
+
+def single_core_stream(spec) -> float:
+    workload = StreamTriad(1)
+    result = run(spec, workload, affinity=bound_spread_affinity(spec, 1))
+    return triad_bytes_moved(workload) / result.phase_time("triad") / GB
+
+
+def test_longs_single_core_bandwidth_anchor():
+    """Paper Section 3.3: 'less than half of the more than 4 GB/s'."""
+    assert single_core_stream(longs()) == pytest.approx(1.87, abs=0.05)
+
+
+def test_small_system_bandwidth_anchor():
+    """DMZ/Tiger sustain the 'expected' >3.5 GB/s of a 2-socket Opteron."""
+    assert single_core_stream(dmz()) == pytest.approx(3.59, abs=0.05)
+    assert single_core_stream(tiger()) == pytest.approx(3.59, abs=0.05)
+
+
+def test_peak_flops_anchor():
+    """Paper Section 2: 'each capable of 4.4 GFlop/s'."""
+    assert tiger().socket.core.peak_flops == pytest.approx(4.4e9)
+    assert longs().socket.core.peak_flops == pytest.approx(3.6e9)
+
+
+def test_coherence_factors_anchor():
+    assert Machine(dmz()).mem.coherence_factor == pytest.approx(1 / 1.16,
+                                                                rel=1e-6)
+    assert Machine(longs()).mem.coherence_factor == pytest.approx(
+        1 / (1 + 0.175 * 7), rel=1e-6)
+
+
+def test_nas_cg_longs_2task_anchor():
+    """Table 2 anchor: paper 162.81 s, model within 5%."""
+    result = run_workload(longs(), NasCG(2), AffinityScheme.DEFAULT)
+    assert result.wall_time == pytest.approx(162.81, rel=0.05)
+
+
+def test_pop_baroclinic_anchor():
+    """Table 13 anchor: paper 358.57 s at 2 tasks, model within 2%."""
+    result = run_workload(longs(), Pop(2), AffinityScheme.DEFAULT)
+    assert result.phase_time("baroclinic") == pytest.approx(358.57, rel=0.02)
+
+
+def test_intra_socket_copy_advantage_anchor():
+    """Section 3.4: 10-13% intra-socket bandwidth benefit."""
+    params = dmz().params
+    advantage = (params.intra_socket_copy_bandwidth
+                 / params.inter_socket_copy_bandwidth - 1.0)
+    assert 0.10 < advantage < 0.14
+
+
+def test_sysv_usysv_gap_anchor():
+    """Figure 13: SysV semaphores cost microseconds, spin locks do not."""
+    params = dmz().params
+    assert params.sysv_lock_cost / params.usysv_lock_cost > 20

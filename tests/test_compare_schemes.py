@@ -1,0 +1,81 @@
+"""Tests for the compare_schemes convenience and sweep helpers."""
+
+import pytest
+
+from repro.core import (
+    AffinityScheme,
+    Compute,
+    SchemeComparison,
+    Workload,
+    compare_schemes,
+    scaling_study,
+    scheme_sweep,
+)
+from repro.machine import GB, MB, dmz, longs, tiger
+
+
+class MemoryBound(Workload):
+    name = "membound"
+
+    def __init__(self, ntasks=8):
+        self.ntasks = ntasks
+
+    def program(self, rank):
+        yield Compute(dram_bytes=0.2 * GB, working_set=1 * GB)
+
+
+class TinyCompute(Workload):
+    name = "tiny"
+
+    def __init__(self, ntasks=1):
+        self.ntasks = ntasks
+
+    def program(self, rank):
+        yield Compute(flops=1e8 / self.ntasks, flop_efficiency=0.5)
+
+
+def test_compare_schemes_finds_local_best_for_memory_bound():
+    cmp = compare_schemes(longs(), lambda: MemoryBound(8))
+    assert "Membind" in cmp.worst
+    assert cmp.spread > 1.5
+    assert cmp.best_time == min(cmp.times.values())
+
+
+def test_compare_schemes_improvement_metric():
+    cmp = compare_schemes(longs(), lambda: MemoryBound(8))
+    assert cmp.improvement_over_default_percent >= 0 or \
+        cmp.improvement_over_default_percent > -5  # default may be best
+
+
+def test_compare_schemes_skips_infeasible():
+    # 4 tasks on DMZ: the One-MPI schemes are infeasible
+    cmp = compare_schemes(dmz(), lambda: MemoryBound(4))
+    assert "One MPI + Local Alloc" not in cmp.times
+    assert "Two MPI + Local Alloc" in cmp.times
+
+
+def test_compare_schemes_single_core_machine():
+    cmp = compare_schemes(tiger(), lambda: MemoryBound(2))
+    # only the schemes that fit single-core sockets survive
+    assert set(cmp.times) <= {"Default", "One MPI + Local Alloc",
+                              "One MPI + Membind", "Interleave"}
+
+
+def test_scheme_sweep_renders_dashes():
+    table = scheme_sweep(dmz(), lambda n: MemoryBound(n), task_counts=(2, 4))
+    row4 = [r for r in table.rows if r[0] == 4][0]
+    headers = table.headers
+    assert row4[headers.index("One MPI + Local Alloc")] is None
+    assert row4[headers.index("Two MPI + Local Alloc")] is not None
+
+
+def test_scaling_study_speedup_metric():
+    table = scaling_study([dmz()], lambda n: TinyCompute(n),
+                          task_counts=(2, 4), metric="speedup")
+    row = table.rows[0]
+    assert row[0] == "DMZ"
+    assert row[1] == pytest.approx(2.0, rel=0.01)
+    assert row[2] == pytest.approx(4.0, rel=0.01)
+    with pytest.raises(ValueError):
+        scaling_study([dmz()], lambda n: TinyCompute(n), (2,),
+                      metric="bogus")

@@ -1,0 +1,115 @@
+"""Tests for the Table 5 affinity schemes and their resolution."""
+
+import pytest
+
+from repro.core import (
+    ALL_SCHEMES,
+    SCHEME_TABLE,
+    AffinityScheme,
+    membind_node_set,
+    resolve_scheme,
+)
+from repro.machine import dmz, longs, tiger
+from repro.numa import FirstTouch, Interleave, LocalAlloc, Membind
+
+
+def test_six_schemes_match_table5():
+    assert len(ALL_SCHEMES) == 6
+    assert len(SCHEME_TABLE) == 6
+    assert [s.value for s in ALL_SCHEMES] == [
+        "Default",
+        "One MPI + Local Alloc",
+        "One MPI + Membind",
+        "Two MPI + Local Alloc",
+        "Two MPI + Membind",
+        "Interleave",
+    ]
+
+
+def test_default_scheme_unbound_first_touch():
+    aff = resolve_scheme(AffinityScheme.DEFAULT, longs(), 4)
+    assert not aff.placement.bound
+    policy = aff.policy_of(0)
+    assert isinstance(policy, FirstTouch)
+    assert policy.remote_fraction > 0
+    assert aff.numactl.command_line() == "(no numactl)"
+
+
+def test_one_mpi_local_is_fully_local():
+    aff = resolve_scheme(AffinityScheme.ONE_MPI_LOCAL, longs(), 4)
+    assert aff.placement.bound
+    for rank in range(4):
+        assert aff.placement.sharers_on_socket(rank) == 1
+        dist = aff.distribution(rank)
+        assert dist == {aff.placement.socket_of_rank(rank): 1.0}
+    assert isinstance(aff.policy_of(0), LocalAlloc)
+
+
+def test_one_mpi_schemes_limited_by_sockets():
+    with pytest.raises(ValueError):
+        resolve_scheme(AffinityScheme.ONE_MPI_LOCAL, longs(), 16)
+    with pytest.raises(ValueError):
+        resolve_scheme(AffinityScheme.ONE_MPI_MEMBIND, dmz(), 4)
+
+
+def test_membind_hotspot_concentrates_traffic():
+    aff = resolve_scheme(AffinityScheme.TWO_MPI_MEMBIND, longs(), 8)
+    assert isinstance(aff.policy_of(0), Membind)
+    load = aff.controller_sharers()
+    # all traffic on nodes 0 and 1, none elsewhere
+    assert load[0] == pytest.approx(4.0)
+    assert load[1] == pytest.approx(4.0)
+    assert all(load[n] == 0 for n in range(2, 8))
+
+
+def test_membind_node_set_shape():
+    assert membind_node_set(longs()) == (0, 1)
+    assert membind_node_set(dmz()) == (0, 1)
+
+
+def test_two_mpi_local_shares_socket():
+    aff = resolve_scheme(AffinityScheme.TWO_MPI_LOCAL, dmz(), 4)
+    assert all(aff.placement.sharers_on_socket(r) == 2 for r in range(4))
+    assert isinstance(aff.policy_of(0), LocalAlloc)
+
+
+def test_two_mpi_rejected_on_single_core_sockets():
+    with pytest.raises(ValueError):
+        resolve_scheme(AffinityScheme.TWO_MPI_LOCAL, tiger(), 2)
+
+
+def test_interleave_spreads_over_all_nodes():
+    aff = resolve_scheme(AffinityScheme.INTERLEAVE, longs(), 2)
+    assert isinstance(aff.policy_of(0), Interleave)
+    dist = aff.distribution(0)
+    assert len(dist) == 8
+    assert all(frac == pytest.approx(1 / 8) for frac in dist.values())
+
+
+def test_buffer_nodes_follow_policy():
+    local = resolve_scheme(AffinityScheme.ONE_MPI_LOCAL, longs(), 4)
+    for rank, node in local.buffer_nodes().items():
+        assert node == local.placement.socket_of_rank(rank)
+    hotspot = resolve_scheme(AffinityScheme.ONE_MPI_MEMBIND, longs(), 4)
+    assert set(hotspot.buffer_nodes().values()) <= {0, 1}
+
+
+def test_controller_sharers_conserves_streams():
+    for scheme in ALL_SCHEMES:
+        aff = resolve_scheme(scheme, longs(), 8)
+        load = aff.controller_sharers()
+        assert sum(load.values()) == pytest.approx(8.0)
+
+
+def test_resolve_rejects_zero_tasks():
+    with pytest.raises(ValueError):
+        resolve_scheme(AffinityScheme.DEFAULT, dmz(), 0)
+
+
+def test_numactl_command_lines_render():
+    aff = resolve_scheme(AffinityScheme.ONE_MPI_MEMBIND, longs(), 2)
+    cli = aff.numactl.command_line()
+    assert "--membind=0,1" in cli
+    assert "--cpunodebind=" in cli
+    inter = resolve_scheme(AffinityScheme.INTERLEAVE, longs(), 2)
+    assert "--interleave=" in inter.numactl.command_line()

@@ -1,0 +1,172 @@
+"""Tests for metrics and report rendering."""
+
+import pytest
+
+from repro.core import (
+    SeriesResult,
+    TableResult,
+    bandwidth,
+    best_scheme,
+    flops_rate,
+    format_value,
+    improvement_percent,
+    parallel_efficiency,
+    per_core,
+    speedup,
+)
+
+
+# -- metrics -----------------------------------------------------------------
+
+def test_speedup_basic():
+    assert speedup(10.0, 5.0) == pytest.approx(2.0)
+
+
+def test_speedup_validates():
+    with pytest.raises(ValueError):
+        speedup(0.0, 1.0)
+    with pytest.raises(ValueError):
+        speedup(1.0, -1.0)
+
+
+def test_parallel_efficiency_table4_semantics():
+    # t1=100, t16=25 -> speedup 4 on 16 cores -> efficiency 0.25
+    assert parallel_efficiency(100.0, 25.0, 16) == pytest.approx(0.25)
+    # superlinear case can exceed 1.0
+    assert parallel_efficiency(100.0, 45.0, 2) > 1.0
+
+
+def test_parallel_efficiency_validates_cores():
+    with pytest.raises(ValueError):
+        parallel_efficiency(1.0, 1.0, 0)
+
+
+def test_per_core():
+    assert per_core(8.0, 4) == 2.0
+    with pytest.raises(ValueError):
+        per_core(8.0, 0)
+
+
+def test_rates():
+    assert flops_rate(1e9, 0.5) == pytest.approx(2e9)
+    assert bandwidth(100.0, 4.0) == pytest.approx(25.0)
+    with pytest.raises(ValueError):
+        flops_rate(1.0, 0.0)
+
+
+def test_improvement_percent():
+    # paper phrasing: "over 25% performance improvement"
+    assert improvement_percent(100.0, 74.0) == pytest.approx(26.0)
+    assert improvement_percent(100.0, 110.0) == pytest.approx(-10.0)
+
+
+def test_best_scheme():
+    times = {"Default": 10.0, "One MPI + Local Alloc": 8.0, "Interleave": 12.0}
+    assert best_scheme(times) == "One MPI + Local Alloc"
+    with pytest.raises(ValueError):
+        best_scheme({})
+
+
+# -- format_value ---------------------------------------------------------------
+
+def test_format_value_dash_for_none():
+    assert format_value(None) == "—"
+
+
+def test_format_value_numbers():
+    assert format_value(3) == "3"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(0.0) == "0"
+    assert format_value(12345.6) == "1.23e+04"
+
+
+# -- TableResult -----------------------------------------------------------------
+
+def make_table():
+    t = TableResult(title="demo", headers=["tasks", "Default", "Local"])
+    t.add_row(2, 10.0, 8.0)
+    t.add_row(4, 6.0, None)
+    return t
+
+
+def test_table_add_row_checks_width():
+    t = make_table()
+    with pytest.raises(ValueError):
+        t.add_row(8, 1.0)
+
+
+def test_table_column_and_cell():
+    t = make_table()
+    assert t.column("Default") == [10.0, 6.0]
+    assert t.cell(4, "Local") is None
+    assert t.cell(2, "Default") == 10.0
+    with pytest.raises(KeyError):
+        t.cell(99, "Default")
+
+
+def test_table_to_text_contains_all_cells():
+    text = make_table().to_text()
+    assert "demo" in text
+    assert "10.00" in text
+    assert "—" in text
+
+
+def test_table_to_csv_round_trips_headers():
+    csv = make_table().to_csv()
+    lines = csv.strip().split("\n")
+    assert lines[0] == "tasks,Default,Local"
+    assert len(lines) == 3
+
+
+def test_table_notes_rendered():
+    t = make_table()
+    t.notes.append("times in seconds")
+    assert "note: times in seconds" in t.to_text()
+
+
+# -- SeriesResult ---------------------------------------------------------------
+
+def make_series():
+    s = SeriesResult(title="fig", x_label="cores", y_label="GB/s")
+    s.add_point("Longs", 1, 1.8)
+    s.add_point("Longs", 2, 3.5)
+    s.add_point("DMZ", 1, 3.6)
+    return s
+
+
+def test_series_xs_union():
+    assert make_series().xs() == [1, 2]
+
+
+def test_series_at_lookup():
+    s = make_series()
+    assert s.at("DMZ", 1) == pytest.approx(3.6)
+    assert s.at("DMZ", 2) is None
+    assert s.at("nope", 1) is None
+
+
+def test_series_to_table_shape():
+    table = make_series().to_table()
+    assert table.headers == ["cores", "DMZ", "Longs"]
+    assert len(table.rows) == 2
+    assert table.cell(2, "DMZ") is None
+
+
+def test_series_to_text_mentions_y_label():
+    assert "GB/s" in make_series().to_text()
+
+
+def test_table_to_json_round_trips():
+    import json
+
+    payload = json.loads(make_table().to_json())
+    assert payload["headers"] == ["tasks", "Default", "Local"]
+    assert payload["rows"][1] == [4, 6.0, None]
+
+
+def test_series_to_json_round_trips():
+    import json
+
+    payload = json.loads(make_series().to_json())
+    assert payload["y_label"] == "GB/s"
+    assert payload["series"]["DMZ"] == [[1, 3.6]]

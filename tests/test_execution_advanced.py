@@ -1,0 +1,207 @@
+"""Advanced runtime tests: noise, thread interplay, accounting details."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ALL_SCHEMES,
+    AffinityScheme,
+    Allreduce,
+    Compute,
+    JobRunner,
+    Workload,
+    resolve_scheme,
+    run_workload,
+)
+from repro.machine import GB, MB, dmz, longs, tiger
+from repro.numa import NumactlConfig, parse_numactl
+
+
+class SingleOp(Workload):
+    def __init__(self, op, ntasks=1, time_scale=1.0):
+        self.op = op
+        self.ntasks = ntasks
+        self.time_scale = time_scale
+        self.name = "single-op"
+
+    def program(self, rank):
+        yield self.op
+
+
+# -- scheduler noise ------------------------------------------------------------
+
+def test_parked_noise_slows_unbound_compute():
+    spec = dmz()
+    op = Compute(flops=1e9, flop_efficiency=0.9)
+    quiet = run_workload(spec, SingleOp(op, 2), AffinityScheme.DEFAULT)
+    noisy = run_workload(spec, SingleOp(op, 2), AffinityScheme.DEFAULT,
+                         parked=2)
+    assert noisy.wall_time > quiet.wall_time
+    expected = 1.0 + 0.25 * 2 / spec.total_cores
+    assert noisy.wall_time / quiet.wall_time == pytest.approx(expected,
+                                                              rel=1e-3)
+
+
+def test_bound_schemes_ignore_parked_noise():
+    spec = dmz()
+    op = Compute(flops=1e9, flop_efficiency=0.9)
+    bound = run_workload(spec, SingleOp(op, 2), AffinityScheme.ONE_MPI_LOCAL)
+    affinity = resolve_scheme(AffinityScheme.ONE_MPI_LOCAL, spec, 2, parked=2)
+    assert affinity.scheduler_noise == 0.0
+    bound_parked = JobRunner(spec, affinity).run(SingleOp(op, 2))
+    assert bound_parked.wall_time == pytest.approx(bound.wall_time)
+
+
+# -- stream-demand cap -------------------------------------------------------------
+
+def test_stream_bandwidth_cap_limits_single_stream():
+    spec = dmz()
+    nbytes = 1 * GB
+    capped = run_workload(spec, SingleOp(Compute(
+        dram_bytes=nbytes, working_set=nbytes, stream_bandwidth=1e9)),
+        AffinityScheme.ONE_MPI_LOCAL)
+    free = run_workload(spec, SingleOp(Compute(
+        dram_bytes=nbytes, working_set=nbytes)),
+        AffinityScheme.ONE_MPI_LOCAL)
+    assert capped.wall_time == pytest.approx(1.0, rel=1e-3)
+    assert free.wall_time < capped.wall_time
+
+
+def test_stream_cap_above_controller_is_inert():
+    spec = dmz()
+    nbytes = 1 * GB
+    huge_cap = run_workload(spec, SingleOp(Compute(
+        dram_bytes=nbytes, working_set=nbytes, stream_bandwidth=1e12)),
+        AffinityScheme.ONE_MPI_LOCAL)
+    free = run_workload(spec, SingleOp(Compute(
+        dram_bytes=nbytes, working_set=nbytes)),
+        AffinityScheme.ONE_MPI_LOCAL)
+    assert huge_cap.wall_time == pytest.approx(free.wall_time)
+
+
+def test_second_core_helps_below_capacity_cap():
+    """The Table 3 mechanism: demand below C/2 scales; above C it doesn't."""
+    spec = dmz()
+
+    def time_two(demand):
+        op = Compute(dram_bytes=0.5 * GB, working_set=1 * GB,
+                     stream_bandwidth=demand)
+        return run_workload(spec, SingleOp(op, ntasks=2),
+                            AffinityScheme.TWO_MPI_LOCAL).wall_time
+
+    def time_one(demand):
+        op = Compute(dram_bytes=1 * GB, working_set=1 * GB,
+                     stream_bandwidth=demand)
+        return run_workload(spec, SingleOp(op, ntasks=1),
+                            AffinityScheme.ONE_MPI_LOCAL).wall_time
+
+    low = 1.0e9  # below half the DMZ controller
+    assert time_two(low) == pytest.approx(time_one(low) / 2, rel=0.01)
+    high = 1.0e12  # saturating
+    assert time_two(high) == pytest.approx(time_one(high), rel=0.01)
+
+
+# -- accounting ---------------------------------------------------------------------
+
+def test_rank_times_monotone_and_bounded_by_wall():
+    spec = longs()
+
+    class Staggered(Workload):
+        name = "staggered"
+        ntasks = 4
+
+        def program(self, rank):
+            yield Compute(flops=(rank + 1) * 1e8, flop_efficiency=0.5)
+
+    result = run_workload(spec, Staggered(), AffinityScheme.ONE_MPI_LOCAL)
+    assert max(result.rank_times) == pytest.approx(result.wall_time)
+    assert result.rank_times == sorted(result.rank_times)
+
+
+def test_empty_program_runs_instantly():
+    class Idle(Workload):
+        name = "idle"
+        ntasks = 2
+
+        def program(self, rank):
+            return iter(())
+
+    result = run_workload(dmz(), Idle())
+    assert result.wall_time == 0.0
+    assert result.messages == 0
+
+
+def test_phase_times_sum_to_category_times():
+    spec = dmz()
+
+    class Phased(Workload):
+        name = "phased"
+        ntasks = 1
+
+        def program(self, rank):
+            yield Compute(flops=1e8, flop_efficiency=0.5, phase="a")
+            yield Compute(flops=2e8, flop_efficiency=0.5, phase="b")
+
+    result = run_workload(spec, Phased())
+    total_phases = result.phase_time("a") + result.phase_time("b")
+    assert total_phases == pytest.approx(result.category_time("compute"))
+    assert result.phase_time("b") == pytest.approx(2 * result.phase_time("a"))
+
+
+def test_workload_validation_hooks():
+    class Bad(Workload):
+        name = "bad"
+        ntasks = 0
+
+        def program(self, rank):
+            yield Compute(flops=1.0)
+
+    with pytest.raises(ValueError):
+        run_workload(dmz(), Bad())
+
+    class BadScale(Workload):
+        name = "badscale"
+        ntasks = 1
+        time_scale = 0.0
+
+        def program(self, rank):
+            yield Compute(flops=1.0)
+
+    with pytest.raises(ValueError):
+        run_workload(dmz(), BadScale())
+
+
+# -- scheme/numactl round trips ----------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(scheme_index=st.integers(min_value=0, max_value=5),
+       ntasks=st.sampled_from([2, 4, 8, 16]))
+def test_numactl_command_lines_parse_back(scheme_index, ntasks):
+    """Every scheme's generated numactl command parses to the same config."""
+    spec = longs()
+    scheme = ALL_SCHEMES[scheme_index]
+    try:
+        affinity = resolve_scheme(scheme, spec, ntasks)
+    except ValueError:
+        return  # infeasible combination (the paper's dashes)
+    command = affinity.numactl.command_line()
+    if command == "(no numactl)":
+        assert affinity.numactl == NumactlConfig()
+        return
+    parsed = parse_numactl(command.split()[1:])
+    assert parsed == affinity.numactl
+
+
+def test_all_schemes_run_all_systems_smoke():
+    """Every feasible (system, scheme) pair executes a small workload."""
+    op = Compute(flops=1e7, dram_bytes=10 * MB, working_set=10 * MB,
+                 flop_efficiency=0.5)
+    for spec in (tiger(), dmz(), longs()):
+        for scheme in ALL_SCHEMES:
+            for ntasks in (1, 2):
+                try:
+                    result = run_workload(spec, SingleOp(op, ntasks), scheme)
+                except ValueError:
+                    continue
+                assert result.wall_time > 0

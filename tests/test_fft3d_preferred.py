@@ -1,0 +1,87 @@
+"""Tests for the 3-D FFT kernel and the --preferred NUMA policy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.fft import fft3d, ifft3d
+from repro.numa import NumactlConfig, PAGE_SIZE, PageTable, Preferred, parse_numactl
+
+
+# -- fft3d -----------------------------------------------------------------
+
+def test_fft3d_matches_numpy():
+    rng = np.random.default_rng(51)
+    x = rng.normal(size=(8, 4, 16)) + 1j * rng.normal(size=(8, 4, 16))
+    assert np.allclose(fft3d(x), np.fft.fftn(x))
+
+
+def test_fft3d_round_trip():
+    rng = np.random.default_rng(53)
+    x = rng.normal(size=(4, 8, 4)) + 1j * rng.normal(size=(4, 8, 4))
+    assert np.allclose(ifft3d(fft3d(x)), x)
+
+
+def test_fft3d_requires_3d_power_of_two():
+    with pytest.raises(ValueError):
+        fft3d(np.ones((4, 4)))
+    with pytest.raises(ValueError):
+        fft3d(np.ones((4, 3, 4)))
+
+
+@settings(max_examples=10, deadline=None)
+@given(ex=st.integers(1, 3), ey=st.integers(1, 3), ez=st.integers(1, 3),
+       seed=st.integers(0, 100))
+def test_fft3d_property(ex, ey, ez, seed):
+    rng = np.random.default_rng(seed)
+    shape = (2 ** ex, 2 ** ey, 2 ** ez)
+    x = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+    assert np.allclose(fft3d(x), np.fft.fftn(x), atol=1e-9)
+
+
+# -- Preferred policy -----------------------------------------------------------
+
+def test_preferred_all_on_node_without_spill():
+    policy = Preferred(node=3)
+    assert policy.traffic_distribution(0, 8) == {3: 1.0}
+    assert all(policy.place_page(1, p, 8) == 3 for p in range(20))
+
+
+def test_preferred_spill_spreads_remainder():
+    policy = Preferred(node=0, spill_fraction=0.25)
+    dist = policy.traffic_distribution(2, 4)
+    assert dist[0] == pytest.approx(0.75)
+    assert sum(dist.values()) == pytest.approx(1.0)
+
+
+def test_preferred_page_realization_matches_spill():
+    policy = Preferred(node=1, spill_fraction=0.2)
+    table = PageTable(num_nodes=4)
+    region = table.allocate(0, 2000 * PAGE_SIZE, 0, policy)
+    fractions = region.node_fractions()
+    assert fractions[1] == pytest.approx(0.8, abs=0.02)
+
+
+def test_preferred_validation():
+    with pytest.raises(ValueError):
+        Preferred(node=-1)
+    with pytest.raises(ValueError):
+        Preferred(node=0, spill_fraction=1.0)
+    with pytest.raises(ValueError):
+        Preferred(node=9).traffic_distribution(0, 4)
+
+
+def test_numactl_preferred_round_trip():
+    cfg = NumactlConfig(cpunodebind=(0,), preferred=2)
+    assert isinstance(cfg.memory_policy(), Preferred)
+    command = cfg.command_line()
+    assert "--preferred=2" in command
+    assert parse_numactl(command.split()[1:]) == cfg
+
+
+def test_numactl_preferred_exclusive():
+    with pytest.raises(ValueError):
+        NumactlConfig(preferred=0, localalloc=True)
+    with pytest.raises(ValueError):
+        NumactlConfig(preferred=1, interleave=())

@@ -1,0 +1,82 @@
+"""Unit tests for the fidelity scoring machinery (no heavy runs)."""
+
+import pytest
+
+from repro.bench.fidelity import TableFidelity, paired_values, score_pairs
+from repro.bench.paper_data import (
+    SCHEME_ORDER,
+    TABLE02,
+    TABLE04,
+    TABLE08,
+    TABLE12,
+)
+from repro.core import TableResult
+
+
+def test_paper_data_structure():
+    assert len(SCHEME_ORDER) == 6
+    assert len(TABLE02) == 8
+    assert TABLE02[(8, "CG")][0] == pytest.approx(50.93)
+    assert TABLE02[(16, "CG")][1] is None  # the paper's dash
+    assert TABLE08[(16, "Longs")] == (7.24, 7.35, 14.29, 14.93, 7.97)
+    assert TABLE12[(16, "Longs")] == (16.11, 14.85)
+
+
+def test_paper_data_row_widths_consistent():
+    for table, width in ((TABLE02, 6), (TABLE04, 4), (TABLE08, 5),
+                         (TABLE12, 2)):
+        assert all(len(v) == width for v in table.values())
+
+
+def test_score_pairs_perfect_agreement():
+    pairs = [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]
+    score = score_pairs(pairs, [pairs], "demo")
+    assert score.rank_correlation == pytest.approx(1.0)
+    assert score.median_ratio == pytest.approx(1.0)
+    assert score.ratio_spread == pytest.approx(1.0)
+
+
+def test_score_pairs_pure_rescaling():
+    """A clean 2x rescaling keeps rank correlation at 1.0."""
+    pairs = [(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]
+    score = score_pairs(pairs, [pairs], "demo")
+    assert score.rank_correlation == pytest.approx(1.0)
+    assert score.median_ratio == pytest.approx(2.0)
+
+
+def test_score_pairs_inverted_ordering():
+    pairs = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+    score = score_pairs(pairs, [pairs], "demo")
+    assert score.rank_correlation == pytest.approx(-1.0)
+
+
+def test_score_pairs_short_rows_give_none():
+    pairs = [(1.0, 1.1), (2.0, 2.1)]
+    score = score_pairs(pairs, [pairs], "demo")
+    assert score.rank_correlation is None
+
+
+def test_score_pairs_empty_raises():
+    with pytest.raises(ValueError):
+        score_pairs([], [], "demo")
+
+
+def test_paired_values_joins_and_skips_dashes():
+    generated = TableResult(title="t", headers=["tasks", "kernel",
+                                                "A", "B", "C"])
+    generated.add_row(2, "CG", 10.0, 11.0, 12.0)
+    generated.add_row(4, "CG", 5.0, None, 6.0)
+    generated.add_row(9, "CG", 1.0, 1.0, 1.0)  # not in the paper
+    paper = {(2, "CG"): (9.0, 10.0, 13.0), (4, "CG"): (4.0, 4.5, None)}
+    groups = paired_values(generated, paper)
+    assert len(groups) == 2
+    assert groups[0] == [(9.0, 10.0), (10.0, 11.0), (13.0, 12.0)]
+    # both the paper dash and the model dash drop out
+    assert groups[1] == [(4.0, 5.0)]
+
+
+def test_paired_values_column_mismatch_raises():
+    generated = TableResult(title="t", headers=["tasks", "kernel", "A"])
+    generated.add_row(2, "CG", 1.0)
+    with pytest.raises(ValueError):
+        paired_values(generated, {(2, "CG"): (1.0, 2.0)})

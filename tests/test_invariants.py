@@ -1,0 +1,109 @@
+"""Cross-cutting model invariants, property-tested with random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AffinityScheme, run_workload
+from repro.machine import MB, dmz, longs
+from repro.workloads import SyntheticWorkload
+
+
+def synthetic(ntasks, ops, steps=1, simulated=None):
+    return SyntheticWorkload(name="prop", ntasks=ntasks, ops=ops,
+                             steps=steps, simulated_steps=simulated)
+
+
+compute_op = st.fixed_dictionaries({
+    "kind": st.just("compute"),
+    "flops": st.floats(min_value=0, max_value=1e9),
+    "dram_bytes": st.floats(min_value=0, max_value=5e8),
+    "working_set": st.floats(min_value=1e4, max_value=1e9),
+    "reuse": st.floats(min_value=0.0, max_value=1.0),
+})
+
+comm_op = st.one_of(
+    st.fixed_dictionaries({
+        "kind": st.just("allreduce"),
+        "nbytes": st.integers(min_value=0, max_value=1 << 20),
+    }),
+    st.fixed_dictionaries({
+        "kind": st.just("halo"),
+        "nbytes": st.integers(min_value=0, max_value=1 << 20),
+    }),
+)
+
+ops_list = st.lists(st.one_of(compute_op, comm_op), min_size=1, max_size=4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_list, ntasks=st.sampled_from([1, 2, 4, 8]))
+def test_determinism_property(ops, ntasks):
+    """Identical inputs produce bit-identical simulated times."""
+    t_a = run_workload(longs(), synthetic(ntasks, ops),
+                       AffinityScheme.DEFAULT).wall_time
+    t_b = run_workload(longs(), synthetic(ntasks, ops),
+                       AffinityScheme.DEFAULT).wall_time
+    assert t_a == t_b
+
+
+@settings(max_examples=20, deadline=None)
+@given(ops=ops_list, ntasks=st.sampled_from([2, 4, 8]))
+def test_time_nonnegative_and_finite(ops, ntasks):
+    for scheme in (AffinityScheme.DEFAULT, AffinityScheme.INTERLEAVE):
+        result = run_workload(longs(), synthetic(ntasks, ops), scheme)
+        assert result.wall_time >= 0
+        assert result.wall_time < float("inf")
+        assert all(t <= result.wall_time + 1e-12 for t in result.rank_times)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=ops_list,
+    flops=st.floats(min_value=1e9, max_value=5e9),
+)
+def test_time_scale_linearity_property(ops, flops):
+    """Simulating k steps and scaling gives the same total (up to the
+    amortization of the one-off opening/closing barriers)."""
+    ops = ops + [{"kind": "compute", "flops": flops}]
+    one = run_workload(dmz(), synthetic(2, ops, steps=6, simulated=2))
+    other = run_workload(dmz(), synthetic(2, ops, steps=6, simulated=3))
+    assert one.wall_time == pytest.approx(other.wall_time, rel=0.01)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    dram=st.floats(min_value=50 * MB, max_value=500 * MB),
+    reuse=st.floats(min_value=0.0, max_value=0.5),
+)
+def test_membind_never_beats_localalloc_memory_bound(dram, reuse):
+    """For memory-dominated work the hotspot scheme cannot win."""
+    ops = [{"kind": "compute", "dram_bytes": dram,
+            "working_set": 1e9, "reuse": reuse}]
+    local = run_workload(longs(), synthetic(8, ops),
+                         AffinityScheme.TWO_MPI_LOCAL).wall_time
+    membind = run_workload(longs(), synthetic(8, ops),
+                           AffinityScheme.TWO_MPI_MEMBIND).wall_time
+    assert membind >= local * 0.999
+
+
+@settings(max_examples=15, deadline=None)
+@given(extra=st.floats(min_value=1e7, max_value=1e9))
+def test_more_work_never_faster(extra):
+    """Adding flops to a program can only increase its runtime."""
+    base_ops = [{"kind": "compute", "flops": 1e8}]
+    more_ops = [{"kind": "compute", "flops": 1e8 + extra}]
+    t_base = run_workload(dmz(), synthetic(2, base_ops)).wall_time
+    t_more = run_workload(dmz(), synthetic(2, more_ops)).wall_time
+    assert t_more >= t_base
+
+
+@settings(max_examples=10, deadline=None)
+@given(nbytes=st.integers(min_value=1, max_value=1 << 22))
+def test_message_size_monotone(nbytes):
+    """A bigger allreduce payload never completes faster."""
+    small = run_workload(dmz(), synthetic(
+        4, [{"kind": "allreduce", "nbytes": nbytes}])).wall_time
+    big = run_workload(dmz(), synthetic(
+        4, [{"kind": "allreduce", "nbytes": 2 * nbytes}])).wall_time
+    assert big >= small * 0.999

@@ -1,0 +1,288 @@
+"""Tests for the functional kernels and their operation-count models."""
+
+import numpy as np
+import pytest
+import scipy.linalg
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import blas, cg, fft, hpl, ptrans, randomaccess, stream
+
+
+# -- STREAM ---------------------------------------------------------------
+
+def test_stream_functional_kernels():
+    a = np.arange(10.0)
+    b = np.ones(10)
+    assert np.allclose(stream.copy(a), a)
+    assert np.allclose(stream.scale(a, 2.0), 2 * a)
+    assert np.allclose(stream.add(a, b), a + 1)
+    assert np.allclose(stream.triad(b, a, 3.0), 1 + 3 * a)
+
+
+def test_stream_model_counts():
+    op = stream.triad_model(1000, passes=2)
+    assert op.flops == 4000
+    assert op.dram_bytes == 48000
+    assert op.reuse == 0.0
+
+
+def test_stream_model_validation():
+    with pytest.raises(ValueError):
+        stream.stream_model("saxpyish", 10)
+    with pytest.raises(ValueError):
+        stream.stream_model("triad", 0)
+
+
+# -- BLAS --------------------------------------------------------------------
+
+def test_daxpy_functional():
+    x, y = np.arange(5.0), np.ones(5)
+    assert np.allclose(blas.daxpy(2.0, x, y), 2 * x + 1)
+    with pytest.raises(ValueError):
+        blas.daxpy(1.0, np.ones(3), np.ones(4))
+
+
+def test_dgemm_matches_numpy():
+    rng = np.random.default_rng(1)
+    a, b = rng.normal(size=(12, 7)), rng.normal(size=(7, 9))
+    assert np.allclose(blas.dgemm(a, b), a @ b)
+
+
+def test_dgemm_beta_path():
+    rng = np.random.default_rng(2)
+    a, b = rng.normal(size=(4, 4)), rng.normal(size=(4, 4))
+    c = rng.normal(size=(4, 4))
+    out = blas.dgemm(a, b, alpha=2.0, beta=0.5, c=c)
+    assert np.allclose(out, 2 * (a @ b) + 0.5 * c)
+    with pytest.raises(ValueError):
+        blas.dgemm(a, b, beta=1.0)
+
+
+def test_naive_and_blocked_dgemm_agree_with_numpy():
+    rng = np.random.default_rng(3)
+    a, b = rng.normal(size=(17, 13)), rng.normal(size=(13, 11))
+    assert np.allclose(blas.naive_dgemm(a, b), a @ b)
+    assert np.allclose(blas.blocked_dgemm(a, b, block=5), a @ b)
+
+
+def test_dgemm_shape_validation():
+    with pytest.raises(ValueError):
+        blas.naive_dgemm(np.ones((2, 3)), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        blas.blocked_dgemm(np.ones((2, 2)), np.ones((2, 2)), block=0)
+
+
+def test_blas_models_reflect_vendor_gap():
+    vendor = blas.dgemm_model(1000, vendor=True)
+    vanilla = blas.dgemm_model(1000, vendor=False)
+    assert vendor.flops == vanilla.flops == 2e9
+    assert vendor.flop_efficiency > 2 * vanilla.flop_efficiency
+    assert vendor.reuse > vanilla.reuse
+
+
+def test_daxpy_model_memory_bound_shape():
+    op = blas.daxpy_model(10_000, repeats=3)
+    # cross-repeat reuse: all but the first sweep can hit in cache
+    assert op.reuse == pytest.approx(2 / 3)
+    assert op.dram_bytes == pytest.approx(24 * 10_000 * 3)
+    single = blas.daxpy_model(10_000, repeats=1)
+    assert single.reuse == 0.0
+
+
+# -- FFT ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("n", [1, 2, 8, 64, 256])
+def test_fft_matches_numpy(n):
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    assert np.allclose(fft.fft_radix2(x), np.fft.fft(x))
+
+
+def test_fft_round_trip():
+    rng = np.random.default_rng(5)
+    x = rng.normal(size=128) + 1j * rng.normal(size=128)
+    assert np.allclose(fft.ifft_radix2(fft.fft_radix2(x)), x)
+
+
+def test_fft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        fft.fft_radix2(np.ones(12))
+
+
+@settings(max_examples=20, deadline=None)
+@given(exp=st.integers(min_value=0, max_value=9), seed=st.integers(0, 100))
+def test_fft_parseval_property(exp, seed):
+    """Parseval: energy is conserved up to the 1/N convention."""
+    n = 2 ** exp
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=n) + 1j * rng.normal(size=n)
+    spectrum = fft.fft_radix2(x)
+    assert np.sum(np.abs(spectrum) ** 2) / n == pytest.approx(
+        np.sum(np.abs(x) ** 2), rel=1e-9
+    )
+
+
+def test_fft_flop_count():
+    assert fft.fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+    assert fft.fft_flops(1) == 0.0
+    with pytest.raises(ValueError):
+        fft.fft_flops(0)
+
+
+def test_fft_model_moderate_reuse():
+    op = fft.fft_model(4096)
+    assert 0.3 < op.reuse < 0.8  # between STREAM and DGEMM
+
+
+# -- CG -------------------------------------------------------------------------
+
+def test_cg_solves_spd_system():
+    a = cg.random_spd_matrix(80, nonzeros_per_row=6, seed=7)
+    rng = np.random.default_rng(8)
+    x_true = rng.normal(size=80)
+    b = a @ x_true
+    x, iterations, residual = cg.conjugate_gradient(a, b, tol=1e-10)
+    assert residual < 1e-9
+    assert np.allclose(x, x_true, atol=1e-6)
+    assert 0 < iterations <= 800
+
+
+def test_cg_dense_matrix_support():
+    a = np.array([[4.0, 1.0], [1.0, 3.0]])
+    b = np.array([1.0, 2.0])
+    x, _, _ = cg.conjugate_gradient(a, b, tol=1e-12)
+    assert np.allclose(a @ x, b)
+
+
+def test_cg_rejects_indefinite_matrix():
+    a = np.array([[1.0, 0.0], [0.0, -1.0]])
+    with pytest.raises(ValueError):
+        cg.conjugate_gradient(a, np.array([0.0, 1.0]))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=5, max_value=60), seed=st.integers(0, 1000))
+def test_cg_converges_on_random_spd_property(n, seed):
+    a = cg.random_spd_matrix(n, nonzeros_per_row=4, seed=seed)
+    b = np.ones(n)
+    x, _, residual = cg.conjugate_gradient(a, b, tol=1e-9, maxiter=50 * n)
+    assert residual < 1e-8
+
+
+def test_cg_iteration_counts():
+    counts = cg.cg_iteration_counts(75000, 13, ntasks=8)
+    assert counts.rows_local == 9375
+    assert counts.nnz_local == 9375 * 13
+    assert counts.spmv_flops == 2 * counts.nnz_local
+    op = cg.spmv_model(counts)
+    assert op.reuse < 0.5  # SpMV is cache-unfriendly
+    assert cg.cg_vector_model(counts).flops > 0
+
+
+def test_cg_counts_validation():
+    with pytest.raises(ValueError):
+        cg.cg_iteration_counts(100, 5, ntasks=0)
+    with pytest.raises(ValueError):
+        cg.random_spd_matrix(0)
+
+
+# -- RandomAccess --------------------------------------------------------------
+
+def test_random_stream_deterministic_nonrepeating_prefix():
+    s1 = randomaccess.random_stream(64)
+    s2 = randomaccess.random_stream(64)
+    assert np.array_equal(s1, s2)
+    assert len(np.unique(s1)) == 64  # GF(2) LFSR: no early repeats
+
+
+def test_random_access_verification_zero_errors():
+    assert randomaccess.verify_table(256, 1000) == 0.0
+
+
+def test_random_access_requires_power_of_two_table():
+    with pytest.raises(ValueError):
+        randomaccess.random_access_update(np.zeros(100, dtype=np.uint64), 10)
+
+
+def test_randomaccess_model_is_latency_bound():
+    op = randomaccess.randomaccess_model(10_000, table_bytes=2 ** 30)
+    assert op.random_accesses == 10_000
+    assert op.working_set == 2 ** 30
+    with pytest.raises(ValueError):
+        randomaccess.randomaccess_model(1, table_bytes=0)
+
+
+# -- PTRANS ----------------------------------------------------------------------
+
+def test_transpose_add_functional():
+    a = np.arange(9.0).reshape(3, 3)
+    out = ptrans.transpose_add(a)
+    assert np.allclose(out, a.T + a)
+    assert np.allclose(out, out.T)  # result is symmetric
+    with pytest.raises(ValueError):
+        ptrans.transpose_add(np.ones((2, 3)))
+
+
+def test_exchange_pairs_mirror_structure():
+    pairs = ptrans.exchange_pairs(2, 2, blocks_per_dim=4)
+    # every rank has blocks; mirrored blocks map to the mirrored owner
+    assert sorted(pairs) == [0, 1, 2, 3]
+    for rank, blocks in pairs.items():
+        for br, bc, partner in blocks:
+            assert partner == ptrans.block_owner(bc, br, 2, 2)
+
+
+def test_ptrans_block_bytes():
+    assert ptrans.ptrans_block_bytes(1000, 10) == 8.0 * 100 * 100
+
+
+def test_ptrans_local_model():
+    op = ptrans.ptrans_local_model(1000, 4)
+    assert op.flops == pytest.approx(250_000)
+    with pytest.raises(ValueError):
+        ptrans.ptrans_local_model(0, 4)
+
+
+# -- HPL --------------------------------------------------------------------------
+
+def test_lu_factor_matches_scipy():
+    rng = np.random.default_rng(11)
+    a = rng.normal(size=(40, 40)) + 40 * np.eye(40)
+    lu, piv = hpl.lu_factor(a.copy(), block=8)
+    assert np.allclose(hpl.lu_reconstruct(lu, piv), a, atol=1e-8)
+    # cross-check against scipy's factorization of the same matrix
+    lu_ref, _piv_ref = scipy.linalg.lu_factor(a)
+    assert np.allclose(np.abs(np.diag(lu)), np.abs(np.diag(lu_ref)), atol=1e-8)
+
+
+def test_lu_factor_pivots_when_needed():
+    a = np.array([[0.0, 1.0], [1.0, 0.0]])
+    lu, piv = hpl.lu_factor(a)
+    assert np.allclose(hpl.lu_reconstruct(lu, piv), a)
+
+
+def test_lu_factor_rejects_singular():
+    with pytest.raises(ValueError):
+        hpl.lu_factor(np.zeros((3, 3)))
+
+
+def test_lu_factor_rejects_non_square():
+    with pytest.raises(ValueError):
+        hpl.lu_factor(np.ones((2, 3)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=2, max_value=24), seed=st.integers(0, 500))
+def test_lu_round_trip_property(n, seed):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(n, n)) + n * np.eye(n)
+    lu, piv = hpl.lu_factor(a.copy(), block=5)
+    assert np.allclose(hpl.lu_reconstruct(lu, piv), a, atol=1e-7)
+
+
+def test_hpl_flops_and_model():
+    assert hpl.hpl_flops(10) == pytest.approx(2 / 3 * 1000 + 200)
+    op = hpl.hpl_update_model(5000, 16)
+    assert op.reuse > 0.9  # DGEMM-like
+    assert hpl.panel_bytes(100, 32) == 8 * 100 * 32

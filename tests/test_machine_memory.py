@@ -1,0 +1,193 @@
+"""Tests for the cache, memory, and interconnect models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import GB, MB, CacheModel, CoreSpec, Machine, dmz, longs, tiger
+from repro.machine.cache import traffic_factor
+
+
+# -- cache model ---------------------------------------------------------------
+
+def test_traffic_factor_no_reuse_pays_full():
+    assert traffic_factor(100 * MB, 1 * MB, reuse=0.0) == pytest.approx(1.0)
+
+
+def test_traffic_factor_resident_reuse_pays_floor():
+    assert traffic_factor(0.5 * MB, 1 * MB, reuse=1.0) == pytest.approx(0.02)
+
+
+def test_traffic_factor_partial_residency():
+    # half the working set resident, full reuse -> half the traffic
+    assert traffic_factor(2 * MB, 1 * MB, reuse=1.0) == pytest.approx(0.5)
+
+
+def test_traffic_factor_validation():
+    with pytest.raises(ValueError):
+        traffic_factor(1.0, 1.0, reuse=1.5)
+    with pytest.raises(ValueError):
+        traffic_factor(-1.0, 1.0, reuse=0.5)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ws=st.floats(min_value=1.0, max_value=1e10),
+    cache=st.floats(min_value=1.0, max_value=1e8),
+    reuse=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_traffic_factor_bounds_property(ws, cache, reuse):
+    f = traffic_factor(ws, cache, reuse)
+    assert 0.02 <= f <= 1.0
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    cache=st.floats(min_value=1.0, max_value=1e8),
+    reuse=st.floats(min_value=0.0, max_value=1.0),
+    ws_small=st.floats(min_value=1.0, max_value=1e9),
+    growth=st.floats(min_value=1.0, max_value=100.0),
+)
+def test_traffic_factor_monotone_in_working_set(cache, reuse, ws_small, growth):
+    """Shrinking the working set never increases DRAM traffic."""
+    small = traffic_factor(ws_small, cache, reuse)
+    large = traffic_factor(ws_small * growth, cache, reuse)
+    assert small <= large + 1e-12
+
+
+def test_cache_model_capacity_is_l1_plus_l2():
+    core = CoreSpec(frequency_hz=2e9)
+    cm = CacheModel(core)
+    assert cm.capacity == core.l2_bytes + core.l1d_bytes
+    assert cm.fits(core.l2_bytes)
+    assert not cm.fits(10 * core.l2_bytes)
+
+
+# -- memory system -----------------------------------------------------------
+
+def test_coherence_factor_small_vs_ladder():
+    """Longs derates bandwidth much harder than the 2-socket systems."""
+    small = Machine(dmz())
+    big = Machine(longs())
+    assert big.mem.coherence_factor < small.mem.coherence_factor
+    # paper: best single-core bandwidth on 8 sockets < half of ~4+ GB/s
+    assert big.mem.controller_capacity < 2.1 * GB
+    assert small.mem.controller_capacity > 3.0 * GB
+
+
+def test_stream_local_traffic_time():
+    m = Machine(dmz())
+    ev = m.mem.stream(from_socket=0, traffic={0: 1 * GB})
+    m.engine.run()
+    assert ev.triggered and ev.ok
+    expected = 1 * GB / m.mem.controller_capacity
+    assert m.engine.now == pytest.approx(expected, rel=1e-6)
+
+
+def test_stream_two_sharers_halve_bandwidth():
+    m = Machine(dmz())
+    m.mem.stream(0, {0: 1 * GB})
+    m.mem.stream(0, {0: 1 * GB})
+    m.engine.run()
+    solo = 1 * GB / m.mem.controller_capacity
+    assert m.engine.now == pytest.approx(2 * solo, rel=1e-6)
+
+
+def test_stream_remote_slower_than_local():
+    def run(traffic_node):
+        m = Machine(dmz())
+        m.mem.stream(0, {traffic_node: 1 * GB})
+        m.engine.run()
+        return m.engine.now
+
+    assert run(1) > run(0)
+
+
+def test_stream_remote_consumes_ht_links():
+    m = Machine(dmz())
+    m.mem.stream(0, {1: 1 * GB})
+    m.engine.run()
+    moved = sum(link.total_transferred for link in m.net.links.values())
+    assert moved == pytest.approx(1 * GB, rel=1e-6)
+
+
+def test_stream_empty_traffic_completes_immediately():
+    m = Machine(dmz())
+    ev = m.mem.stream(0, {})
+    assert ev.triggered
+
+
+def test_access_latency_grows_with_hops():
+    m = Machine(longs())
+    lat_local = m.mem.access_latency(0, 0)
+    lat_far = m.mem.access_latency(0, 7)
+    assert lat_far > lat_local
+    hops = m.net.hops(0, 7)
+    params = m.spec.params
+    assert lat_far == pytest.approx(params.dram_latency + hops * params.hop_latency)
+
+
+def test_access_latency_contention():
+    m = Machine(dmz())
+    assert m.mem.access_latency(0, 0, extra_sharers=3) > m.mem.access_latency(0, 0)
+
+
+def test_expected_latency_weighted_average():
+    m = Machine(dmz())
+    mixed = m.mem.expected_latency(0, {0: 0.5, 1: 0.5})
+    assert m.mem.access_latency(0, 0) < mixed < m.mem.access_latency(0, 1)
+
+
+def test_expected_latency_empty_distribution_raises():
+    m = Machine(dmz())
+    with pytest.raises(ValueError):
+        m.mem.expected_latency(0, {})
+
+
+def test_ideal_stream_bandwidth_decreases_with_sharers():
+    m = Machine(dmz())
+    b1 = m.mem.ideal_stream_bandwidth(0, 0, sharers_on_controller=1)
+    b2 = m.mem.ideal_stream_bandwidth(0, 0, sharers_on_controller=2)
+    assert b2 == pytest.approx(b1 / 2)
+
+
+# -- interconnect ----------------------------------------------------------------
+
+def test_interconnect_transfer_time_single_hop():
+    m = Machine(dmz())
+    ev = m.net.transfer(0, 1, 3.2 * GB)
+    m.engine.run()
+    assert m.engine.now == pytest.approx(1.0, rel=1e-6)
+
+
+def test_interconnect_multi_hop_concurrent_links():
+    """A multi-hop transfer is limited by the slowest link, not the sum."""
+    m = Machine(longs())
+    src, dst = 0, 3  # 3 rail hops on the top row
+    assert m.net.hops(src, dst) == 3
+    m.net.transfer(src, dst, 3.2 * GB)
+    m.engine.run()
+    assert m.engine.now == pytest.approx(1.0, rel=1e-6)
+
+
+def test_interconnect_same_socket_immediate():
+    m = Machine(longs())
+    ev = m.net.transfer(2, 2, 1e9)
+    assert ev.triggered
+
+
+def test_interconnect_congested_rung():
+    """Two transfers crossing the same link take twice as long."""
+    m = Machine(longs())
+    # both 0->4 and 4->0? choose same direction to share a directed link
+    m.net.transfer(0, 4, 3.2 * GB)
+    m.net.transfer(0, 4, 3.2 * GB)
+    m.engine.run()
+    assert m.engine.now == pytest.approx(2.0, rel=1e-6)
+
+
+def test_path_latency_scales_with_hops():
+    m = Machine(longs())
+    lat1 = m.net.path_latency(0, 4)
+    lat4 = m.net.path_latency(0, 7)
+    assert lat4 == pytest.approx(4 * lat1)

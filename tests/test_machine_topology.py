@@ -1,0 +1,135 @@
+"""Tests for machine topology, specs, and system presets."""
+
+import networkx as nx
+import pytest
+
+from repro.machine import (
+    SYSTEM_TABLE,
+    CoreSpec,
+    MachineSpec,
+    Machine,
+    SocketSpec,
+    all_systems,
+    build_socket_graph,
+    by_name,
+    dmz,
+    ladder_positions,
+    longs,
+    tiger,
+)
+
+
+def test_core_peak_flops():
+    core = CoreSpec(frequency_hz=2.2e9, flops_per_cycle=2.0)
+    assert core.peak_flops == pytest.approx(4.4e9)  # "capable of 4.4 GFlop/s"
+
+
+def test_tiger_matches_table1():
+    spec = tiger()
+    assert spec.sockets == 2
+    assert spec.socket.cores_per_socket == 1
+    assert spec.total_cores == 2
+    assert spec.socket.core.frequency_hz == pytest.approx(2.2e9)
+
+
+def test_dmz_matches_table1():
+    spec = dmz()
+    assert spec.sockets == 2
+    assert spec.socket.cores_per_socket == 2
+    assert spec.total_cores == 4
+    assert spec.socket.core.frequency_hz == pytest.approx(2.2e9)
+
+
+def test_longs_matches_table1():
+    spec = longs()
+    assert spec.sockets == 8
+    assert spec.socket.cores_per_socket == 2
+    assert spec.total_cores == 16
+    assert spec.socket.core.frequency_hz == pytest.approx(1.8e9)
+    assert spec.topology == "ladder"
+
+
+def test_by_name_case_insensitive():
+    assert by_name("LONGS").name == "Longs"
+    assert by_name("dmz").name == "DMZ"
+
+
+def test_by_name_unknown_raises():
+    with pytest.raises(ValueError, match="unknown system"):
+        by_name("bluegene")
+
+
+def test_all_systems_order():
+    assert [s.name for s in all_systems()] == ["Tiger", "DMZ", "Longs"]
+
+
+def test_system_table_is_table1():
+    assert len(SYSTEM_TABLE) == 3
+    row = {r["Name"]: r for r in SYSTEM_TABLE}
+    assert row["Longs"]["Total Cores per Node"] == 16
+    assert row["Tiger"]["Opteron Model"] == 248
+    assert row["DMZ"]["Node Memory Type"] == "DDR-400"
+
+
+def test_spec_validation():
+    core = CoreSpec(frequency_hz=2e9)
+    sock = SocketSpec(cores_per_socket=2, core=core)
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", sockets=3, socket=sock, topology="pair")
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", sockets=3, socket=sock, topology="ladder")
+    with pytest.raises(ValueError):
+        MachineSpec(name="bad", sockets=2, socket=sock, topology="mesh3d")
+
+
+def test_pair_graph_single_edge():
+    g = build_socket_graph(dmz())
+    assert g.number_of_nodes() == 2
+    assert g.number_of_edges() == 1
+
+
+def test_ladder_graph_shape():
+    g = build_socket_graph(longs())
+    # 2x4 ladder: 4 rungs + 3 top rails + 3 bottom rails = 10 edges
+    assert g.number_of_nodes() == 8
+    assert g.number_of_edges() == 10
+    assert nx.is_connected(g)
+    degrees = sorted(d for _n, d in g.degree())
+    assert degrees == [2, 2, 2, 2, 3, 3, 3, 3]  # corners 2, middles 3
+
+
+def test_ladder_positions_cover_grid():
+    pos = ladder_positions(8)
+    assert sorted(pos.values()) == [(r, c) for r in (0, 1) for c in range(4)]
+
+
+def test_machine_core_numbering_socket_major():
+    m = Machine(longs())
+    assert m.total_cores == 16
+    for cid in range(16):
+        assert m.socket_of_core(cid) == cid // 2
+    assert m.cores_on_socket(3) == [6, 7]
+    assert m.siblings(6) == [7]
+
+
+def test_machine_distance_matrix_slit_style():
+    m = Machine(dmz())
+    d = m.distance_matrix()
+    assert d[0, 0] == 10
+    assert d[0, 1] == 20
+    assert (d == d.T).all()
+
+
+def test_longs_diameter_is_four_hops():
+    m = Machine(longs())
+    # opposite corners of the 2x4 ladder: 3 rail hops + 1 rung
+    assert m.net.max_hops() == 4
+
+
+def test_routing_hops_symmetric():
+    m = Machine(longs())
+    for s in range(8):
+        for d in range(8):
+            assert m.net.hops(s, d) == m.net.hops(d, s)
+            if s == d:
+                assert m.net.hops(s, d) == 0

@@ -1,0 +1,35 @@
+"""Tests for the functional mini-benchmark driver."""
+
+import pytest
+
+from repro.apps.md import run_mini_benchmark
+
+
+@pytest.mark.parametrize("potential", ["lj", "chain", "eam"])
+def test_mini_benchmark_conserves_energy(potential):
+    result = run_mini_benchmark(potential, natoms=64, steps=40, dt=0.001)
+    assert result.potential == potential
+    assert result.natoms > 0
+    assert result.drift < 0.08
+
+
+def test_mini_benchmark_unknown_potential():
+    with pytest.raises(ValueError):
+        run_mini_benchmark("tersoff")
+
+
+def test_mini_benchmark_deterministic():
+    a = run_mini_benchmark("lj", natoms=27, steps=10, seed=7)
+    b = run_mini_benchmark("lj", natoms=27, steps=10, seed=7)
+    assert a.final_energy == b.final_energy
+
+
+def test_mini_benchmark_seed_changes_trajectory():
+    a = run_mini_benchmark("lj", natoms=27, steps=10, seed=1)
+    b = run_mini_benchmark("lj", natoms=27, steps=10, seed=2)
+    assert a.final_energy != b.final_energy
+
+
+def test_chain_builds_requested_scale():
+    result = run_mini_benchmark("chain", natoms=50, steps=5)
+    assert result.natoms == 50  # 10 chains x 5 beads

@@ -1,0 +1,414 @@
+"""Tests for the simulated MPI runtime: semantics and cost ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import KB, MB, Machine, dmz, longs
+from repro.mpi import (
+    IMPLEMENTATIONS,
+    LAM,
+    MPICH2,
+    OPENMPI,
+    LockLayer,
+    MpiWorld,
+    implementation_by_name,
+)
+from repro.osmodel import spread, two_per_socket
+
+
+def make_world(spec=None, ntasks=2, impl=OPENMPI, lock=None, placement=None):
+    spec = spec if spec is not None else dmz()
+    machine = Machine(spec)
+    if placement is None:
+        placement = spread(spec, ntasks)
+    return MpiWorld(machine, placement, impl=impl, lock=lock)
+
+
+def run_ranks(world, program):
+    """Run `program(world, rank)` generators on every rank; return engine.now."""
+    for r in range(world.size):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    return world.engine.now
+
+
+# -- implementation profiles ---------------------------------------------------
+
+def test_implementation_lookup():
+    assert implementation_by_name("lam") is LAM
+    assert implementation_by_name("OpenMPI") is OPENMPI
+    with pytest.raises(ValueError):
+        implementation_by_name("pvm")
+
+
+def test_profiles_cover_three_implementations():
+    assert set(IMPLEMENTATIONS) == {"mpich2", "lam", "openmpi"}
+
+
+def test_eager_threshold_semantics():
+    assert MPICH2.is_eager(16 * KB)
+    assert not MPICH2.is_eager(16 * KB + 1)
+    assert LAM.is_eager(64 * KB)
+    assert not OPENMPI.is_eager(8 * KB)
+
+
+def test_copy_cost_factor_pipelining():
+    assert MPICH2.copy_cost_factor(1) == pytest.approx(2.0)  # eager = 2 copies
+    assert MPICH2.copy_cost_factor(1 * MB) == pytest.approx(2.0 - MPICH2.pipelining)
+
+
+def test_lock_layer_costs_ordered():
+    params = dmz().params
+    assert LockLayer("sysv").cost(params) > LockLayer("pthread").cost(params)
+    assert LockLayer("pthread").cost(params) > LockLayer("usysv").cost(params)
+    with pytest.raises(ValueError):
+        LockLayer("futex").cost(params)
+
+
+def test_implementation_validation():
+    from repro.mpi import MpiImplementation
+
+    with pytest.raises(ValueError):
+        MpiImplementation("x", 1e-6, 1024, 1e-6, pipelining=1.5)
+    with pytest.raises(ValueError):
+        MpiImplementation("x", 1e-6, -1, 1e-6, pipelining=0.5)
+
+
+# -- point-to-point semantics -----------------------------------------------------
+
+def test_send_recv_delivers_payload():
+    world = make_world()
+    result = {}
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 1024, tag=7, payload="hello")
+        else:
+            msg = yield from world.recv(1, src=0, tag=7)
+            result["msg"] = msg
+
+    run_ranks(world, program)
+    assert result["msg"].payload == "hello"
+    assert result["msg"].nbytes == 1024
+
+
+def test_recv_wildcard_source_and_tag():
+    world = make_world()
+    result = {}
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 64, tag=3)
+        else:
+            msg = yield from world.recv(1)  # wildcard src and tag
+            result["src"] = msg.src
+            result["tag"] = msg.tag
+
+    run_ranks(world, program)
+    assert result["src"] == 0 and result["tag"] == 3
+
+
+def test_messages_match_fifo_per_source_tag():
+    world = make_world()
+    seen = []
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 16, tag=1, payload="first")
+            yield from world.send(0, 1, 16, tag=1, payload="second")
+        else:
+            m1 = yield from world.recv(1, src=0, tag=1)
+            m2 = yield from world.recv(1, src=0, tag=1)
+            seen.extend([m1.payload, m2.payload])
+
+    run_ranks(world, program)
+    assert seen == ["first", "second"]
+
+
+def test_tag_selective_matching():
+    world = make_world()
+    seen = {}
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 16, tag=5, payload="five")
+            yield from world.send(0, 1, 16, tag=9, payload="nine")
+        else:
+            m9 = yield from world.recv(1, src=0, tag=9)
+            m5 = yield from world.recv(1, src=0, tag=5)
+            seen["order"] = [m9.payload, m5.payload]
+
+    run_ranks(world, program)
+    assert seen["order"] == ["nine", "five"]
+
+
+def test_rendezvous_send_blocks_until_recv_posted():
+    world = make_world(impl=OPENMPI)
+    times = {}
+    big = 1 * MB  # beyond OpenMPI eager threshold
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, big)
+            times["send_done"] = world.engine.now
+        else:
+            yield world.engine.timeout(1.0)  # delay posting the recv
+            yield from world.recv(1, src=0)
+            times["recv_done"] = world.engine.now
+
+    run_ranks(world, program)
+    assert times["send_done"] >= 1.0  # sender had to wait for the handshake
+
+
+def test_eager_send_completes_without_recv():
+    world = make_world(impl=OPENMPI)
+    times = {}
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 512)  # eager
+            times["send_done"] = world.engine.now
+        else:
+            yield world.engine.timeout(1.0)
+            yield from world.recv(1, src=0)
+
+    run_ranks(world, program)
+    assert times["send_done"] < 0.01
+
+
+def test_sendrecv_ring_no_deadlock():
+    spec = longs()
+    world = make_world(spec, ntasks=8, placement=spread(spec, 8))
+    done = []
+
+    def program(world, rank):
+        p = world.size
+        yield from world.sendrecv(rank, (rank + 1) % p, (rank - 1) % p, 4 * KB)
+        done.append(rank)
+
+    run_ranks(world, program)
+    assert sorted(done) == list(range(8))
+
+
+def test_send_to_invalid_rank_raises():
+    world = make_world()
+    with pytest.raises(ValueError):
+        list(world.send(0, 5, 10))
+    with pytest.raises(ValueError):
+        list(world.send(0, 1, -1))
+
+
+def test_stats_count_messages_and_bytes():
+    world = make_world()
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 100)
+            yield from world.send(0, 1, 200)
+        else:
+            yield from world.recv(1)
+            yield from world.recv(1)
+
+    run_ranks(world, program)
+    assert world.stats.messages == 2
+    assert world.stats.bytes_sent == 300
+    assert world.stats.by_rank_messages[0] == 2
+
+
+# -- cost model orderings ----------------------------------------------------------
+
+def ping_pong_time(spec, placement, nbytes, impl=OPENMPI, lock=None, reps=10):
+    machine = Machine(spec)
+    world = MpiWorld(machine, placement, impl=impl, lock=lock)
+    def program(world, rank):
+        for _ in range(reps):
+            if rank == 0:
+                yield from world.send(0, 1, nbytes)
+                yield from world.recv(0, src=1)
+            else:
+                yield from world.recv(1, src=0)
+                yield from world.send(1, 0, nbytes)
+    for r in range(2):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    return world.engine.now / (2 * reps)  # one-way time
+
+
+def test_intra_socket_faster_than_inter_socket():
+    """The paper's 10-13% bandwidth benefit for same-socket pairs."""
+    spec = dmz()
+    same = ping_pong_time(spec, two_per_socket(spec, 2), 1 * MB)
+    cross = ping_pong_time(spec, spread(spec, 2), 1 * MB)
+    assert same < cross
+    ratio = cross / same
+    assert 1.05 < ratio < 1.30
+
+
+def test_sysv_dominates_small_messages():
+    spec = dmz()
+    placement = spread(spec, 2)
+    slow = ping_pong_time(spec, placement, 8, lock="sysv")
+    fast = ping_pong_time(spec, placement, 8, lock="usysv")
+    assert slow > 5 * fast
+
+
+def test_sysv_modest_for_large_messages():
+    """Per-fragment locking leaves a bounded (not dominant) large-message
+    penalty — the Figure 12 PTRANS effect — versus >5x for small ones."""
+    spec = dmz()
+    placement = spread(spec, 2)
+    slow = ping_pong_time(spec, placement, 4 * MB, lock="sysv")
+    fast = ping_pong_time(spec, placement, 4 * MB, lock="usysv")
+    assert 1.02 < slow / fast < 1.6
+
+
+def test_lam_best_small_mpich2_best_large():
+    """Figure 14's crossover structure."""
+    spec = dmz()
+    placement = spread(spec, 2)
+    small = {impl.name: ping_pong_time(spec, placement, 1 * KB, impl=impl)
+             for impl in (MPICH2, LAM, OPENMPI)}
+    large = {impl.name: ping_pong_time(spec, placement, 4 * MB, impl=impl)
+             for impl in (MPICH2, LAM, OPENMPI)}
+    assert small["LAM"] < small["OpenMPI"] < small["MPICH2"]
+    assert large["MPICH2"] < large["OpenMPI"] < large["LAM"]
+
+
+def test_openmpi_wins_intermediate():
+    spec = dmz()
+    placement = spread(spec, 2)
+    mid = {impl.name: ping_pong_time(spec, placement, 128 * KB, impl=impl)
+           for impl in (MPICH2, LAM, OPENMPI)}
+    assert mid["OpenMPI"] == min(mid.values())
+
+
+def test_more_hops_higher_latency():
+    spec = longs()
+    # ranks on sockets 0 and 4 (1 hop) vs 0 and 3 (3 hops)
+    from repro.osmodel import Placement
+    near = ping_pong_time(spec, Placement((0, 8), 2), 8)
+    far = ping_pong_time(spec, Placement((0, 6), 2), 8)
+    assert far > near
+
+
+# -- collectives --------------------------------------------------------------------
+
+def collective_time(spec, ntasks, op, nbytes=1024, **world_kwargs):
+    machine = Machine(spec)
+    placement = spread(spec, ntasks)
+    world = MpiWorld(machine, placement, **world_kwargs)
+    done = []
+
+    def program(world, rank):
+        yield from getattr(world, op)(rank, nbytes) if op != "barrier" else world.barrier(rank)
+        done.append(rank)
+
+    for r in range(ntasks):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(ntasks))
+    return world.engine.now
+
+
+def test_barrier_completes_all_ranks():
+    assert collective_time(dmz(), 4, "barrier") > 0
+
+
+def test_barrier_single_rank_is_free():
+    assert collective_time(dmz(), 1, "barrier") == 0.0
+
+
+def test_allreduce_all_ranks_complete():
+    assert collective_time(longs(), 8, "allreduce", nbytes=8) > 0
+
+
+def test_allreduce_non_power_of_two():
+    assert collective_time(dmz(), 3, "allreduce", nbytes=64) > 0
+
+
+def test_allreduce_latency_grows_with_ranks():
+    spec = longs()
+    t2 = collective_time(spec, 2, "allreduce", nbytes=8)
+    t8 = collective_time(spec, 8, "allreduce", nbytes=8)
+    assert t8 > t2
+
+
+def test_alltoall_completes():
+    assert collective_time(longs(), 8, "alltoall", nbytes=4 * KB) > 0
+
+
+def test_allgather_completes():
+    assert collective_time(dmz(), 4, "allgather", nbytes=1 * KB) > 0
+
+
+def test_bcast_all_ranks_receive():
+    spec = longs()
+    machine = Machine(spec)
+    placement = spread(spec, 8)
+    world = MpiWorld(machine, placement)
+    done = []
+
+    def program(world, rank):
+        yield from world.bcast(rank, 0, 4 * KB)
+        done.append(rank)
+
+    for r in range(8):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(8))
+
+
+def test_bcast_nonzero_root():
+    spec = dmz()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, 4))
+    done = []
+
+    def program(world, rank):
+        yield from world.bcast(rank, 2, 1 * KB)
+        done.append(rank)
+
+    for r in range(4):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(4))
+
+
+def test_reduce_completes():
+    spec = dmz()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, 4))
+    done = []
+
+    def program(world, rank):
+        yield from world.reduce(rank, 0, 1 * KB)
+        done.append(rank)
+
+    for r in range(4):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(ntasks=st.integers(min_value=1, max_value=8),
+       nbytes=st.integers(min_value=0, max_value=64 * 1024))
+def test_collectives_terminate_property(ntasks, nbytes):
+    """Barrier/allreduce/alltoall always complete for any rank count."""
+    spec = longs()
+    machine = Machine(spec)
+    placement = spread(spec, ntasks)
+    world = MpiWorld(machine, placement)
+    done = []
+
+    def program(world, rank):
+        yield from world.barrier(rank)
+        yield from world.allreduce(rank, nbytes)
+        yield from world.alltoall(rank, nbytes)
+        done.append(rank)
+
+    for r in range(ntasks):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert len(done) == ntasks

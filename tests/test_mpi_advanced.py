@@ -1,0 +1,301 @@
+"""Advanced simulated-MPI tests: protocols, fragmentation, matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import KB, MB, Machine, dmz, longs
+from repro.mpi import LAM, MPICH2, OPENMPI, MpiWorld
+from repro.osmodel import Placement, spread
+
+
+def make_world(spec=None, ntasks=2, **kwargs):
+    spec = spec if spec is not None else dmz()
+    machine = Machine(spec)
+    return MpiWorld(machine, spread(spec, ntasks), **kwargs)
+
+
+def run_ranks(world, program):
+    for r in range(world.size):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    return world.engine.now
+
+
+# -- non-blocking operations ---------------------------------------------------
+
+def test_isend_irecv_complete():
+    world = make_world()
+    seen = {}
+
+    def program(world, rank):
+        if rank == 0:
+            done = world.isend(0, 1, 2 * KB, tag=4, payload="x")
+            yield done
+        else:
+            pending = world.irecv(1, src=0, tag=4)
+            msg = yield pending
+            seen["payload"] = msg.payload
+
+    run_ranks(world, program)
+    assert seen["payload"] == "x"
+
+
+def test_overlapping_isends_preserve_order():
+    world = make_world()
+    order = []
+
+    def program(world, rank):
+        if rank == 0:
+            first = world.isend(0, 1, 128, tag=9, payload="a")
+            second = world.isend(0, 1, 128, tag=9, payload="b")
+            yield world.engine.all_of([first, second])
+        else:
+            for _ in range(2):
+                msg = yield from world.recv(1, src=0, tag=9)
+                order.append(msg.payload)
+
+    run_ranks(world, program)
+    assert order == ["a", "b"]
+
+
+# -- matching edge cases ----------------------------------------------------------
+
+def test_wildcard_recv_matches_any_sender():
+    spec = dmz()
+    world = make_world(spec, ntasks=3)
+    sources = []
+
+    def program(world, rank):
+        if rank == 0:
+            for _ in range(2):
+                msg = yield from world.recv(0)
+                sources.append(msg.src)
+        else:
+            yield world.engine.timeout(rank * 1e-6)
+            yield from world.send(rank, 0, 64, tag=rank)
+
+    run_ranks(world, program)
+    assert sorted(sources) == [1, 2]
+
+
+def test_pending_recvs_matched_in_post_order():
+    world = make_world()
+    results = {}
+
+    def receiver(world):
+        first = world.irecv(1, src=0)
+        second = world.irecv(1, src=0)
+        msg1 = yield first
+        msg2 = yield second
+        results["order"] = (msg1.payload, msg2.payload)
+
+    def sender(world):
+        yield world.engine.timeout(1e-6)
+        yield from world.send(0, 1, 32, payload="one")
+        yield from world.send(0, 1, 32, payload="two")
+
+    world.engine.process(receiver(world))
+    world.engine.process(sender(world))
+    world.engine.run()
+    assert results["order"] == ("one", "two")
+
+
+def test_selective_recv_does_not_steal_other_sources():
+    spec = dmz()
+    world = make_world(spec, ntasks=3)
+    got = {}
+
+    def program(world, rank):
+        if rank == 0:
+            msg2 = yield from world.recv(0, src=2)
+            msg1 = yield from world.recv(0, src=1)
+            got["first"] = msg2.src
+            got["second"] = msg1.src
+        else:
+            yield from world.send(rank, 0, 64)
+
+    run_ranks(world, program)
+    assert got == {"first": 2, "second": 1}
+
+
+# -- protocol details --------------------------------------------------------------
+
+def test_fragmentation_adds_lock_cost_per_fragment():
+    """A 4 MB rendezvous transfer pays ~64 fragment locks under SysV."""
+    spec = dmz()
+
+    def one_way(lock):
+        world = make_world(spec, lock=lock)
+
+        def program(world, rank):
+            if rank == 0:
+                yield from world.send(0, 1, 4 * MB)
+            else:
+                yield from world.recv(1, src=0)
+
+        return run_ranks(world, program)
+
+    frag = spec.params.shm_fragment_bytes
+    expected_extra = (4 * MB / frag - 1) * (
+        spec.params.sysv_lock_cost - spec.params.usysv_lock_cost)
+    measured_extra = one_way("sysv") - one_way("usysv")
+    # per-message base locks add a couple more lock-cost deltas
+    assert measured_extra == pytest.approx(expected_extra, rel=0.10)
+
+
+def test_eager_message_has_no_fragment_locks():
+    spec = dmz()
+
+    def one_way(lock):
+        world = make_world(spec, impl=LAM, lock=lock)
+
+        def program(world, rank):
+            if rank == 0:
+                yield from world.send(0, 1, 16 * KB)  # within LAM eager
+            else:
+                yield from world.recv(1, src=0)
+
+        return run_ranks(world, program)
+
+    delta = one_way("sysv") - one_way("usysv")
+    per_message_locks = 2  # sender enqueue + receiver dequeue
+    expected = per_message_locks * (spec.params.sysv_lock_cost
+                                    - spec.params.usysv_lock_cost)
+    assert delta == pytest.approx(expected, rel=0.05)
+
+
+def test_overhead_multiplier_scales_small_messages():
+    spec = dmz()
+
+    def one_way(multiplier):
+        machine = Machine(spec)
+        world = MpiWorld(machine, spread(spec, 2),
+                         overhead_multiplier=multiplier)
+
+        def program(world, rank):
+            if rank == 0:
+                yield from world.send(0, 1, 8)
+            else:
+                yield from world.recv(1, src=0)
+
+        return run_ranks(world, program)
+
+    assert one_way(2.0) > 1.5 * one_way(1.0)
+    with pytest.raises(ValueError):
+        MpiWorld(Machine(spec), spread(spec, 2), overhead_multiplier=0.5)
+
+
+def test_buffer_node_placement_affects_copy_path():
+    """A remote send buffer forces traffic over the HT links."""
+    spec = dmz()
+
+    def links_moved(buffer_node):
+        machine = Machine(spec)
+        placement = Placement((0, 1), spec.cores_per_socket)  # same socket
+        world = MpiWorld(machine, placement,
+                         buffer_nodes={0: buffer_node, 1: buffer_node})
+
+        def program(world, rank):
+            if rank == 0:
+                yield from world.send(0, 1, 1 * MB)
+            else:
+                yield from world.recv(1, src=0)
+
+        run_ranks(world, program)
+        return sum(l.total_transferred for l in machine.net.links.values())
+
+    assert links_moved(0) == 0.0
+    assert links_moved(1) > 0.0
+
+
+def test_stats_by_rank_bytes():
+    world = make_world(ntasks=2)
+
+    def program(world, rank):
+        if rank == 0:
+            yield from world.send(0, 1, 300)
+        else:
+            yield from world.recv(1, src=0)
+
+    run_ranks(world, program)
+    assert world.stats.by_rank_bytes == {0: 300}
+
+
+# -- collective properties ------------------------------------------------------------
+
+@settings(max_examples=12, deadline=None)
+@given(ntasks=st.integers(min_value=2, max_value=8),
+       root=st.integers(min_value=0, max_value=7))
+def test_bcast_any_root_property(ntasks, root):
+    root %= ntasks
+    spec = longs()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, ntasks))
+    done = []
+
+    def program(world, rank):
+        yield from world.bcast(rank, root, 4 * KB)
+        done.append(rank)
+
+    for r in range(ntasks):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(ntasks))
+
+
+@settings(max_examples=12, deadline=None)
+@given(ntasks=st.integers(min_value=2, max_value=8),
+       root=st.integers(min_value=0, max_value=7))
+def test_reduce_any_root_property(ntasks, root):
+    root %= ntasks
+    spec = longs()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, ntasks))
+    done = []
+
+    def program(world, rank):
+        yield from world.reduce(rank, root, 1 * KB)
+        done.append(rank)
+
+    for r in range(ntasks):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert sorted(done) == list(range(ntasks))
+
+
+def test_barrier_synchronizes_staggered_ranks():
+    """No rank leaves the barrier before the last one arrives."""
+    spec = dmz()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, 4))
+    exit_times = {}
+    LAST_ARRIVAL = 1e-3
+
+    def program(world, rank):
+        yield world.engine.timeout(rank * LAST_ARRIVAL / 3)
+        yield from world.barrier(rank)
+        exit_times[rank] = world.engine.now
+
+    for r in range(4):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    assert min(exit_times.values()) >= LAST_ARRIVAL
+
+
+def test_allreduce_bandwidth_term_scales_with_size():
+    spec = dmz()
+
+    def time_for(nbytes):
+        machine = Machine(spec)
+        world = MpiWorld(machine, spread(spec, 4))
+
+        def program(world, rank):
+            yield from world.allreduce(rank, nbytes)
+
+        for r in range(4):
+            world.engine.process(program(world, r))
+        world.engine.run()
+        return world.engine.now
+
+    assert time_for(4 * MB) > 5 * time_for(4 * KB)

@@ -1,0 +1,109 @@
+"""Tests for the NAS EP/MG extensions and the Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    AffinityScheme,
+    JobRunner,
+    resolve_scheme,
+    run_workload,
+    to_chrome_trace,
+)
+from repro.machine import dmz, longs
+from repro.workloads import CLASS_B_EP, CLASS_B_MG, NasEP, NasMG
+
+
+# -- NAS EP -----------------------------------------------------------------
+
+def test_ep_class_b_constant():
+    assert CLASS_B_EP["pairs"] == 2 ** 30
+
+
+def test_ep_scales_linearly():
+    """EP is the control: near-perfect scaling everywhere."""
+    spec = longs()
+    t1 = run_workload(spec, NasEP(1)).wall_time
+    t16 = run_workload(spec, NasEP(16), AffinityScheme.TWO_MPI_LOCAL).wall_time
+    assert t1 / t16 > 15.0
+
+
+def test_ep_placement_insensitive():
+    """No scheme should move EP by more than a few percent."""
+    spec = longs()
+    times = []
+    for scheme in (AffinityScheme.TWO_MPI_LOCAL,
+                   AffinityScheme.TWO_MPI_MEMBIND,
+                   AffinityScheme.INTERLEAVE):
+        times.append(run_workload(spec, NasEP(8), scheme).wall_time)
+    assert max(times) < 1.1 * min(times)
+
+
+# -- NAS MG ---------------------------------------------------------------------
+
+def test_mg_class_b_constant():
+    assert CLASS_B_MG["grid"] == 256
+
+
+def test_mg_divisibility_check():
+    with pytest.raises(ValueError):
+        NasMG(7)
+    with pytest.raises(ValueError):
+        NasMG(4, simulated_iters=0)
+
+
+def test_mg_vcycle_structure():
+    """A V-cycle visits the finest level twice, the coarsest once."""
+    from repro.core.ops import Compute
+
+    wl = NasMG(4, simulated_iters=1)
+    phases = [op.phase for op in wl.program(0) if isinstance(op, Compute)]
+    levels = CLASS_B_MG["levels"]
+    # down-sweep visits every level once, up-sweep all but the coarsest
+    assert phases.count("level0") == 2
+    assert phases.count("level1") == 2
+    assert phases.count("coarse") == 2 * (levels - 2) - 1
+
+
+def test_mg_scales_but_below_ep():
+    spec = longs()
+    def speedup(workload_cls):
+        t1 = run_workload(spec, workload_cls(1)).wall_time
+        t16 = run_workload(spec, workload_cls(16),
+                           AffinityScheme.TWO_MPI_LOCAL).wall_time
+        return t1 / t16
+    mg = speedup(NasMG)
+    ep = speedup(NasEP)
+    assert 4.0 < mg < ep  # latency-bound coarse levels cap MG
+
+
+def test_mg_placement_sensitive_unlike_ep():
+    spec = longs()
+    local = run_workload(spec, NasMG(8), AffinityScheme.TWO_MPI_LOCAL)
+    membind = run_workload(spec, NasMG(8), AffinityScheme.TWO_MPI_MEMBIND)
+    assert membind.wall_time > 1.2 * local.wall_time
+
+
+# -- Chrome trace export --------------------------------------------------------
+
+def test_chrome_trace_export():
+    spec = dmz()
+    affinity = resolve_scheme(AffinityScheme.DEFAULT, spec, 2)
+    runner = JobRunner(spec, affinity, trace=True)
+    workload = NasEP(2)
+    runner.run(workload)
+    payload = json.loads(to_chrome_trace(runner.machine.tracer,
+                                         time_scale=workload.time_scale))
+    events = payload["traceEvents"]
+    assert events
+    assert {e["tid"] for e in events} == {0, 1}
+    assert all(e["ph"] == "X" and e["dur"] >= 0 for e in events)
+    assert any(e["name"] == "Compute" for e in events)
+
+
+def test_chrome_trace_empty_tracer():
+    from repro.sim import Tracer
+
+    payload = json.loads(to_chrome_trace(Tracer()))
+    assert payload["traceEvents"] == []

@@ -1,0 +1,223 @@
+"""Tests for NUMA policies, the page table, and the numactl front-end."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numa import (
+    PAGE_SIZE,
+    FirstTouch,
+    Interleave,
+    LocalAlloc,
+    Membind,
+    NumactlConfig,
+    PageTable,
+    parse_numactl,
+)
+
+
+# -- policies ---------------------------------------------------------------
+
+def test_localalloc_always_local():
+    policy = LocalAlloc()
+    for page in range(20):
+        assert policy.place_page(3, page, 8) == 3
+    assert policy.traffic_distribution(3, 8) == {3: 1.0}
+
+
+def test_first_touch_no_migration_is_local():
+    policy = FirstTouch(remote_fraction=0.0)
+    assert policy.traffic_distribution(2, 8) == {2: 1.0}
+    assert all(policy.place_page(2, p, 8) == 2 for p in range(50))
+
+
+def test_first_touch_migration_spreads_remainder():
+    policy = FirstTouch(remote_fraction=0.1)
+    dist = policy.traffic_distribution(0, 4)
+    assert dist[0] == pytest.approx(0.9)
+    for node in (1, 2, 3):
+        assert dist[node] == pytest.approx(0.1 / 3)
+
+
+def test_first_touch_single_node_always_local():
+    policy = FirstTouch(remote_fraction=0.5)
+    assert policy.traffic_distribution(0, 1) == {0: 1.0}
+
+
+def test_first_touch_bad_fraction():
+    with pytest.raises(ValueError):
+        FirstTouch(remote_fraction=1.0)
+
+
+def test_membind_round_robin_over_set():
+    policy = Membind(nodes=(0, 1))
+    placed = [policy.place_page(5, p, 8) for p in range(6)]
+    assert placed == [0, 1, 0, 1, 0, 1]
+    assert policy.traffic_distribution(5, 8) == {0: 0.5, 1: 0.5}
+
+
+def test_membind_validates_nodes():
+    with pytest.raises(ValueError):
+        Membind(nodes=())
+    with pytest.raises(ValueError):
+        Membind(nodes=(0, 0))
+    with pytest.raises(ValueError):
+        Membind(nodes=(9,)).place_page(0, 0, 8)
+
+
+def test_interleave_all_nodes_default():
+    policy = Interleave()
+    dist = policy.traffic_distribution(0, 4)
+    assert dist == {n: pytest.approx(0.25) for n in range(4)}
+    assert [policy.place_page(0, p, 4) for p in range(4)] == [0, 1, 2, 3]
+
+
+def test_interleave_subset():
+    policy = Interleave(nodes=(2, 5))
+    assert policy.traffic_distribution(0, 8) == {2: 0.5, 5: 0.5}
+
+
+def test_policy_rejects_bad_toucher():
+    with pytest.raises(ValueError):
+        LocalAlloc().place_page(8, 0, 8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=1, max_value=8),
+    home=st.integers(min_value=0, max_value=7),
+    remote=st.floats(min_value=0.0, max_value=0.9),
+)
+def test_distributions_sum_to_one_property(num_nodes, home, remote):
+    home = home % num_nodes
+    for policy in (FirstTouch(remote_fraction=remote), LocalAlloc(),
+                   Interleave(), Membind(nodes=(0,))):
+        dist = policy.traffic_distribution(home, num_nodes)
+        assert sum(dist.values()) == pytest.approx(1.0)
+        assert all(0 <= n < num_nodes for n in dist)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    num_nodes=st.integers(min_value=2, max_value=8),
+    npages=st.integers(min_value=200, max_value=2000),
+)
+def test_page_realization_matches_distribution_property(num_nodes, npages):
+    """Page-granular placement converges to the analytic distribution."""
+    table = PageTable(num_nodes=num_nodes)
+    policy = Interleave()
+    region = table.allocate(task=0, nbytes=npages * PAGE_SIZE,
+                            toucher_node=0, policy=policy)
+    fractions = region.node_fractions()
+    expected = policy.traffic_distribution(0, num_nodes)
+    for node, frac in expected.items():
+        assert fractions.get(node, 0.0) == pytest.approx(frac, abs=2.0 / npages * num_nodes)
+
+
+def test_first_touch_page_realization_matches_fraction():
+    policy = FirstTouch(remote_fraction=0.1)
+    table = PageTable(num_nodes=4)
+    region = table.allocate(0, 5000 * PAGE_SIZE, toucher_node=1, policy=policy)
+    fractions = region.node_fractions()
+    assert fractions[1] == pytest.approx(0.9, abs=0.02)
+
+
+# -- page table ---------------------------------------------------------------
+
+def test_page_table_page_count_rounds_up():
+    table = PageTable(num_nodes=2)
+    region = table.allocate(0, PAGE_SIZE + 1, 0, LocalAlloc())
+    assert region.num_pages == 2
+
+
+def test_page_table_rejects_empty_allocation():
+    table = PageTable(num_nodes=2)
+    with pytest.raises(ValueError):
+        table.allocate(0, 0, 0, LocalAlloc())
+
+
+def test_page_table_indices_continue_across_regions():
+    """Round-robin policies must not restart at every allocation."""
+    table = PageTable(num_nodes=2)
+    policy = Interleave()
+    first = table.allocate(0, PAGE_SIZE, 0, policy)   # page 0 -> node 0
+    second = table.allocate(0, PAGE_SIZE, 0, policy)  # page 1 -> node 1
+    assert first.page_nodes == [0]
+    assert second.page_nodes == [1]
+
+
+def test_page_table_task_fractions_aggregates():
+    table = PageTable(num_nodes=2)
+    table.allocate(7, 10 * PAGE_SIZE, 0, LocalAlloc())
+    table.allocate(7, 10 * PAGE_SIZE, 1, LocalAlloc())
+    assert table.task_fractions(7) == {0: 0.5, 1: 0.5}
+
+
+def test_page_table_node_load_detects_hotspot():
+    table = PageTable(num_nodes=4)
+    for task in range(4):
+        table.allocate(task, 100 * PAGE_SIZE, task, Membind(nodes=(0,)))
+    load = table.node_load()
+    assert load == {0: 400}
+
+
+# -- numactl front-end -----------------------------------------------------------
+
+def test_numactl_default_config():
+    cfg = NumactlConfig()
+    assert not cfg.binds_cpu
+    assert cfg.command_line() == "(no numactl)"
+    policy = cfg.memory_policy(default_remote_fraction=0.08)
+    assert isinstance(policy, FirstTouch)
+    assert policy.remote_fraction == pytest.approx(0.08)
+
+
+def test_numactl_bound_default_has_no_migration():
+    cfg = NumactlConfig(cpunodebind=(0,))
+    policy = cfg.memory_policy(default_remote_fraction=0.08)
+    assert policy.remote_fraction == 0.0
+
+
+def test_numactl_localalloc():
+    cfg = NumactlConfig(cpunodebind=(0, 1), localalloc=True)
+    assert isinstance(cfg.memory_policy(), LocalAlloc)
+    assert "--localalloc" in cfg.command_line()
+
+
+def test_numactl_exclusive_memory_options():
+    with pytest.raises(ValueError):
+        NumactlConfig(localalloc=True, membind=(0,))
+    with pytest.raises(ValueError):
+        NumactlConfig(membind=(0,), interleave=(1,))
+
+
+def test_numactl_exclusive_cpu_options():
+    with pytest.raises(ValueError):
+        NumactlConfig(cpunodebind=(0,), physcpubind=(0,))
+
+
+def test_numactl_empty_id_list_rejected():
+    with pytest.raises(ValueError):
+        NumactlConfig(membind=())
+
+
+def test_parse_numactl_round_trip():
+    cfg = parse_numactl(
+        ["numactl", "--cpunodebind=0-3", "--membind=0,1"]
+    )
+    assert cfg.cpunodebind == (0, 1, 2, 3)
+    assert cfg.membind == (0, 1)
+    assert isinstance(cfg.memory_policy(), Membind)
+
+
+def test_parse_numactl_interleave_all():
+    cfg = parse_numactl(["--interleave=all"])
+    assert cfg.interleave == ()
+    assert isinstance(cfg.memory_policy(), Interleave)
+
+
+def test_parse_numactl_unknown_option():
+    with pytest.raises(ValueError):
+        parse_numactl(["--frobnicate=1"])
+    with pytest.raises(ValueError):
+        parse_numactl(["--membind"])

@@ -1,0 +1,131 @@
+"""Tests for the OpenMP threading model and hybrid MPI+OpenMP workloads."""
+
+import pytest
+
+from repro.core import AffinityScheme, Compute, JobRunner, Workload, run_workload
+from repro.machine import dmz, longs, tiger
+from repro.openmp import ThreadTeam, fork_join_cost
+from repro.workloads import HybridNasCG, HybridNasFT, NasCG, NasFT, hybrid_affinity
+
+
+class ThreadedCompute(Workload):
+    """One threaded compute op per rank."""
+
+    def __init__(self, ntasks=1, threads=1, **compute_kwargs):
+        self.ntasks = ntasks
+        self.threads = threads
+        self.compute_kwargs = compute_kwargs
+        self.name = f"threaded[{threads}]"
+
+    def program(self, rank):
+        yield Compute(threads=self.threads, **self.compute_kwargs)
+
+
+# -- fork/join model ---------------------------------------------------------
+
+def test_fork_join_free_for_one_thread():
+    assert fork_join_cost(1) == 0.0
+
+
+def test_fork_join_grows_with_team():
+    assert 0 < fork_join_cost(2) < fork_join_cost(4) < fork_join_cost(16)
+
+
+def test_fork_join_validation():
+    with pytest.raises(ValueError):
+        fork_join_cost(0)
+
+
+def test_thread_team_validation():
+    with pytest.raises(ValueError):
+        ThreadTeam(0)
+    ThreadTeam(2).validate_for(dmz())
+    with pytest.raises(ValueError):
+        ThreadTeam(3).validate_for(dmz())
+    with pytest.raises(ValueError):
+        ThreadTeam(2).validate_for(tiger())  # single-core sockets
+
+
+# -- threaded compute semantics -------------------------------------------------
+
+def test_threads_halve_flop_time():
+    spec = dmz()
+    flops = 4.4e9
+    t1 = run_workload(spec, ThreadedCompute(
+        threads=1, flops=flops, flop_efficiency=1.0)).wall_time
+    t2 = run_workload(spec, ThreadedCompute(
+        threads=2, flops=flops, flop_efficiency=1.0)).wall_time
+    assert t2 == pytest.approx(t1 / 2, rel=0.01)
+
+
+def test_threads_share_memory_link():
+    """Two threads streaming on one socket behave like two processes."""
+    spec = dmz()
+    nbytes = 1e9
+    threaded = run_workload(spec, ThreadedCompute(
+        threads=2, dram_bytes=nbytes, working_set=nbytes)).wall_time
+    two_procs = run_workload(
+        spec,
+        ThreadedCompute(ntasks=2, threads=1, dram_bytes=nbytes / 2,
+                        working_set=nbytes / 2),
+        AffinityScheme.TWO_MPI_LOCAL,
+    ).wall_time
+    assert threaded == pytest.approx(two_procs, rel=0.05)
+
+
+def test_thread_oversubscription_rejected():
+    spec = dmz()
+    wl = ThreadedCompute(ntasks=2, threads=2, flops=1e6)
+    # two ranks x two threads on a 2-socket x 2-core box is fine when
+    # ranks sit on distinct sockets...
+    run_workload(spec, wl, AffinityScheme.ONE_MPI_LOCAL)
+    # ...but packing both ranks onto one socket oversubscribes it
+    with pytest.raises(ValueError):
+        run_workload(spec, wl, AffinityScheme.TWO_MPI_LOCAL)
+
+
+def test_threads_enable_cache_residency():
+    """Each thread's slice fits its own L2: traffic factor shrinks."""
+    spec = dmz()
+    ws = 1.8e6  # above one L2, below two
+    base = run_workload(spec, ThreadedCompute(
+        threads=1, dram_bytes=ws * 50, working_set=ws, reuse=0.95)).wall_time
+    split = run_workload(spec, ThreadedCompute(
+        threads=2, dram_bytes=ws * 50, working_set=ws, reuse=0.95)).wall_time
+    assert split < base / 2.5  # superlinear within the socket
+
+
+# -- hybrid workloads --------------------------------------------------------------
+
+def test_hybrid_affinity_one_rank_per_socket():
+    spec = longs()
+    aff = hybrid_affinity(spec, 8, 2)
+    assert aff.ntasks == 8
+    assert all(aff.placement.sharers_on_socket(r) == 1 for r in range(8))
+    with pytest.raises(ValueError):
+        hybrid_affinity(spec, 8, 3)  # more threads than cores per socket
+
+
+def test_hybrid_workload_wraps_compute_ops():
+    wl = HybridNasCG(4, 2, simulated_inner_iters=1)
+    ops = list(wl.program(0))
+    computes = [op for op in ops if isinstance(op, Compute)]
+    assert computes and all(op.threads == 2 for op in computes)
+    assert wl.time_scale == NasCG(4, simulated_inner_iters=1).time_scale
+
+
+def test_hybrid_reduces_messages_vs_pure_mpi():
+    spec = longs()
+    pure = run_workload(spec, NasCG(16), AffinityScheme.TWO_MPI_LOCAL)
+    hybrid = JobRunner(spec, hybrid_affinity(spec, 8, 2)).run(
+        HybridNasCG(8, 2))
+    assert hybrid.messages < 0.5 * pure.messages
+    # and is competitive on wall time (the paper's proposal)
+    assert hybrid.wall_time < 1.1 * pure.wall_time
+
+
+def test_hybrid_ft_runs():
+    spec = longs()
+    result = JobRunner(spec, hybrid_affinity(spec, 4, 2)).run(
+        HybridNasFT(4, 2, simulated_iters=2))
+    assert result.wall_time > 0

@@ -1,0 +1,130 @@
+"""Tests for placement strategies and the scheduler model."""
+
+import pytest
+
+from repro.machine import dmz, longs, tiger
+from repro.osmodel import (
+    Placement,
+    SchedulerModel,
+    one_per_socket,
+    packed,
+    preferred_socket_order,
+    spread,
+    two_per_socket,
+)
+
+
+def test_placement_rejects_duplicate_cores():
+    with pytest.raises(ValueError):
+        Placement((0, 0), cores_per_socket=2)
+
+
+def test_placement_socket_lookup():
+    p = Placement((0, 2, 5), cores_per_socket=2)
+    assert p.socket_of_rank(0) == 0
+    assert p.socket_of_rank(1) == 1
+    assert p.socket_of_rank(2) == 2
+    assert p.sockets_in_use() == [0, 1, 2]
+
+
+def test_placement_sharers():
+    p = Placement((0, 1, 2), cores_per_socket=2)
+    assert p.sharers_on_socket(0) == 2  # ranks 0,1 on socket 0
+    assert p.sharers_on_socket(2) == 1
+
+
+def test_preferred_order_ladder_prefers_center():
+    order = preferred_socket_order(longs())
+    # central columns (1, 2 in each row) come before corner sockets
+    assert set(order[:4]) == {1, 2, 5, 6}
+    assert set(order[4:]) == {0, 3, 4, 7}
+
+
+def test_preferred_order_pair_trivial():
+    assert preferred_socket_order(dmz()) == [0, 1]
+
+
+def test_spread_one_core_per_socket_first():
+    spec = dmz()
+    p = spread(spec, 2)
+    assert p.sockets_in_use() == [0, 1]
+    assert p.sharers_on_socket(0) == 1
+
+
+def test_spread_then_second_cores():
+    spec = dmz()
+    p = spread(spec, 4)
+    assert p.sockets_in_use() == [0, 1]
+    assert p.sharers_on_socket(0) == 2
+
+
+def test_packed_fills_socket_first():
+    spec = dmz()
+    p = packed(spec, 2)
+    assert len(p.sockets_in_use()) == 1
+    assert p.sharers_on_socket(0) == 2
+
+
+def test_one_per_socket_longs_central():
+    spec = longs()
+    p = one_per_socket(spec, 4)
+    assert sorted(p.sockets_in_use()) == [1, 2, 5, 6]
+    assert all(p.sharers_on_socket(r) == 1 for r in range(4))
+
+
+def test_one_per_socket_capacity():
+    with pytest.raises(ValueError):
+        one_per_socket(dmz(), 3)
+
+
+def test_two_per_socket_fills_pairs():
+    spec = longs()
+    p = two_per_socket(spec, 8)
+    assert len(p.sockets_in_use()) == 4
+    assert all(p.sharers_on_socket(r) == 2 for r in range(8))
+
+
+def test_two_per_socket_rejects_single_core_machines():
+    with pytest.raises(ValueError):
+        two_per_socket(tiger(), 2)
+
+
+def test_spread_rejects_oversubscription():
+    with pytest.raises(ValueError):
+        spread(dmz(), 5)
+    with pytest.raises(ValueError):
+        spread(dmz(), 0)
+
+
+def test_scheduler_default_placement_unbound():
+    sched = SchedulerModel(dmz())
+    p = sched.default_placement(2)
+    assert not p.bound
+    assert len(p.sockets_in_use()) == 2  # balancer spreads
+
+
+def test_scheduler_parked_processes_counted():
+    sched = SchedulerModel(dmz())
+    p = sched.default_placement(2, parked=2)
+    assert p.ntasks == 2
+    with pytest.raises(ValueError):
+        sched.default_placement(3, parked=2)
+
+
+def test_scheduler_remote_fraction_grows_with_parked():
+    sched = SchedulerModel(dmz())
+    assert sched.remote_fraction(parked=2) > sched.remote_fraction(parked=0)
+    assert sched.remote_fraction(parked=100) <= 0.9
+
+
+def test_tiger_low_migration_noise():
+    # the XD-1 co-scheduling kernel pins effectively
+    assert SchedulerModel(tiger()).remote_fraction() < SchedulerModel(longs()).remote_fraction()
+
+
+def test_oversubscription_penalty():
+    sched = SchedulerModel(dmz())
+    assert sched.oversubscription_penalty(1) == 1.0
+    assert sched.oversubscription_penalty(3) == 3.0
+    with pytest.raises(ValueError):
+        sched.oversubscription_penalty(0)

@@ -1,0 +1,133 @@
+"""Parameter-block tests and workload program-structure checks."""
+
+import pytest
+
+from repro.apps.md.amber import AmberSander
+from repro.apps.pop import Pop
+from repro.core.ops import Allreduce, Alltoall, Barrier, Compute, SendRecv
+from repro.machine import DEFAULT_PARAMS, GB, KB, MB, Machine, PerfParams, dmz, longs
+from repro.mpi import MpiWorld
+from repro.osmodel import spread
+
+
+# -- PerfParams ----------------------------------------------------------------
+
+def test_with_overrides_returns_new_instance():
+    tweaked = DEFAULT_PARAMS.with_overrides(sysv_lock_cost=1.0)
+    assert tweaked.sysv_lock_cost == 1.0
+    assert DEFAULT_PARAMS.sysv_lock_cost != 1.0
+    assert tweaked.usysv_lock_cost == DEFAULT_PARAMS.usysv_lock_cost
+
+
+def test_with_overrides_rejects_unknown_field():
+    with pytest.raises(TypeError):
+        DEFAULT_PARAMS.with_overrides(warp_drive=1.0)
+
+
+def test_unit_constants():
+    assert KB == 1024 and MB == 1024 ** 2
+    assert GB == 1e9  # bandwidths use decimal GB like the paper
+
+
+def test_params_physical_sanity():
+    p = DEFAULT_PARAMS
+    assert 0 < p.dram_achievable_fraction <= 1
+    assert p.hop_latency > 0 and p.dram_latency > p.hop_latency / 2
+    assert p.sysv_lock_cost > p.pthread_lock_cost > p.usysv_lock_cost
+    assert p.intra_socket_copy_bandwidth > p.inter_socket_copy_bandwidth
+
+
+# -- collective message counts ------------------------------------------------------
+
+def _count_messages(ntasks, op):
+    spec = longs()
+    machine = Machine(spec)
+    world = MpiWorld(machine, spread(spec, ntasks))
+
+    def program(world, rank):
+        yield from op(world, rank)
+
+    for r in range(ntasks):
+        world.engine.process(program(world, r))
+    world.engine.run()
+    return world.stats.messages
+
+
+@pytest.mark.parametrize("p,expected", [(2, 2), (4, 8), (8, 24), (16, 64)])
+def test_barrier_message_count(p, expected):
+    """Dissemination barrier: p * ceil(log2 p) messages."""
+    assert _count_messages(p, lambda w, r: w.barrier(r)) == expected
+
+
+@pytest.mark.parametrize("p", [2, 4, 8])
+def test_allreduce_message_count_power_of_two(p):
+    """Recursive doubling: p * log2(p) messages for powers of two."""
+    count = _count_messages(p, lambda w, r: w.allreduce(r, 8))
+    assert count == p * p.bit_length() - p  # p*log2(p)
+
+
+def test_alltoall_message_count():
+    p = 8
+    count = _count_messages(p, lambda w, r: w.alltoall(r, 64))
+    assert count == p * (p - 1)
+
+
+def test_bcast_message_count():
+    p = 8
+    count = _count_messages(p, lambda w, r: w.bcast(r, 0, 64))
+    assert count == p - 1  # a tree delivers exactly one copy per rank
+
+
+def test_reduce_message_count():
+    p = 8
+    count = _count_messages(p, lambda w, r: w.reduce(r, 0, 64))
+    assert count == p - 1
+
+
+# -- workload program structure ------------------------------------------------------
+
+def test_amber_pme_program_structure():
+    wl = AmberSander("dhfr", 4, simulated_steps=2)
+    ops = list(wl.program(0))
+    computes = [op for op in ops if isinstance(op, Compute)]
+    phases = {op.phase for op in computes}
+    assert {"replicated", "direct", "mesh", "fft", "integrate"} <= phases
+    # two alltoalls (forward + inverse transpose) per step
+    assert sum(isinstance(op, Alltoall) for op in ops) == 4
+    # one force allreduce per step
+    force_reductions = [op for op in ops if isinstance(op, Allreduce)]
+    assert len(force_reductions) == 2
+    assert force_reductions[0].nbytes == 24 * 22_930
+
+
+def test_amber_gb_program_structure():
+    wl = AmberSander("gb_mb", 2, simulated_steps=3)
+    ops = list(wl.program(1))
+    assert not any(isinstance(op, Alltoall) for op in ops)
+    gb_ops = [op for op in ops
+              if isinstance(op, Compute) and op.phase == "gb"]
+    assert len(gb_ops) == 3
+
+
+def test_amber_single_rank_skips_collectives():
+    ops = list(AmberSander("jac", 1, simulated_steps=1).program(0))
+    assert not any(isinstance(op, Allreduce) for op in ops)
+
+
+def test_pop_program_structure():
+    wl = Pop(4, simulated_steps=2)
+    ops = list(wl.program(0))
+    barotropic_reductions = [
+        op for op in ops
+        if isinstance(op, Allreduce) and op.phase == "barotropic"
+    ]
+    per_step = Pop.SOLVER_ITERATIONS // wl.solver_coarsening
+    assert len(barotropic_reductions) == 2 * per_step
+    halos = [op for op in ops if isinstance(op, SendRecv)]
+    assert halos  # both phases exchange halos
+    assert ops[0].__class__ is Barrier
+
+
+def test_pop_single_rank_no_comm():
+    ops = list(Pop(1, simulated_steps=1).program(0))
+    assert not any(isinstance(op, (SendRecv, Allreduce)) for op in ops)

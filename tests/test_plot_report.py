@@ -1,0 +1,142 @@
+"""Tests for ASCII plotting, markdown report writing, and page migration."""
+
+import json
+
+import pytest
+
+from repro.bench.report_writer import to_markdown, write_report
+from repro.core import SeriesResult, TableResult
+from repro.core.asciiplot import plot
+from repro.numa import PAGE_SIZE, LocalAlloc, PageTable
+
+
+def make_series(log_x=True):
+    s = SeriesResult(title="demo figure", x_label="bytes", y_label="MB/s",
+                     log_x=log_x)
+    for i, (x, y) in enumerate([(64, 10.0), (1024, 100.0), (65536, 500.0)]):
+        s.add_point("alpha", x, y)
+        s.add_point("beta", x, y * 0.5)
+    return s
+
+
+# -- asciiplot --------------------------------------------------------------
+
+def test_plot_contains_markers_and_legend():
+    text = plot(make_series())
+    assert "o=alpha" in text and "x=beta" in text
+    assert "o" in text.splitlines()[1 + 0]  # markers placed somewhere
+    assert "x: bytes (log)" in text
+    assert "y: MB/s" in text
+
+
+def test_plot_empty_series():
+    empty = SeriesResult(title="none", x_label="x", y_label="y")
+    assert plot(empty) == "(empty figure)"
+
+
+def test_plot_validation():
+    with pytest.raises(ValueError):
+        plot(make_series(), width=4)
+    negative = SeriesResult(title="n", x_label="x", y_label="y")
+    negative.add_point("s", 1.0, -1.0)
+    with pytest.raises(ValueError):
+        plot(negative, log_y=True)
+
+
+def test_plot_top_row_holds_max():
+    text = plot(make_series(), height=8)
+    top_line = text.splitlines()[1]
+    assert "500" in top_line  # y maximum labels the top row
+
+
+def test_plot_collision_marker():
+    s = SeriesResult(title="c", x_label="x", y_label="y")
+    s.add_point("a", 1.0, 1.0)
+    s.add_point("b", 1.0, 1.0)  # same cell
+    assert "*" in plot(s)
+
+
+# -- report writer ------------------------------------------------------------
+
+def test_to_markdown_table():
+    table = TableResult(title="T", headers=["a", "b"])
+    table.add_row(1, 2.5)
+    table.notes.append("a note")
+    md = to_markdown(table)
+    assert "### T" in md
+    assert "| a | b |" in md
+    assert "| 1 | 2.50 |" in md
+    assert "> a note" in md
+
+
+def test_to_markdown_series_mentions_y_axis():
+    md = to_markdown(make_series())
+    assert "*y axis: MB/s*" in md
+
+
+def test_write_report(tmp_path):
+    path = tmp_path / "report.md"
+    table = TableResult(title="T", headers=["a"])
+    table.add_row(1)
+    write_report(str(path), {"tab99": table, "fig99": make_series()})
+    content = path.read_text()
+    assert "## `fig99`" in content and "## `tab99`" in content
+    assert content.index("fig99") < content.index("tab99")  # sorted
+
+
+def test_cli_report_flag(tmp_path, capsys):
+    from repro.bench.cli import main
+
+    path = tmp_path / "r.md"
+    assert main(["tab01", "--report", str(path)]) == 0
+    assert path.exists()
+    assert "System Configurations" in path.read_text()
+
+
+# -- migrate_pages -----------------------------------------------------------------
+
+def test_migrate_pages_moves_task_pages():
+    table = PageTable(num_nodes=4)
+    table.allocate(0, 10 * PAGE_SIZE, toucher_node=1, policy=LocalAlloc())
+    table.allocate(9, 10 * PAGE_SIZE, toucher_node=1, policy=LocalAlloc())
+    moved = table.migrate_pages(0, from_nodes=[1], to_nodes=[3])
+    assert moved == 10
+    assert table.task_fractions(0) == {3: 1.0}
+    # other tasks untouched
+    assert table.task_fractions(9) == {1: 1.0}
+
+
+def test_migrate_pages_validation():
+    table = PageTable(num_nodes=2)
+    table.allocate(0, PAGE_SIZE, 0, LocalAlloc())
+    with pytest.raises(ValueError):
+        table.migrate_pages(0, [0], [0, 1])
+    with pytest.raises(ValueError):
+        table.migrate_pages(0, [0], [5])
+
+
+def test_migrate_pages_noop_for_absent_nodes():
+    table = PageTable(num_nodes=4)
+    table.allocate(0, 5 * PAGE_SIZE, 2, LocalAlloc())
+    assert table.migrate_pages(0, [1], [3]) == 0
+    assert table.task_fractions(0) == {2: 1.0}
+
+
+def test_mbind_replaces_region_policy():
+    from repro.numa import Interleave, Membind
+
+    table = PageTable(num_nodes=4)
+    region = table.allocate(0, 8 * PAGE_SIZE, toucher_node=0,
+                            policy=LocalAlloc())
+    moved = table.mbind(region, Interleave(), toucher_node=0)
+    assert moved == 6  # pages 0 and 4 already sat on node 0
+    assert region.node_fractions() == {n: 0.25 for n in range(4)}
+    # rebinding to the same layout moves nothing
+    assert table.mbind(region, Interleave(), toucher_node=0) == 0
+
+
+def test_mbind_foreign_region_rejected():
+    table_a, table_b = PageTable(num_nodes=2), PageTable(num_nodes=2)
+    region = table_a.allocate(0, PAGE_SIZE, 0, LocalAlloc())
+    with pytest.raises(ValueError):
+        table_b.mbind(region, LocalAlloc(), 0)

@@ -1,0 +1,112 @@
+"""Tests for the functional shallow-water ocean core."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.pop import ShallowWaterModel, ShallowWaterState
+
+
+def make_model(**kwargs):
+    defaults = dict(nx=24, ny=20, dx=1.0, gravity=9.8, depth=50.0,
+                    coriolis=0.05)
+    defaults.update(kwargs)
+    return ShallowWaterModel(**defaults)
+
+
+def test_state_validation():
+    with pytest.raises(ValueError):
+        ShallowWaterState(np.zeros((4, 4)), np.zeros((4, 4)),
+                          np.zeros((4, 5)))
+    with pytest.raises(ValueError):
+        ShallowWaterState(np.zeros(4), np.zeros(4), np.zeros(4))
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        make_model(nx=2)
+    with pytest.raises(ValueError):
+        make_model(depth=-1.0)
+
+
+def test_step_rejects_unstable_dt():
+    model = make_model()
+    state = model.gaussian_bump()
+    with pytest.raises(ValueError):
+        model.step(state, dt=10 * model.max_stable_dt())
+
+
+def test_mass_conserved_exactly():
+    model = make_model()
+    state = model.gaussian_bump(amplitude=0.5)
+    mass0 = model.total_mass(state)
+    dt = 0.5 * model.max_stable_dt()
+    for _ in range(200):
+        state = model.step(state, dt)
+    assert model.total_mass(state) == pytest.approx(mass0, abs=1e-9)
+
+
+def test_energy_bounded():
+    """The trapezoidal step keeps total energy near its initial value."""
+    model = make_model()
+    state = model.gaussian_bump(amplitude=0.2)
+    e0 = model.total_energy(state)
+    dt = 0.4 * model.max_stable_dt()
+    for _ in range(300):
+        state = model.step(state, dt)
+    assert model.total_energy(state) < 1.1 * e0
+    assert model.total_energy(state) > 0.3 * e0  # waves, not decay to zero
+
+
+def test_gravity_waves_radiate_from_bump():
+    """An unbalanced bump must excite motion (u, v leave zero)."""
+    model = make_model(coriolis=0.0)
+    state = model.gaussian_bump(amplitude=1.0)
+    dt = 0.4 * model.max_stable_dt()
+    for _ in range(20):
+        state = model.step(state, dt)
+    assert np.max(np.abs(state.u)) > 1e-3
+
+
+def test_geostrophic_state_is_nearly_steady():
+    """A balanced eddy persists; an unbalanced bump disperses."""
+    model = make_model()
+    dt = 0.4 * model.max_stable_dt()
+
+    balanced = model.geostrophic_state(amplitude=0.1)
+    h0 = balanced.h.copy()
+    state = balanced.copy()
+    for _ in range(100):
+        state = model.step(state, dt)
+    balanced_drift = float(np.max(np.abs(state.h - h0)))
+
+    bump = model.gaussian_bump(amplitude=0.1)
+    state = bump.copy()
+    for _ in range(100):
+        state = model.step(state, dt)
+    bump_drift = float(np.max(np.abs(state.h - bump.h)))
+
+    assert balanced_drift < 0.5 * bump_drift
+
+
+def test_geostrophic_requires_rotation():
+    with pytest.raises(ValueError):
+        make_model(coriolis=0.0).geostrophic_state()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 200))
+def test_mass_conservation_property(seed):
+    model = make_model(nx=12, ny=12)
+    rng = np.random.default_rng(seed)
+    state = ShallowWaterState(
+        rng.normal(0, 0.01, (12, 12)),
+        rng.normal(0, 0.01, (12, 12)),
+        rng.normal(0, 0.1, (12, 12)),
+    )
+    mass0 = model.total_mass(state)
+    dt = 0.3 * model.max_stable_dt()
+    for _ in range(50):
+        state = model.step(state, dt)
+    assert model.total_mass(state) == pytest.approx(mass0, abs=1e-9)

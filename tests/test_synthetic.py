@@ -1,0 +1,102 @@
+"""Tests for the declarative synthetic workload builder."""
+
+import json
+
+import pytest
+
+from repro.core import AffinityScheme, compare_schemes, run_workload
+from repro.core.ops import Allreduce, Barrier, Compute, SendRecv
+from repro.machine import GB, longs
+from repro.workloads import SyntheticWorkload
+
+
+BASE_SPEC = {
+    "name": "demo-solver",
+    "ntasks": 4,
+    "steps": 20,
+    "simulated_steps": 5,
+    "ops": [
+        {"kind": "compute", "flops": 2e8, "dram_bytes": 1e8,
+         "working_set": 5e7, "reuse": 0.4, "phase": "stencil"},
+        {"kind": "halo", "nbytes": 65536, "phase": "exchange"},
+        {"kind": "allreduce", "nbytes": 8, "phase": "dots"},
+    ],
+}
+
+
+def test_from_spec_builds_and_runs():
+    workload = SyntheticWorkload.from_spec(BASE_SPEC)
+    assert workload.time_scale == pytest.approx(4.0)
+    result = run_workload(longs(), workload, AffinityScheme.ONE_MPI_LOCAL)
+    assert result.phase_time("stencil") > 0
+    assert result.phase_time("exchange") > 0
+    # halo payloads plus the tiny allreduce rounds
+    assert result.bytes_sent == 4 * 5 * 65536 + 40 * 8
+
+
+def test_from_json_round_trip():
+    workload = SyntheticWorkload.from_json(json.dumps(BASE_SPEC))
+    assert workload.name == "demo-solver"
+    assert workload.ntasks == 4
+
+
+def test_program_structure_per_step():
+    workload = SyntheticWorkload.from_spec(BASE_SPEC)
+    ops = list(workload.program(2))
+    computes = [op for op in ops if isinstance(op, Compute)]
+    halos = [op for op in ops if isinstance(op, SendRecv)]
+    assert len(computes) == 5 and len(halos) == 5
+    assert halos[0].send_to == 3 and halos[0].recv_from == 1
+
+
+def test_single_task_drops_comm_ops():
+    spec = dict(BASE_SPEC, ntasks=1)
+    ops = list(SyntheticWorkload.from_spec(spec).program(0))
+    assert not any(isinstance(op, (SendRecv, Allreduce)) for op in ops)
+    assert any(isinstance(op, Compute) for op in ops)
+
+
+def test_bad_specs_fail_at_build_time():
+    with pytest.raises(ValueError):
+        SyntheticWorkload.from_spec({"name": "x", "ntasks": 2, "ops": []})
+    with pytest.raises(ValueError):
+        SyntheticWorkload.from_spec(
+            {"name": "x", "ntasks": 2,
+             "ops": [{"kind": "warp", "nbytes": 1}]})
+    with pytest.raises(ValueError):
+        SyntheticWorkload.from_spec(
+            {"name": "x", "ntasks": 2,
+             "ops": [{"kind": "compute", "flopz": 1.0}]})
+    with pytest.raises(ValueError):
+        SyntheticWorkload.from_spec({"ntasks": 2, "ops": [{}]})
+
+
+def test_all_op_kinds_accepted():
+    spec = {
+        "name": "kinds", "ntasks": 4,
+        "ops": [
+            {"kind": "compute", "flops": 1e6},
+            {"kind": "halo", "nbytes": 1024},
+            {"kind": "send", "to_offset": 2, "nbytes": 512},
+            {"kind": "allreduce", "nbytes": 8},
+            {"kind": "alltoall", "nbytes": 256},
+            {"kind": "allgather", "nbytes": 128},
+            {"kind": "bcast", "nbytes": 4096, "root": 1},
+            {"kind": "barrier"},
+        ],
+    }
+    result = run_workload(longs(), SyntheticWorkload.from_spec(spec),
+                          AffinityScheme.ONE_MPI_LOCAL)
+    assert result.wall_time > 0
+
+
+def test_synthetic_workload_in_scheme_comparison():
+    """The end-to-end downstream use case: characterize a custom app."""
+    memory_bound = {
+        "name": "user-app", "ntasks": 8,
+        "ops": [{"kind": "compute", "dram_bytes": 0.2 * GB,
+                 "working_set": 1 * GB}],
+    }
+    cmp = compare_schemes(
+        longs(), lambda: SyntheticWorkload.from_spec(memory_bound))
+    assert "Membind" in cmp.worst

@@ -1,0 +1,286 @@
+"""Tests for the benchmark-suite workloads (lmbench/BLAS/HPCC/IMB/NAS)."""
+
+import pytest
+
+from repro.core import AffinityScheme, Compute, run_workload
+from repro.core.ops import Allgather, Allreduce, Alltoall, Barrier
+from repro.machine import GB, dmz, longs
+from repro.workloads import (
+    CLASS_B_CG,
+    CLASS_B_FT,
+    DaxpyBench,
+    DgemmBench,
+    HpccDgemm,
+    HpccFft,
+    HpccHpl,
+    HpccPtrans,
+    HpccRandomAccess,
+    HpccStream,
+    ImbExchange,
+    ImbPingPong,
+    NasCG,
+    NasFT,
+    PingPong,
+    RingExchange,
+    StreamTriad,
+    exchange_bandwidth,
+    pingpong_oneway_time,
+    triad_bytes_moved,
+)
+
+
+# -- STREAM ---------------------------------------------------------------
+
+def test_stream_triad_ops_structure():
+    wl = StreamTriad(2, elements_per_task=1000, passes=3)
+    ops = list(wl.program(0))
+    assert isinstance(ops[0], Barrier)
+    assert isinstance(ops[1], Compute)
+    assert ops[1].dram_bytes == 24 * 1000 * 3
+    assert triad_bytes_moved(wl) == 2 * 24 * 1000 * 3
+
+
+def test_stream_triad_validation():
+    with pytest.raises(ValueError):
+        StreamTriad(2, elements_per_task=0)
+
+
+def test_stream_second_core_flat_bandwidth():
+    """The Figure 2 signature: second cores add no aggregate bandwidth."""
+    spec = dmz()
+    def agg_bw(n):
+        wl = StreamTriad(n)
+        r = run_workload(spec, wl, AffinityScheme.DEFAULT)
+        return triad_bytes_moved(wl) / r.phase_time("triad")
+    one_per_socket = agg_bw(2)
+    all_cores = agg_bw(4)
+    assert all_cores == pytest.approx(one_per_socket, rel=0.15)
+
+
+# -- BLAS -------------------------------------------------------------------
+
+def test_daxpy_bench_flops_accounting():
+    wl = DaxpyBench(2, n=1000, repeats=10)
+    assert wl.flops_per_task == 2 * 1000 * 10
+
+
+def test_dgemm_star_mode_doubles_socket_throughput():
+    """Cache-friendly DGEMM: two cores per socket double the throughput."""
+    spec = dmz()
+    def rate(n):
+        wl = DgemmBench(n, 800)
+        r = run_workload(spec, wl, AffinityScheme.TWO_MPI_LOCAL
+                         if n > 2 else AffinityScheme.ONE_MPI_LOCAL)
+        return wl.flops_per_task * n / r.phase_time("dgemm")
+    assert rate(4) == pytest.approx(2 * rate(2), rel=0.05)
+
+
+def test_daxpy_is_bandwidth_bound_on_shared_socket():
+    """Memory-bound DAXPY: second core adds nothing per socket."""
+    spec = dmz()
+    def agg(n, scheme):
+        wl = DaxpyBench(n, 4_000_000, repeats=5)
+        r = run_workload(spec, wl, scheme)
+        return wl.flops_per_task * n / r.phase_time("daxpy")
+    assert agg(4, AffinityScheme.TWO_MPI_LOCAL) == pytest.approx(
+        agg(2, AffinityScheme.ONE_MPI_LOCAL), rel=0.1)
+
+
+# -- HPCC --------------------------------------------------------------------
+
+def test_hpcc_mode_validation():
+    with pytest.raises(ValueError):
+        HpccDgemm(4, mode="solo")
+
+
+def test_hpcc_single_mode_only_rank0_computes():
+    wl = HpccStream(4, mode="single", elements=1000)
+    rank0 = [op for op in wl.program(0) if isinstance(op, Compute)]
+    rank1 = [op for op in wl.program(1) if isinstance(op, Compute)]
+    assert len(rank0) == 1
+    assert len(rank1) == 0
+
+
+def test_hpcc_star_mode_everyone_computes():
+    wl = HpccStream(4, mode="star", elements=1000)
+    for rank in range(4):
+        assert any(isinstance(op, Compute) for op in wl.program(rank))
+
+
+def test_hpcc_dgemm_single_equals_star_per_process():
+    """Figure 9's headline: Star DGEMM == Single DGEMM."""
+    spec = longs()
+    def per_process(mode):
+        wl = HpccDgemm(4, mode=mode, n=800)
+        r = run_workload(spec, wl, AffinityScheme.TWO_MPI_LOCAL)
+        return wl.flops_per_task / r.phase_time("dgemm")
+    assert per_process("star") == pytest.approx(per_process("single"),
+                                                rel=0.05)
+
+
+def test_hpcc_stream_star_halves_per_process_bandwidth():
+    """Figure 10: STREAM Single:Star ratio ~2 with both cores active."""
+    spec = longs()
+    def per_process(mode):
+        wl = HpccStream(4, mode=mode, elements=2_000_000)
+        r = run_workload(spec, wl, AffinityScheme.TWO_MPI_LOCAL)
+        return wl.bytes_per_task / r.phase_time("triad")
+    ratio = per_process("single") / per_process("star")
+    assert 1.8 < ratio < 2.3
+
+
+def test_hpcc_fft_mpi_mode_has_transpose():
+    wl = HpccFft(4, mode="mpi", n=1 << 12)
+    ops = list(wl.program(0))
+    assert any(isinstance(op, Alltoall) for op in ops)
+
+
+def test_hpcc_fft_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        HpccFft(4, n=1000)
+
+
+def test_hpcc_randomaccess_mpi_buckets():
+    wl = HpccRandomAccess(4, mode="mpi", updates=6400, rounds=8)
+    ops = list(wl.program(1))
+    assert sum(isinstance(op, Alltoall) for op in ops) == 8
+
+
+def test_hpcc_ptrans_requires_square_grid():
+    with pytest.raises(ValueError):
+        HpccPtrans(8)
+    wl = HpccPtrans(4, n=512)
+    result = run_workload(longs(), wl, AffinityScheme.ONE_MPI_LOCAL)
+    assert result.wall_time > 0
+
+
+def test_hpcc_hpl_runs_and_counts_flops():
+    wl = HpccHpl(4, n=1024, nb=128)
+    assert wl.total_flops == pytest.approx(2 / 3 * 1024 ** 3, rel=0.01)
+    result = run_workload(dmz(), wl, AffinityScheme.TWO_MPI_LOCAL)
+    assert result.wall_time > 0
+    assert result.messages > 0
+
+
+def test_hpcc_hpl_validation():
+    with pytest.raises(ValueError):
+        HpccHpl(4, n=64, nb=128)
+
+
+def test_pingpong_needs_two_ranks():
+    with pytest.raises(ValueError):
+        PingPong(1024, ntasks=1)
+
+
+def test_ring_exchange_all_ranks_active():
+    spec = longs()
+    wl = RingExchange(8, 4096, reps=5)
+    result = run_workload(spec, wl, AffinityScheme.ONE_MPI_LOCAL)
+    # payload volume: 8 ranks x 5 reps (barrier messages carry 0 bytes)
+    assert result.bytes_sent == 8 * 5 * 4096
+
+
+# -- IMB -----------------------------------------------------------------------
+
+def test_imb_helpers_validate():
+    with pytest.raises(ValueError):
+        pingpong_oneway_time(1.0, 0)
+    with pytest.raises(ValueError):
+        exchange_bandwidth(0.0, 10, 100)
+
+
+def test_imb_pingpong_oneway_semantics():
+    assert pingpong_oneway_time(2.0, 10) == pytest.approx(0.1)
+
+
+def test_imb_exchange_four_transfers_per_rep():
+    assert exchange_bandwidth(1.0, 5, 100) == pytest.approx(2000.0)
+
+
+def test_imb_exchange_runs():
+    result = run_workload(dmz(), ImbExchange(4, 4096, reps=5))
+    assert result.wall_time > 0
+
+
+def test_imb_intra_socket_bandwidth_benefit():
+    """Figures 16-17: ~10-13% benefit from confining to one socket."""
+    from repro.bench.figures import _packed_socket_affinity
+    from repro.bench.common import run as bench_run
+
+    spec = dmz()
+    nbytes = 1 << 20
+    wl = ImbPingPong(nbytes)
+    bound = bench_run(spec, wl, affinity=_packed_socket_affinity(spec, 0))
+    unbound = bench_run(spec, ImbPingPong(nbytes), AffinityScheme.DEFAULT)
+    t_bound = pingpong_oneway_time(bound.phase_time("pingpong"), 20)
+    t_unbound = pingpong_oneway_time(unbound.phase_time("pingpong"), 20)
+    benefit = t_unbound / t_bound - 1.0
+    assert 0.05 < benefit < 0.25
+
+
+# -- NAS --------------------------------------------------------------------------
+
+def test_nas_class_b_constants():
+    assert CLASS_B_CG["na"] == 75_000
+    assert CLASS_B_FT["nx"] * CLASS_B_FT["ny"] * CLASS_B_FT["nz"] == 1 << 25
+
+
+def test_nas_cg_time_scale_covers_all_iterations():
+    wl = NasCG(4, simulated_inner_iters=25)
+    assert wl.time_scale == pytest.approx(75.0)
+
+
+def test_nas_cg_program_structure():
+    wl = NasCG(4, simulated_inner_iters=2)
+    ops = list(wl.program(0))
+    assert sum(isinstance(op, Allgather) for op in ops) == 4
+    assert sum(isinstance(op, Allreduce) for op in ops) == 4
+
+
+def test_nas_cg_single_task_no_comm():
+    wl = NasCG(1, simulated_inner_iters=2)
+    ops = list(wl.program(0))
+    assert not any(isinstance(op, (Allgather, Allreduce)) for op in ops)
+
+
+def test_nas_ft_divisibility():
+    with pytest.raises(ValueError):
+        NasFT(3)
+
+
+def test_nas_ft_program_has_transpose_per_iteration():
+    wl = NasFT(4, simulated_iters=3)
+    ops = list(wl.program(0))
+    assert sum(isinstance(op, Alltoall) for op in ops) == 3
+
+
+def test_nas_localalloc_beats_membind_on_longs():
+    """The paper's core Table 2 finding at 8 tasks."""
+    spec = longs()
+    t_local = run_workload(spec, NasCG(8, simulated_inner_iters=5),
+                           AffinityScheme.ONE_MPI_LOCAL).wall_time
+    t_membind = run_workload(spec, NasCG(8, simulated_inner_iters=5),
+                             AffinityScheme.ONE_MPI_MEMBIND).wall_time
+    t_inter = run_workload(spec, NasCG(8, simulated_inner_iters=5),
+                           AffinityScheme.INTERLEAVE).wall_time
+    assert t_membind > 1.5 * t_local  # paper: 109.11 vs 51.15
+    assert t_local < t_inter < t_membind  # paper: 51.15 < 67.23 < 109.11
+
+
+def test_nas_ft_membind_penalty_on_longs():
+    spec = longs()
+    t_local = run_workload(spec, NasFT(8, simulated_iters=3),
+                           AffinityScheme.TWO_MPI_LOCAL).wall_time
+    t_membind = run_workload(spec, NasFT(8, simulated_iters=3),
+                             AffinityScheme.TWO_MPI_MEMBIND).wall_time
+    assert t_membind > 1.2 * t_local  # paper: 81.95 vs 62.80
+
+
+def test_nas_cg_dmz_default_is_near_optimal():
+    """Paper Section 4.1: DMZ's default placement is near-optimal."""
+    spec = dmz()
+    t_default = run_workload(spec, NasCG(2, simulated_inner_iters=5),
+                             AffinityScheme.DEFAULT).wall_time
+    t_best = run_workload(spec, NasCG(2, simulated_inner_iters=5),
+                          AffinityScheme.ONE_MPI_LOCAL).wall_time
+    assert t_default < 1.1 * t_best
