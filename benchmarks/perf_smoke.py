@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Perf smoke for the bench pipeline: cold vs warm ``repro-bench fidelity``.
+
+Runs the fidelity target twice against a throwaway cache directory:
+
+* the **cold** run simulates every table cell and populates the
+  content-addressed disk cache;
+* the **warm** run must be served almost entirely from that cache.
+
+Fails (exit 1) when the cold time regresses more than
+``regression_factor`` over the committed baseline
+(``fidelity_baseline.json``), or when the warm run is not at least
+``min_warm_speedup`` times faster than the cold one — the cache's
+reason to exist.
+
+Usage::
+
+    python benchmarks/perf_smoke.py                    # check
+    python benchmarks/perf_smoke.py --update-baseline  # re-measure
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).with_name("fidelity_baseline.json")
+
+
+def run_fidelity(cache_dir: str) -> float:
+    """Wall time of one ``repro-bench fidelity`` against ``cache_dir``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src")
+    env["REPRO_BENCH_CACHE_DIR"] = cache_dir
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.bench.cli", "fidelity"],
+        cwd=ROOT, env=env, stdout=subprocess.DEVNULL,
+    )
+    elapsed = time.perf_counter() - start
+    if proc.returncode != 0:
+        print(f"repro-bench fidelity failed (exit {proc.returncode})",
+              file=sys.stderr)
+        sys.exit(proc.returncode)
+    return elapsed
+
+
+def main() -> int:
+    update = "--update-baseline" in sys.argv[1:]
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        cold = run_fidelity(tmp)
+        warm = run_fidelity(tmp)
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"cold: {cold:7.1f}s")
+    print(f"warm: {warm:7.1f}s  ({speedup:.0f}x speedup)")
+
+    if update or not BASELINE_PATH.exists():
+        BASELINE_PATH.write_text(json.dumps({
+            "target": "fidelity",
+            "cold_seconds": round(cold, 1),
+            "warm_seconds": round(warm, 1),
+            "regression_factor": 2.0,
+            "min_warm_speedup": 5.0,
+        }, indent=2) + "\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        return 0
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    limit = baseline["cold_seconds"] * baseline.get("regression_factor", 2.0)
+    min_speedup = baseline.get("min_warm_speedup", 5.0)
+    failures = []
+    if cold > limit:
+        failures.append(
+            f"cold run {cold:.1f}s exceeds {limit:.1f}s "
+            f"({baseline['regression_factor']}x of the "
+            f"{baseline['cold_seconds']}s baseline)")
+    if speedup < min_speedup:
+        failures.append(
+            f"warm speedup {speedup:.1f}x below the required "
+            f"{min_speedup}x (cache not effective)")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ok: within {baseline.get('regression_factor', 2.0)}x of "
+              f"baseline, cache speedup >= {min_speedup}x")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,17 +6,22 @@ cost, shared-memory fragmentation, and (as the paper's proposed
 future direction) hybrid MPI+OpenMP.  Each ablation sweeps one
 mechanism while holding the rest fixed, quantifying how much of the
 reproduced behaviour that mechanism carries.
+
+Every cell goes through :func:`repro.bench.common.run`, whose
+content-addressed cache keys on the *hypothetical* spec itself — no
+ad-hoc memo keys needed, and a what-if parameter change can never
+replay a stale result.
 """
 
 from __future__ import annotations
 
-from ..core import AffinityScheme, JobRunner, TableResult
+from ..core import AffinityScheme, TableResult
 from ..machine import GB, longs
 from ..machine.whatif import hypothetical
 from ..mpi import LAM
 from ..workloads import HpccPtrans, HpccRandomAccess, NasCG, NasFT, StreamTriad, triad_bytes_moved
 from ..workloads.hybrid import HybridNasCG, HybridNasFT, hybrid_affinity
-from .common import bound_spread_affinity, run, run_cached
+from .common import bound_spread_affinity, run
 
 __all__ = [
     "ablation_probe_cost",
@@ -41,11 +46,9 @@ def ablation_probe_cost() -> TableResult:
         spec = hypothetical(f"ladder8-p{cost}", sockets=8,
                             coherence_probe_cost=cost)
         stream = StreamTriad(1)
-        result = run_cached(("abl-probe-stream", cost), lambda: run(
-            spec, stream, affinity=bound_spread_affinity(spec, 1)))
+        result = run(spec, stream, affinity=bound_spread_affinity(spec, 1))
         bandwidth = triad_bytes_moved(stream) / result.phase_time("triad") / GB
-        cg = run_cached(("abl-probe-cg", cost), lambda: run(
-            spec, NasCG(8), AffinityScheme.ONE_MPI_LOCAL))
+        cg = run(spec, NasCG(8), AffinityScheme.ONE_MPI_LOCAL)
         table.add_row(cost, bandwidth, cg.wall_time)
     table.notes.append("probe cost drives both the bandwidth collapse and "
                        "the CG slowdown on 8 sockets (DESIGN.md)")
@@ -71,10 +74,8 @@ def ablation_topology() -> TableResult:
         from ..machine import Machine
 
         hops = Machine(spec).net.max_hops()
-        ft = run_cached(("abl-topo-ft", topology), lambda: run(
-            spec, NasFT(16), AffinityScheme.INTERLEAVE))
-        cg = run_cached(("abl-topo-cg", topology), lambda: run(
-            spec, NasCG(16), AffinityScheme.INTERLEAVE))
+        ft = run(spec, NasFT(16), AffinityScheme.INTERLEAVE)
+        cg = run(spec, NasCG(16), AffinityScheme.INTERLEAVE)
         table.add_row(topology, hops, ft.wall_time, cg.wall_time)
     table.notes.append("a crossbar removes multi-hop remote penalties; the "
                        "ladder is the paper's Figure 1")
@@ -93,9 +94,8 @@ def ablation_lock_cost() -> TableResult:
                 "pthread": spec.params.pthread_lock_cost,
                 "sysv": spec.params.sysv_lock_cost}[lock]
         workload = HpccRandomAccess(16, mode="mpi")
-        result = run_cached(("abl-lock", lock), lambda: run(
-            spec, workload, AffinityScheme.TWO_MPI_LOCAL, impl=LAM,
-            lock=lock))
+        result = run(spec, workload, AffinityScheme.TWO_MPI_LOCAL, impl=LAM,
+                     lock=lock)
         total = result.phase_time("ra") + result.phase_time("ra-exchange")
         table.add_row(lock, cost * 1e6, workload.updates / total / 1e6)
     return table
@@ -116,9 +116,8 @@ def ablation_fragmentation() -> TableResult:
                 shm_fragment_bytes=frag_kb * 1024.0),
         )
         workload = HpccPtrans(16)
-        result = run_cached(("abl-frag", frag_kb), lambda: run(
-            spec, workload, AffinityScheme.TWO_MPI_LOCAL, impl=LAM,
-            lock="sysv"))
+        result = run(spec, workload, AffinityScheme.TWO_MPI_LOCAL, impl=LAM,
+                     lock="sysv")
         bandwidth = 8.0 * workload.n ** 2 / result.phase_time("exchange") / GB
         table.add_row(frag_kb, bandwidth)
     table.notes.append("smaller fragments pay the SysV semaphore more often "
@@ -143,11 +142,9 @@ def ablation_hybrid() -> TableResult:
         ("FT", lambda: NasFT(16), lambda: HybridNasFT(8, 2)),
     ]
     for name, pure_factory, hybrid_factory in cases:
-        pure = run_cached(("abl-hyb-pure", name), lambda: run(
-            spec, pure_factory(), AffinityScheme.TWO_MPI_LOCAL))
+        pure = run(spec, pure_factory(), AffinityScheme.TWO_MPI_LOCAL)
         hybrid_wl = hybrid_factory()
-        hybrid = run_cached(("abl-hyb-omp", name), lambda: JobRunner(
-            spec, hybrid_affinity(spec, 8, 2)).run(hybrid_wl))
+        hybrid = run(spec, hybrid_wl, affinity=hybrid_affinity(spec, 8, 2))
         table.add_row(name, pure.wall_time, hybrid.wall_time,
                       pure.messages, hybrid.messages)
     table.notes.append("hybrid quarters the message count; wall-time parity "

@@ -5,7 +5,12 @@ Usage::
     repro-bench list                 # available targets
     repro-bench tab02 fig08          # specific targets
     repro-bench all                  # everything (minutes)
+    repro-bench all --jobs 8         # fan sweep cells over 8 workers
     repro-bench tab02 --csv out/     # also write CSV files
+
+Tables and CSVs always go to stdout byte-identically regardless of
+``--jobs``/caching; diagnostics (``--timings``, ``--cache-stats``) go
+to stderr.
 """
 
 from __future__ import annotations
@@ -13,9 +18,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Callable, Dict, Union
 
 from ..core import SeriesResult, TableResult
+from ..core import cache as result_cache
+from ..core import parallel
 from . import ablations, extensions, figures, tables
 
 __all__ = ["main", "TARGETS"]
@@ -62,6 +70,23 @@ def _render(name: str, result: Result, csv_dir: str | None,
         print(f"[csv written to {path}]")
 
 
+def _prefetch(names, jobs: int) -> None:
+    """Warm the result cache for the requested targets in parallel.
+
+    Table cells and figure cells are enumerated up front and fanned over
+    the worker pool; the serial target builders then run entirely from
+    cache hits.  Only worth the enumeration cost when several targets
+    share cells or ``jobs > 1``.
+    """
+    requests = []
+    if any(n.startswith("tab") or n == "fidelity" for n in names):
+        requests.extend(tables.sweep_requests())
+    if any(n.startswith("fig") for n in names):
+        requests.extend(figures.figure_requests())
+    if requests:
+        parallel.run_requests(requests, jobs=jobs)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -77,7 +102,25 @@ def main(argv=None) -> int:
     parser.add_argument("--report", metavar="FILE", default=None,
                         help="write all requested targets into one "
                              "markdown report")
+    parser.add_argument("--jobs", "-j", type=int, default=None,
+                        metavar="N",
+                        help="simulate sweep cells on N worker processes "
+                             "(results are bit-identical to serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the content-addressed result cache")
+    parser.add_argument("--cache-stats", action="store_true",
+                        help="print cache hit/miss counters to stderr")
+    parser.add_argument("--timings", action="store_true",
+                        help="print per-target wall times to stderr")
     args = parser.parse_args(argv)
+
+    if args.no_cache:
+        result_cache.configure(enabled=False)
+    if args.jobs is not None:
+        if args.jobs < 1:
+            print("--jobs must be >= 1", file=sys.stderr)
+            return 2
+        parallel.set_default_jobs(args.jobs)
 
     if not args.targets or "list" in args.targets:
         print("available targets:")
@@ -93,15 +136,35 @@ def main(argv=None) -> int:
         return 2
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
+    jobs = parallel.default_jobs()
+    if jobs > 1:
+        _prefetch(names, jobs)
     results = {}
-    for name in names:
-        results[name] = TARGETS[name]()
-        _render(name, results[name], args.csv, show_plot=args.plot)
+    timings = []
+    try:
+        for name in names:
+            start = time.perf_counter()
+            results[name] = TARGETS[name]()
+            timings.append((name, time.perf_counter() - start))
+            _render(name, results[name], args.csv, show_plot=args.plot)
+    finally:
+        parallel.shutdown_pool()
     if args.report:
         from .report_writer import write_report
 
         write_report(args.report, results)
         print(f"[report written to {args.report}]")
+    if args.timings:
+        total = sum(t for _n, t in timings)
+        print("per-target wall time:", file=sys.stderr)
+        for name, elapsed in timings:
+            print(f"  {name:10s} {elapsed:8.2f}s", file=sys.stderr)
+        print(f"  {'total':10s} {total:8.2f}s", file=sys.stderr)
+    if args.cache_stats:
+        stats = result_cache.default_cache().stats
+        print(f"result cache: {stats.memory_hits} memory hits, "
+              f"{stats.disk_hits} disk hits, {stats.misses} misses, "
+              f"{stats.stores} stores", file=sys.stderr)
     return 0
 
 

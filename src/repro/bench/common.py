@@ -7,9 +7,13 @@ default curves' high latencies to "the high cost of the Linux
 implementation of the SystemV semaphore"), so the six Figure 8
 configurations resolve as below.
 
-Run results are memoized per-process: several tables are different
-projections of the same sweep (Tables 13/14 share POP runs; Tables 7/9
-share JAC runs), and pytest-benchmark repeats calls.
+Run results are memoized at two levels: a per-process dictionary under
+ad-hoc keys (several tables are different projections of the same sweep
+— Tables 13/14 share POP runs, Tables 7/9 share JAC runs — and
+pytest-benchmark repeats calls), and the content-addressed
+:mod:`result cache <repro.core.cache>` inside :func:`run` itself, which
+also persists results to disk so bench reruns skip recomputation
+entirely.
 """
 
 from __future__ import annotations
@@ -19,11 +23,11 @@ from typing import Callable, Dict, List, Optional, Tuple
 from ..core import (
     AffinityScheme,
     JobResult,
-    JobRunner,
     ResolvedAffinity,
     Workload,
     resolve_scheme,
 )
+from ..core.parallel import JobRequest, run_request
 from ..machine import MachineSpec, by_name
 from ..mpi import MpiImplementation
 from ..numa import LocalAlloc
@@ -75,14 +79,10 @@ def run(spec: MachineSpec, workload: Workload,
         lock: Optional[str] = None,
         affinity: Optional[ResolvedAffinity] = None,
         parked: int = 0) -> JobResult:
-    """Run one configuration (uncached)."""
-    from ..mpi import OPENMPI
-
-    if affinity is None:
-        affinity = resolve_scheme(scheme, spec, workload.ntasks, parked=parked)
-    runner = JobRunner(spec, affinity,
-                       impl=impl if impl is not None else OPENMPI, lock=lock)
-    return runner.run(workload)
+    """Run one configuration through the content-addressed result cache."""
+    return run_request(JobRequest(spec=spec, workload=workload, scheme=scheme,
+                                  affinity=affinity, impl=impl, lock=lock,
+                                  parked=parked))
 
 
 _CACHE: Dict[Tuple, JobResult] = {}
@@ -96,5 +96,13 @@ def run_cached(key: Tuple, factory: Callable[[], JobResult]) -> JobResult:
 
 
 def clear_cache() -> None:
-    """Drop all memoized results (tests use this for isolation)."""
+    """Drop all in-process memoized results (tests use this for isolation).
+
+    Clears both the ad-hoc memo above and the memory tier of the
+    content-addressed cache; on-disk entries are untouched (they are
+    keyed by content and remain valid).
+    """
+    from ..core.cache import default_cache
+
     _CACHE.clear()
+    default_cache().clear_memory()

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import List
 
-from ..core import ALL_SCHEMES, AffinityScheme, JobRunner, TableResult
+from ..core import (
+    ALL_SCHEMES,
+    AffinityScheme,
+    InfeasibleSchemeError,
+    JobRunner,
+    TableResult,
+)
 from ..machine import longs
 from ..workloads import NasCG, NasEP, NasFT, NasMG
 from ..workloads.hybrid import HybridNasCG, hybrid_affinity
@@ -43,7 +49,7 @@ def ext_npb_spectrum() -> TableResult:
                 result = run_cached(("ext-npb", name, scheme.value),
                                     lambda: run(spec, factory(), scheme))
                 row.append(result.wall_time)
-            except ValueError:
+            except InfeasibleSchemeError:
                 row.append(None)
         table.add_row(*row)
     table.notes.append("placement sensitivity grows with memory/latency "

@@ -16,6 +16,8 @@ from ..core import (
     ALL_SCHEMES,
     SCHEME_TABLE,
     AffinityScheme,
+    InfeasibleSchemeError,
+    JobRequest,
     JobResult,
     TableResult,
     parallel_efficiency,
@@ -27,8 +29,56 @@ from .common import run, run_cached
 __all__ = [
     "table01", "table02", "table03", "table04", "table05", "table06",
     "table07", "table08", "table09", "table10", "table11", "table12",
-    "table13", "table14",
+    "table13", "table14", "sweep_requests",
 ]
+
+
+def sweep_requests() -> List[JobRequest]:
+    """Every simulated cell behind the numeric tables (2-4, 7-14).
+
+    The cells are independent, so callers (`repro-bench --jobs`, the
+    fidelity join) prefetch them through the parallel sweep executor;
+    the table generators below then assemble their rows entirely from
+    cache hits.  Infeasible combinations are included — the executor
+    resolves them to the tables' dashes.  Duplicates (tables sharing
+    runs) cost nothing: the executor dedupes by content address.
+    """
+    requests: List[JobRequest] = []
+
+    def sweep(spec, factory, counts):
+        for n in counts:
+            workload = factory(n)
+            requests.extend(
+                JobRequest(spec, workload, scheme=s) for s in ALL_SCHEMES)
+
+    def scaling(spec, factory, counts):
+        requests.append(JobRequest(spec, factory(1)))
+        requests.extend(JobRequest(spec, factory(n))
+                        for n in counts if n <= spec.total_cores)
+
+    spec_l, spec_d, spec_t = longs(), dmz(), tiger()
+    for spec, counts in ((spec_l, (2, 4, 8, 16)), (spec_d, (2, 4))):
+        # Tables 2/3 (NAS x schemes), 7/9 (JAC), 11 (LAMMPS LJ), 13/14 (POP)
+        sweep(spec, NasCG, counts)
+        sweep(spec, NasFT, counts)
+        sweep(spec, lambda n: AmberSander("jac", n), counts)
+        sweep(spec, lambda n: LammpsBench("lj", n), counts)
+        sweep(spec, Pop, counts)
+    for spec in all_systems():
+        # Table 4 (NAS speedup)
+        scaling(spec, NasCG, (2, 4, 8, 16))
+        scaling(spec, NasFT, (2, 4, 8, 16))
+    for spec, counts in ((spec_d, (2, 4)), (spec_l, (2, 4, 8, 16))):
+        # Table 8 (AMBER speedup)
+        for name in ("dhfr", "factor_ix", "gb_cox2", "gb_mb", "jac"):
+            scaling(spec, lambda n, b=name: AmberSander(b, n), counts)
+    for spec, counts in ((spec_d, (2, 4)), (spec_l, (2, 4, 8, 16)),
+                         (spec_t, (2,))):
+        # Tables 10 (LAMMPS speedup) and 12 (POP speedup)
+        for pot in ("lj", "chain", "eam"):
+            scaling(spec, lambda n, p=pot: LammpsBench(p, n), counts)
+        scaling(spec, Pop, counts)
+    return requests
 
 
 def _data_table(title: str, rows: List[dict]) -> TableResult:
@@ -61,11 +111,15 @@ def table06() -> TableResult:
 def _sweep_cell(spec: MachineSpec, workload_key: str,
                 factory: Callable[[], object], scheme: AffinityScheme,
                 ) -> Optional[JobResult]:
-    """One (workload, scheme) cell, cached; None when infeasible."""
+    """One (workload, scheme) cell, cached; None when infeasible.
+
+    Only :class:`InfeasibleSchemeError` becomes a dash — any other
+    exception is a genuine bug and propagates.
+    """
     key = ("sweep", spec.name, workload_key, scheme.value)
     try:
         return run_cached(key, lambda: run(spec, factory(), scheme))
-    except ValueError:
+    except InfeasibleSchemeError:
         return None
 
 

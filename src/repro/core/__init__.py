@@ -7,10 +7,13 @@ and sweep drivers, metrics, and report rendering.
 from .affinity import (
     SCHEME_TABLE,
     AffinityScheme,
+    InfeasibleSchemeError,
     ResolvedAffinity,
     membind_node_set,
     resolve_scheme,
 )
+from .cache import ResultCache, default_cache, job_key
+from .parallel import JobRequest, run_request, run_requests
 from .analysis import ResourceReport, analyze
 from .execution import JobResult, JobRunner, run_workload
 from .timeline import render_timeline, to_chrome_trace
@@ -49,6 +52,13 @@ from .workload import Workload
 
 __all__ = [
     "AffinityScheme",
+    "InfeasibleSchemeError",
+    "ResultCache",
+    "default_cache",
+    "job_key",
+    "JobRequest",
+    "run_request",
+    "run_requests",
     "ResourceReport",
     "analyze",
     "render_timeline",

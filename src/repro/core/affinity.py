@@ -42,11 +42,24 @@ from ..osmodel import Placement, SchedulerModel, one_per_socket, two_per_socket
 
 __all__ = [
     "AffinityScheme",
+    "InfeasibleSchemeError",
     "ResolvedAffinity",
     "resolve_scheme",
     "SCHEME_TABLE",
     "membind_node_set",
 ]
+
+
+class InfeasibleSchemeError(ValueError):
+    """A scheme/machine/task-count combination that cannot be placed.
+
+    These are the dashes in the paper's tables (e.g. a One-MPI scheme
+    with more tasks than sockets), not programming errors.  Sweeps catch
+    exactly this class, so genuine bugs — which raise plain
+    :class:`ValueError` or anything else — surface instead of rendering
+    as dashes.  Subclasses :class:`ValueError` for backward
+    compatibility with callers of :func:`resolve_scheme`.
+    """
 
 
 class AffinityScheme(str, Enum):
@@ -142,14 +155,44 @@ def resolve_scheme(scheme: AffinityScheme, spec: MachineSpec, ntasks: int,
                    parked: int = 0) -> ResolvedAffinity:
     """Turn a Table 5 scheme into placement + policies on ``spec``.
 
-    Raises :class:`ValueError` for infeasible combinations (e.g. the
-    One-MPI schemes with more tasks than sockets — the dashes in the
-    paper's tables).
+    Raises :class:`InfeasibleSchemeError` for infeasible combinations
+    (e.g. the One-MPI schemes with more tasks than sockets — the dashes
+    in the paper's tables).
     """
     if ntasks < 1:
         raise ValueError("need at least one task")
     scheduler = SchedulerModel(spec)
 
+    try:
+        placement, policy, numactl = _resolve_placement(
+            scheme, spec, ntasks, parked, scheduler)
+    except InfeasibleSchemeError:
+        raise
+    except ValueError as exc:
+        # the placement builders reject by raising ValueError; translate
+        # so sweeps can distinguish infeasibility from genuine bugs
+        raise InfeasibleSchemeError(f"{scheme}: {exc}") from None
+
+    noise = 0.0
+    if not placement.bound and parked > 0:
+        # parked-but-present processes perturb the balancer and steal
+        # timeslices from the active tasks
+        noise = 0.25 * parked / spec.total_cores
+
+    return ResolvedAffinity(
+        scheme=scheme,
+        spec=spec,
+        placement=placement,
+        policies=tuple(policy for _ in range(ntasks)),
+        numactl=numactl,
+        scheduler_noise=noise,
+    )
+
+
+def _resolve_placement(scheme: AffinityScheme, spec: MachineSpec,
+                       ntasks: int, parked: int,
+                       scheduler: SchedulerModel):
+    """Placement, policy and numactl config for one scheme."""
     if scheme is AffinityScheme.DEFAULT:
         placement = scheduler.default_placement(ntasks, parked=parked)
         policy: MemoryPolicy = FirstTouch(
@@ -187,19 +230,5 @@ def resolve_scheme(scheme: AffinityScheme, spec: MachineSpec, ntasks: int,
         policy = Interleave()
         numactl = NumactlConfig(interleave=())
     else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unhandled scheme {scheme!r}")
-
-    noise = 0.0
-    if not placement.bound and parked > 0:
-        # parked-but-present processes perturb the balancer and steal
-        # timeslices from the active tasks
-        noise = 0.25 * parked / spec.total_cores
-
-    return ResolvedAffinity(
-        scheme=scheme,
-        spec=spec,
-        placement=placement,
-        policies=tuple(policy for _ in range(ntasks)),
-        numactl=numactl,
-        scheduler_noise=noise,
-    )
+        raise TypeError(f"unhandled scheme {scheme!r}")
+    return placement, policy, numactl

@@ -1,0 +1,286 @@
+"""Content-addressed result cache for deterministic experiment cells.
+
+Every ``Experiment.run()`` is deterministic by construction (DESIGN.md):
+the outcome is a pure function of the machine spec, the workload
+parameters, the resolved affinity, the MPI implementation, the lock
+sub-layer, and the parked-process count.  That makes each cell safe to
+memoize under a *content-addressed* key — a SHA-256 over the canonical
+form of exactly those inputs — rather than an ad-hoc name.
+
+Two tiers:
+
+* an in-process dictionary (shared across every table/figure generator
+  of one ``repro-bench`` invocation, so sweeps that project different
+  columns out of the same runs never recompute);
+* a JSON file per result under ``~/.cache/repro-bench/`` (override with
+  ``REPRO_BENCH_CACHE_DIR``), so *reruns* of the bench pipeline are
+  served from disk.
+
+Keys additionally fold in a **model fingerprint** — a hash over the
+source of every non-bench ``repro`` module — so editing the simulator
+invalidates stale results automatically instead of silently replaying
+them.  Floats survive the JSON round trip exactly (``repr`` shortest
+round-trip), which is what lets cached results stay bit-identical to
+freshly computed ones.
+
+Set ``REPRO_BENCH_NO_CACHE=1`` (or call ``configure(enabled=False)``,
+or pass ``--no-cache`` to ``repro-bench``) to disable both tiers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, fields, is_dataclass
+from enum import Enum
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .execution import JobResult
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "Uncacheable",
+    "canonical_token",
+    "configure",
+    "default_cache",
+    "job_key",
+    "model_fingerprint",
+]
+
+#: bump when the key layout or the stored-result schema changes
+CACHE_SCHEMA = 1
+
+
+class Uncacheable(TypeError):
+    """An experiment input that has no canonical content representation."""
+
+
+def canonical_token(obj: Any) -> Any:
+    """A canonical, JSON-serializable form of one experiment input.
+
+    Handles primitives, enums, (nested) dataclasses, containers, and
+    plain objects via their public ``__dict__`` (the workload classes).
+    Raises :class:`Uncacheable` for anything else — notably closures —
+    so callers can fall back to running uncached instead of hashing an
+    unstable ``repr``.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return ["f", repr(obj)]
+    if isinstance(obj, Enum):
+        return ["enum", type(obj).__name__, canonical_token(obj.value)]
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return ["dc", type(obj).__name__,
+                [[f.name, canonical_token(getattr(obj, f.name))]
+                 for f in fields(obj)]]
+    if isinstance(obj, (list, tuple)):
+        return ["seq", [canonical_token(v) for v in obj]]
+    if isinstance(obj, dict):
+        return ["map", sorted(
+            [str(k), canonical_token(v)] for k, v in obj.items()
+        )]
+    if isinstance(obj, (set, frozenset)):
+        return ["set", sorted(json.dumps(canonical_token(v), sort_keys=True)
+                              for v in obj)]
+    if hasattr(obj, "item") and callable(obj.item) and hasattr(obj, "dtype"):
+        return canonical_token(obj.item())  # numpy scalar
+    if callable(obj):
+        # Functions/closures carry behaviour, not content: a key built
+        # from their (usually empty) __dict__ would collide.
+        raise Uncacheable(f"cannot canonicalize callable {obj!r}")
+    if hasattr(obj, "__dict__"):
+        state = {k: v for k, v in vars(obj).items() if not k.startswith("_")}
+        return ["obj", type(obj).__name__, canonical_token(state)]
+    raise Uncacheable(f"cannot canonicalize {type(obj).__name__} instance")
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def model_fingerprint() -> str:
+    """Hash of every non-bench ``repro`` source file (computed once).
+
+    Folding this into every cache key means a change to the simulator —
+    a new contention formula, a recalibrated constant — invalidates all
+    previously stored results without anyone having to remember a
+    version bump.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        root = Path(__file__).resolve().parent.parent  # src/repro
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            if rel.parts[0] == "bench":
+                continue  # projections of results, not inputs to them
+            digest.update(str(rel).encode())
+            digest.update(path.read_bytes())
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def job_key(spec, workload, scheme=None, affinity=None, impl=None,
+            lock: Optional[str] = None, parked: int = 0) -> str:
+    """The content address of one experiment cell.
+
+    Exactly one of ``scheme`` / ``affinity`` describes the placement;
+    ``affinity`` (a :class:`ResolvedAffinity`) wins when both are given,
+    mirroring the runner.  Raises :class:`Uncacheable` when any input
+    has no canonical form.
+    """
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "model": model_fingerprint(),
+        "system": spec.cache_token(),
+        "workload": canonical_token(workload),
+        "scheme": None if affinity is not None else canonical_token(scheme),
+        "affinity": canonical_token(affinity),
+        "impl": canonical_token(impl),
+        "lock": lock,
+        "parked": parked,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
+                "misses": self.misses, "stores": self.stores}
+
+    def __str__(self) -> str:
+        return (f"{self.lookups} lookups: {self.memory_hits} memory hits, "
+                f"{self.disk_hits} disk hits, {self.misses} misses, "
+                f"{self.stores} stores")
+
+
+def _default_directory() -> Path:
+    env = os.environ.get("REPRO_BENCH_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    base = os.environ.get("XDG_CACHE_HOME")
+    root = Path(base).expanduser() if base else Path.home() / ".cache"
+    return root / "repro-bench"
+
+
+class ResultCache:
+    """Two-tier (memory + JSON-on-disk) store of :class:`JobResult`.
+
+    Disk writes are atomic (temp file + ``os.replace``), so concurrent
+    writers — the parallel sweep executor's workers — can race on the
+    same key without corrupting it: every writer produces identical
+    bytes for a given content address.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None,
+                 enabled: bool = True, disk: bool = True):
+        self.directory = Path(directory) if directory else _default_directory()
+        self.enabled = enabled
+        self.disk = disk
+        self.stats = CacheStats()
+        self._memory: Dict[str, JobResult] = {}
+
+    # -- paths ----------------------------------------------------------
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    # -- tiers ----------------------------------------------------------
+
+    def get(self, key: str) -> Optional[JobResult]:
+        """The stored result for ``key``, promoting disk hits to memory."""
+        if not self.enabled:
+            return None
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.stats.memory_hits += 1
+            return hit
+        if self.disk:
+            path = self._path(key)
+            try:
+                with open(path) as handle:
+                    data = json.load(handle)
+                result = JobResult.from_dict(data["result"])
+            except (OSError, ValueError, KeyError, TypeError):
+                pass  # absent or unreadable: treat as a miss
+            else:
+                self._memory[key] = result
+                self.stats.disk_hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: JobResult) -> None:
+        """Store ``result`` in both tiers."""
+        if not self.enabled:
+            return
+        self._memory[key] = result
+        self.stats.stores += 1
+        if not self.disk:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = json.dumps({"schema": CACHE_SCHEMA,
+                                  "result": result.to_dict()})
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # a read-only cache directory degrades to memory-only
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (disk entries stay)."""
+        self._memory.clear()
+
+
+_DEFAULT: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide cache (built lazily from the environment)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        enabled = os.environ.get("REPRO_BENCH_NO_CACHE", "") not in ("1", "true")
+        _DEFAULT = ResultCache(enabled=enabled)
+    return _DEFAULT
+
+
+def configure(enabled: Optional[bool] = None,
+              directory: Optional[os.PathLike] = None,
+              disk: Optional[bool] = None) -> ResultCache:
+    """Reconfigure the process-wide cache in place and return it."""
+    cache = default_cache()
+    if enabled is not None:
+        cache.enabled = enabled
+    if directory is not None:
+        cache.directory = Path(directory)
+        cache.clear_memory()
+    if disk is not None:
+        cache.disk = disk
+    return cache

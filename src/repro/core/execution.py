@@ -81,6 +81,43 @@ class JobResult:
             labels.update(pt)
         return sorted(labels)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable form for the on-disk result cache.
+
+        Floats survive ``json`` round trips exactly (shortest-repr), so
+        ``from_dict(json.loads(json.dumps(to_dict())))`` reproduces this
+        result bit-for-bit — the property the cache's bit-identical
+        guarantee rests on.
+        """
+        return {
+            "workload": self.workload,
+            "system": self.system,
+            "scheme": self.scheme,
+            "ntasks": self.ntasks,
+            "wall_time": self.wall_time,
+            "rank_times": list(self.rank_times),
+            "category_times": [dict(ct) for ct in self.category_times],
+            "phase_times": [dict(pt) for pt in self.phase_times],
+            "messages": self.messages,
+            "bytes_sent": self.bytes_sent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            workload=data["workload"],
+            system=data["system"],
+            scheme=data["scheme"],
+            ntasks=data["ntasks"],
+            wall_time=data["wall_time"],
+            rank_times=list(data["rank_times"]),
+            category_times=[dict(ct) for ct in data["category_times"]],
+            phase_times=[dict(pt) for pt in data["phase_times"]],
+            messages=data["messages"],
+            bytes_sent=data["bytes_sent"],
+        )
+
 
 class JobRunner:
     """Executes one workload under one resolved affinity configuration."""

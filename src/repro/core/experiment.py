@@ -10,13 +10,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
-from .affinity import AffinityScheme, resolve_scheme
+from .affinity import AffinityScheme, InfeasibleSchemeError, resolve_scheme
 from .execution import JobResult, JobRunner
 from .metrics import parallel_efficiency
+from .parallel import JobRequest, run_request, run_requests
 from .report import TableResult
 from .workload import Workload
 
@@ -45,8 +46,24 @@ class Experiment:
     lock: Optional[str] = None
     parked: int = 0
 
+    def request(self) -> JobRequest:
+        """This cell as a value for the cache / parallel executor."""
+        return JobRequest(spec=self.system, workload=self.workload,
+                          scheme=self.scheme, impl=self.impl,
+                          lock=self.lock, parked=self.parked)
+
     def run(self) -> JobResult:
-        """Resolve the scheme and simulate the workload."""
+        """Resolve the scheme and simulate the workload.
+
+        Served from the content-addressed result cache when an identical
+        cell has already run (determinism makes the two
+        indistinguishable); raises :class:`InfeasibleSchemeError` when
+        the scheme cannot be placed.
+        """
+        return run_request(self.request())
+
+    def run_uncached(self) -> JobResult:
+        """Simulate the workload, bypassing the result cache."""
         affinity = resolve_scheme(self.scheme, self.system,
                                   self.workload.ntasks, parked=self.parked)
         runner = JobRunner(self.system, affinity, impl=self.impl,
@@ -63,26 +80,33 @@ def scheme_sweep(
     lock: Optional[str] = None,
     value: Callable[[JobResult], float] = lambda r: r.wall_time,
     title: str = "",
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """A paper-style numactl table for one workload on one system.
 
     Rows are task counts, columns the affinity schemes; infeasible
     combinations (e.g. One-MPI schemes beyond the socket count) render
-    as dashes, exactly like the paper's tables.
+    as dashes, exactly like the paper's tables.  The cells are
+    independent, so they fan out over ``jobs`` worker processes (see
+    :mod:`repro.core.parallel`); results are identical to a serial run.
     """
     table = TableResult(
         title=title or f"{system.name}: numactl scheme sweep",
         headers=["MPI tasks"] + [str(s) for s in schemes],
     )
+    requests = []
+    for ntasks in task_counts:
+        workload = workload_factory(ntasks)
+        for scheme in schemes:
+            requests.append(Experiment(system, workload, scheme, impl=impl,
+                                       lock=lock).request())
+    results = run_requests(requests, jobs=jobs)
+    cells = iter(results)
     for ntasks in task_counts:
         row: List = [ntasks]
-        for scheme in schemes:
-            try:
-                result = Experiment(system, workload_factory(ntasks),
-                                    scheme, impl=impl, lock=lock).run()
-                row.append(value(result))
-            except ValueError:
-                row.append(None)
+        for _scheme in schemes:
+            result = next(cells)
+            row.append(None if result is None else value(result))
         table.add_row(*row)
     return table
 
@@ -118,22 +142,25 @@ def compare_schemes(
     impl: MpiImplementation = OPENMPI,
     lock: Optional[str] = None,
     value: Callable[[JobResult], float] = lambda r: r.wall_time,
+    jobs: Optional[int] = None,
 ) -> SchemeComparison:
     """Run one workload under every feasible scheme and rank them.
 
     The programmatic form of the paper's headline question: *which
     placement should this job use, and what is it worth?*  Infeasible
     schemes (the tables' dashes) are skipped; the Default scheme must be
-    feasible (it always is).
+    feasible (it always is).  Feasible cells fan out over ``jobs``
+    worker processes.
     """
-    times: Dict[str, float] = {}
-    for scheme in schemes:
-        try:
-            result = Experiment(system, workload_factory(), scheme,
-                                impl=impl, lock=lock).run()
-        except ValueError:
-            continue
-        times[str(scheme)] = value(result)
+    workload = workload_factory()
+    requests = [Experiment(system, workload, scheme, impl=impl,
+                           lock=lock).request() for scheme in schemes]
+    results = run_requests(requests, jobs=jobs)
+    times: Dict[str, float] = {
+        str(scheme): value(result)
+        for scheme, result in zip(schemes, results)
+        if result is not None
+    }
     if not times:
         raise ValueError("no feasible scheme for this workload")
     ordered = sorted(times, key=lambda k: times[k])
@@ -149,13 +176,16 @@ def scaling_study(
     value: Callable[[JobResult], float] = lambda r: r.wall_time,
     title: str = "",
     metric: str = "efficiency",
+    jobs: Optional[int] = None,
 ) -> TableResult:
     """Parallel-efficiency (or speedup) rows per system (Table 4 style).
 
     The baseline is the single-task run of the same workload under the
     Default scheme.  ``metric`` selects ``"efficiency"`` (t1/(n*tn)) or
     ``"speedup"`` (t1/tn).  Task counts beyond a system's core count
-    render as dashes.
+    render as dashes.  Baselines and scaling cells alike fan out over
+    ``jobs`` worker processes; the per-system baselines are shared with
+    any other sweep of the same configuration through the result cache.
     """
     if metric not in ("efficiency", "speedup"):
         raise ValueError(f"unknown metric {metric!r}")
@@ -163,18 +193,28 @@ def scaling_study(
         title=title or f"multi-core {metric}",
         headers=["System"] + [f"{n} cores" for n in task_counts],
     )
+    requests = []
+    cells: List[Tuple] = []  # (system, n or None for the baseline)
     for system in systems:
-        base = Experiment(system, workload_factory(1),
-                          AffinityScheme.DEFAULT, impl=impl).run()
-        t1 = value(base)
+        requests.append(Experiment(system, workload_factory(1),
+                                   AffinityScheme.DEFAULT,
+                                   impl=impl).request())
+        cells.append((system, None))
+        for n in task_counts:
+            if n > system.total_cores:
+                continue
+            requests.append(Experiment(system, workload_factory(n), scheme,
+                                       impl=impl).request())
+            cells.append((system, n))
+    results = dict(zip(cells, run_requests(requests, jobs=jobs)))
+    for system in systems:
+        t1 = value(results[(system, None)])
         row: List = [system.name]
         for n in task_counts:
             if n > system.total_cores:
                 row.append(None)
                 continue
-            result = Experiment(system, workload_factory(n), scheme,
-                                impl=impl).run()
-            tn = value(result)
+            tn = value(results[(system, n)])
             if metric == "efficiency":
                 row.append(parallel_efficiency(t1, tn, n))
             else:

@@ -1,0 +1,240 @@
+"""Parallel sweep executor: fan independent experiment cells out.
+
+The paper's methodology is a grid of independent (system × workload ×
+scheme × MPI) cells, i.e. embarrassingly parallel.  This module turns a
+list of :class:`JobRequest` cells into results using
+``concurrent.futures`` worker processes, with three guarantees:
+
+* **deterministic ordering** — results come back aligned with the
+  request list regardless of completion order;
+* **bit-identical results** — every cell is a pure function of its
+  request, so a worker process computes exactly what the serial path
+  would (enforced by tests);
+* **cache integration** — cells already present in the
+  :mod:`content-addressed cache <repro.core.cache>` are never
+  dispatched, duplicate requests within one batch are computed once,
+  and fresh results are stored for later calls.
+
+Worker count resolution: an explicit ``jobs=`` argument, else
+:func:`set_default_jobs` (the CLI's ``--jobs``), else the
+``REPRO_BENCH_JOBS`` environment variable, else 1 (serial).  Requests
+that cannot be pickled (e.g. monkeypatched workloads in tests) fall
+back to the serial path transparently.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..machine.topology import MachineSpec
+from ..mpi import MpiImplementation, OPENMPI
+from .affinity import (
+    AffinityScheme,
+    InfeasibleSchemeError,
+    ResolvedAffinity,
+    resolve_scheme,
+)
+from .cache import ResultCache, Uncacheable, default_cache, job_key
+from .execution import JobResult, JobRunner
+from .workload import Workload
+
+__all__ = [
+    "JobRequest",
+    "default_jobs",
+    "prefetch",
+    "run_request",
+    "run_requests",
+    "set_default_jobs",
+    "shutdown_pool",
+]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One experiment cell, fully described by value.
+
+    ``affinity`` (an explicit :class:`ResolvedAffinity`) overrides
+    ``scheme`` when given, mirroring :func:`repro.bench.common.run`.
+    """
+
+    spec: MachineSpec
+    workload: Workload
+    scheme: AffinityScheme = AffinityScheme.DEFAULT
+    affinity: Optional[ResolvedAffinity] = None
+    impl: Optional[MpiImplementation] = None
+    lock: Optional[str] = None
+    parked: int = 0
+
+    def key(self) -> str:
+        """Content address of this cell (raises :class:`Uncacheable`)."""
+        return job_key(self.spec, self.workload, scheme=self.scheme,
+                       affinity=self.affinity, impl=self.impl or OPENMPI,
+                       lock=self.lock, parked=self.parked)
+
+    def execute(self) -> JobResult:
+        """Run the cell; raises :class:`InfeasibleSchemeError` for dashes."""
+        affinity = self.affinity
+        if affinity is None:
+            affinity = resolve_scheme(self.scheme, self.spec,
+                                      self.workload.ntasks,
+                                      parked=self.parked)
+        runner = JobRunner(self.spec, affinity, impl=self.impl or OPENMPI,
+                           lock=self.lock)
+        return runner.run(self.workload)
+
+
+# -- worker-count plumbing -------------------------------------------------
+
+_DEFAULT_JOBS: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the process-wide worker count (the CLI's ``--jobs``)."""
+    global _DEFAULT_JOBS
+    _DEFAULT_JOBS = jobs
+    if jobs is not None and jobs != _pool_size():
+        shutdown_pool()
+
+
+def default_jobs() -> int:
+    """Effective worker count when a call does not pass ``jobs=``."""
+    if _DEFAULT_JOBS is not None:
+        return max(1, _DEFAULT_JOBS)
+    env = os.environ.get("REPRO_BENCH_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_JOBS = 0
+
+
+def _pool_size() -> int:
+    return _POOL_JOBS
+
+
+def _pool(jobs: int) -> ProcessPoolExecutor:
+    """A persistent worker pool, rebuilt when the size changes."""
+    global _POOL, _POOL_JOBS
+    if _POOL is None or _POOL_JOBS != jobs:
+        shutdown_pool()
+        _POOL = ProcessPoolExecutor(max_workers=jobs)
+        _POOL_JOBS = jobs
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the persistent worker pool (tests / CLI exit)."""
+    global _POOL, _POOL_JOBS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_JOBS = 0
+
+
+def _execute_cell(request: JobRequest) -> Tuple[str, object]:
+    """Worker entry point: run one cell, folding infeasibility to data."""
+    try:
+        return ("ok", request.execute())
+    except InfeasibleSchemeError as exc:
+        return ("infeasible", str(exc))
+
+
+# -- the executor ----------------------------------------------------------
+
+def run_request(request: JobRequest,
+                cache: Optional[ResultCache] = None) -> JobResult:
+    """Run one cell through the cache; infeasibility raises."""
+    cache = cache if cache is not None else default_cache()
+    try:
+        key = request.key()
+    except Uncacheable:
+        key = None
+    if key is not None:
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+    result = request.execute()
+    if key is not None:
+        cache.put(key, result)
+    return result
+
+
+def run_requests(requests: Sequence[JobRequest],
+                 jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 ) -> List[Optional[JobResult]]:
+    """Run a batch of cells, returning results in request order.
+
+    Infeasible cells come back as ``None`` (the paper tables' dashes).
+    Cache hits are served directly; the remaining unique cells fan out
+    over ``jobs`` worker processes (serially when ``jobs`` is 1, when
+    only one cell is missing, or when a request cannot be pickled).
+    """
+    cache = cache if cache is not None else default_cache()
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+
+    results: List[Optional[JobResult]] = [None] * len(requests)
+    keys: List[Optional[str]] = [None] * len(requests)
+    pending: List[int] = []
+    first_index_for_key: dict = {}
+    duplicates: List[Tuple[int, int]] = []  # (index, index of first twin)
+
+    for i, request in enumerate(requests):
+        try:
+            keys[i] = request.key()
+        except Uncacheable:
+            pending.append(i)
+            continue
+        hit = cache.get(keys[i])
+        if hit is not None:
+            results[i] = hit
+            continue
+        twin = first_index_for_key.get(keys[i])
+        if twin is not None:
+            duplicates.append((i, twin))
+            continue
+        first_index_for_key[keys[i]] = i
+        pending.append(i)
+
+    if pending:
+        todo = [requests[i] for i in pending]
+        outcomes = None
+        if jobs > 1 and len(todo) > 1:
+            try:
+                for request in todo:
+                    pickle.dumps(request)
+            except Exception:
+                outcomes = None  # unpicklable cell: serial fallback
+            else:
+                outcomes = list(_pool(jobs).map(_execute_cell, todo))
+        if outcomes is None:
+            outcomes = [_execute_cell(request) for request in todo]
+        for i, (status, payload) in zip(pending, outcomes):
+            if status == "infeasible":
+                continue  # results[i] stays None
+            results[i] = payload
+            if keys[i] is not None:
+                cache.put(keys[i], payload)
+
+    for i, twin in duplicates:
+        results[i] = results[twin]
+    return results
+
+
+def prefetch(requests: Sequence[JobRequest],
+             jobs: Optional[int] = None) -> int:
+    """Warm the cache for a batch of cells; returns the feasible count.
+
+    The bench generators keep their readable serial loops; calling this
+    first makes every subsequent ``run()`` a memory-cache hit.
+    """
+    return sum(1 for r in run_requests(requests, jobs=jobs) if r is not None)

@@ -15,7 +15,9 @@ DMZ) and the 2×4 *ladder* of the Iwill H8501 (Longs, Figure 1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Tuple
 
 import networkx as nx
@@ -93,6 +95,17 @@ class MachineSpec:
             raise ValueError(
                 f"'{self.topology}' topology requires at least 3 sockets"
             )
+
+    def cache_token(self) -> str:
+        """Stable content hash of every field that shapes simulation.
+
+        The experiment result cache keys on this, so two specs with
+        identical parameters share cached results even when constructed
+        independently (presets, ``hypothetical()`` what-ifs, tests).
+        """
+        payload = json.dumps(asdict(self), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
 
     @property
     def total_cores(self) -> int:

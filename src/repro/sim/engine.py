@@ -89,22 +89,21 @@ class Engine:
         Returns the underlying event; cancel by ignoring (callbacks may
         check their own validity), or use a generation counter upstream.
         """
-        ev = Timeout(self, delay)
-        # Re-prioritize by removing is not possible in a heap; urgent
-        # callbacks are instead scheduled through a dedicated event.
+        # Re-prioritizing an existing heap entry is not possible, so the
+        # urgent path enqueues a pre-triggered event at PRIORITY_URGENT
+        # directly (a Timeout would self-enqueue a second, dead entry at
+        # normal priority on construction).
         if urgent:
-            # Replace the queue entry: simplest correct approach is to add
-            # the callback to an urgent wrapper event.
-            urgent_ev = Event(self)
-            urgent_ev._ok = True
-            urgent_ev._value = None
+            ev = Event(self)
+            ev._ok = True
+            ev._value = None
             self._seq += 1
             heapq.heappush(
                 self._queue,
-                (self._now + delay, self.PRIORITY_URGENT, self._seq, urgent_ev),
+                (self._now + delay, self.PRIORITY_URGENT, self._seq, ev),
             )
-            urgent_ev.add_callback(callback)
-            return urgent_ev
+        else:
+            ev = Timeout(self, delay)
         ev.add_callback(callback)
         return ev
 

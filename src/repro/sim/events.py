@@ -37,11 +37,16 @@ class Event:
     its callbacks.  Each callback receives the event itself.
     """
 
+    #: slotted to cut per-event allocation cost — event-heavy runs
+    #: (PTRANS, RandomAccess) create millions of these
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_defused")
+
     def __init__(self, engine: "Engine"):
         self.engine = engine
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = _UNSET
         self._ok: Optional[bool] = None
+        self._defused = False
 
     @property
     def triggered(self) -> bool:
@@ -110,6 +115,8 @@ class Event:
 class Timeout(Event):
     """An event that succeeds after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
@@ -122,6 +129,8 @@ class Timeout(Event):
 
 class _Condition(Event):
     """Base for composite events over a set of child events."""
+
+    __slots__ = ("events", "_outstanding")
 
     def __init__(self, engine: "Engine", events: Iterable[Event]):
         super().__init__(engine)
@@ -154,6 +163,8 @@ class AllOf(_Condition):
     the child's failure is absorbed (defused) by the condition.
     """
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if not event.ok:
             event._defused = True  # the condition handles the failure
@@ -169,6 +180,8 @@ class AllOf(_Condition):
 
 class AnyOf(_Condition):
     """Succeeds when the first child event succeeds."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if not event.ok:

@@ -20,6 +20,8 @@ __all__ = ["Process"]
 class Process(Event):
     """A running generator coroutine inside the simulation."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, engine: Engine, generator: Generator):
         super().__init__(engine)
         if not hasattr(generator, "send"):
