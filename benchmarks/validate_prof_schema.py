@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate the schema of a ``repro-prof --json`` counter document.
+
+Dependency-free on purpose (CI runs it right after the artifact is
+produced): structural checks only, no jsonschema.  Exits non-zero with
+a list of violations when the document does not match what downstream
+consumers (the CI artifact, the EXPERIMENTS.md examples) rely on.
+
+Usage::
+
+    python benchmarks/validate_prof_schema.py prof.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+REQUIRED_TOP = {"schema", "cell", "wall_time", "events", "perf", "derived"}
+REQUIRED_CELL = {"system", "workload", "scheme", "ntasks"}
+REQUIRED_PERF = {"schema", "events", "cores", "uncore", "totals", "regions"}
+REQUIRED_DERIVED = {"dram_bytes", "achieved_bandwidth", "flop_rate",
+                    "remote_access_ratio", "l1_miss_ratio"}
+KNOWN_EVENTS = {
+    "cycles", "flops", "l1_hits", "l1_misses", "l2_hits", "l2_misses",
+    "dram_reads", "dram_writes", "dram_local_accesses",
+    "dram_remote_accesses", "dram_local_bytes", "dram_remote_bytes",
+    "ht_link_bytes", "mpi_messages", "mpi_bytes", "numa_local_pages",
+    "numa_remote_pages",
+}
+
+
+def _check_counters(counters, where, errors):
+    if not isinstance(counters, dict):
+        errors.append(f"{where}: expected a counter object")
+        return
+    for event, value in counters.items():
+        if event not in KNOWN_EVENTS:
+            errors.append(f"{where}: unknown event {event!r}")
+        if not isinstance(value, (int, float)) or value < 0:
+            errors.append(f"{where}.{event}: expected a non-negative number")
+
+
+def validate(doc) -> list:
+    """All schema violations found in ``doc`` (empty list = valid)."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    missing = REQUIRED_TOP - doc.keys()
+    if missing:
+        errors.append(f"top level: missing keys {sorted(missing)}")
+        return errors
+    if doc["schema"] != 1:
+        errors.append(f"schema: expected 1, got {doc['schema']!r}")
+    if not isinstance(doc["wall_time"], (int, float)) or doc["wall_time"] <= 0:
+        errors.append("wall_time: expected a positive number")
+
+    cell = doc["cell"]
+    if not isinstance(cell, dict) or REQUIRED_CELL - cell.keys():
+        errors.append(f"cell: missing keys "
+                      f"{sorted(REQUIRED_CELL - set(cell or ()))}")
+
+    perf = doc["perf"]
+    if not isinstance(perf, dict) or REQUIRED_PERF - perf.keys():
+        errors.append(f"perf: missing keys "
+                      f"{sorted(REQUIRED_PERF - set(perf or ()))}")
+        return errors
+    for core, counters in perf["cores"].items():
+        if not core.isdigit():
+            errors.append(f"perf.cores: key {core!r} is not a core id")
+        _check_counters(counters, f"perf.cores[{core}]", errors)
+    _check_counters(perf["uncore"], "perf.uncore", errors)
+    _check_counters(perf["totals"], "perf.totals", errors)
+    for region, cores in perf["regions"].items():
+        if not isinstance(cores, dict):
+            errors.append(f"perf.regions[{region}]: expected an object")
+            continue
+        for core, entry in cores.items():
+            where = f"perf.regions[{region}][{core}]"
+            for key in ("calls", "seconds", "counters"):
+                if key not in entry:
+                    errors.append(f"{where}: missing {key!r}")
+            if entry.get("calls", 0) < 1:
+                errors.append(f"{where}: calls must be >= 1")
+            _check_counters(entry.get("counters", {}),
+                            f"{where}.counters", errors)
+
+    derived = doc["derived"]
+    if not isinstance(derived, dict) or REQUIRED_DERIVED - derived.keys():
+        errors.append(f"derived: missing keys "
+                      f"{sorted(REQUIRED_DERIVED - set(derived or ()))}")
+    return errors
+
+
+def main(argv) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        doc = json.load(handle)
+    errors = validate(doc)
+    if errors:
+        for error in errors:
+            print(f"SCHEMA VIOLATION: {error}", file=sys.stderr)
+        return 1
+    totals = doc["perf"]["totals"]
+    print(f"{argv[1]}: schema OK "
+          f"({len(doc['perf']['cores'])} cores, "
+          f"{len(doc['perf']['regions'])} regions, "
+          f"{len(totals)} total counters)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

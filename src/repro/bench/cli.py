@@ -26,7 +26,7 @@ from ..core import cache as result_cache
 from ..core import parallel
 from . import ablations, extensions, figures, tables
 
-__all__ = ["main", "TARGETS"]
+__all__ = ["main", "prof_main", "TARGETS"]
 
 Result = Union[TableResult, SeriesResult]
 
@@ -141,11 +141,16 @@ def main(argv=None) -> int:
         _prefetch(names, jobs)
     results = {}
     timings = []
+    stats = result_cache.default_cache().stats
     try:
         for name in names:
             start = time.perf_counter()
+            hits0 = stats.memory_hits + stats.disk_hits
+            misses0 = stats.misses
             results[name] = TARGETS[name]()
-            timings.append((name, time.perf_counter() - start))
+            timings.append((name, time.perf_counter() - start,
+                            stats.memory_hits + stats.disk_hits - hits0,
+                            stats.misses - misses0))
             _render(name, results[name], args.csv, show_plot=args.plot)
     finally:
         parallel.shutdown_pool()
@@ -155,17 +160,32 @@ def main(argv=None) -> int:
         write_report(args.report, results)
         print(f"[report written to {args.report}]")
     if args.timings:
-        total = sum(t for _n, t in timings)
-        print("per-target wall time:", file=sys.stderr)
-        for name, elapsed in timings:
-            print(f"  {name:10s} {elapsed:8.2f}s", file=sys.stderr)
-        print(f"  {'total':10s} {total:8.2f}s", file=sys.stderr)
+        from ..perfctr import format_count
+
+        total = sum(t for _n, t, _h, _m in timings)
+        total_hits = sum(h for _n, _t, h, _m in timings)
+        total_misses = sum(m for _n, _t, _h, m in timings)
+        print("per-target wall time and cache traffic:", file=sys.stderr)
+        for name, elapsed, hits, misses in timings:
+            print(f"  {name:10s} {elapsed:8.2f}s  "
+                  f"{format_count(hits):>6s} hits  "
+                  f"{format_count(misses):>6s} misses", file=sys.stderr)
+        print(f"  {'total':10s} {total:8.2f}s  "
+              f"{format_count(total_hits):>6s} hits  "
+              f"{format_count(total_misses):>6s} misses", file=sys.stderr)
     if args.cache_stats:
         stats = result_cache.default_cache().stats
         print(f"result cache: {stats.memory_hits} memory hits, "
               f"{stats.disk_hits} disk hits, {stats.misses} misses, "
               f"{stats.stores} stores", file=sys.stderr)
     return 0
+
+
+def prof_main(argv=None) -> int:
+    """Entry point of the ``repro-prof`` console script."""
+    from .prof import main as _prof
+
+    return _prof(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -41,6 +41,8 @@ from .ops import (
     Barrier,
     Bcast,
     Compute,
+    MarkerStart,
+    MarkerStop,
     Op,
     Recv,
     Reduce,
@@ -79,6 +81,8 @@ __all__ = [
     "SchemeComparison",
     "Op",
     "Compute",
+    "MarkerStart",
+    "MarkerStop",
     "Send",
     "Recv",
     "SendRecv",

@@ -125,13 +125,19 @@ def model_fingerprint() -> str:
 
 
 def job_key(spec, workload, scheme=None, affinity=None, impl=None,
-            lock: Optional[str] = None, parked: int = 0) -> str:
+            lock: Optional[str] = None, parked: int = 0,
+            profile: bool = False) -> str:
     """The content address of one experiment cell.
 
     Exactly one of ``scheme`` / ``affinity`` describes the placement;
     ``affinity`` (a :class:`ResolvedAffinity`) wins when both are given,
     mirroring the runner.  Raises :class:`Uncacheable` when any input
     has no canonical form.
+
+    ``profile`` folds into the key *only when enabled*: profiled results
+    carry counter payloads and must live under distinct addresses, while
+    the disabled path keeps the exact key layout (and therefore warm
+    disk-cache hits) of unprofiled runs.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -144,6 +150,8 @@ def job_key(spec, workload, scheme=None, affinity=None, impl=None,
         "lock": lock,
         "parked": parked,
     }
+    if profile:
+        payload["profile"] = True
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
 

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from ..machine import Machine
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, MpiWorld, OPENMPI
+from ..perfctr import CACHE_LINE, PerfSession
 from ..sim import Tracer
 from .affinity import AffinityScheme, ResolvedAffinity, resolve_scheme
 from .ops import (
@@ -34,6 +35,8 @@ from .ops import (
     Barrier,
     Bcast,
     Compute,
+    MarkerStart,
+    MarkerStop,
     Op,
     Recv,
     Reduce,
@@ -64,6 +67,9 @@ class JobResult:
     #: total MPI messages / bytes
     messages: int = 0
     bytes_sent: int = 0
+    #: perfctr snapshot (profiled runs only; ``None`` keeps the cache
+    #: JSON of unprofiled results byte-identical to pre-profiling runs)
+    perf: Optional[Dict] = None
 
     def phase_time(self, phase: str) -> float:
         """Critical-path time of one phase (max over ranks)."""
@@ -89,7 +95,7 @@ class JobResult:
         result bit-for-bit — the property the cache's bit-identical
         guarantee rests on.
         """
-        return {
+        data = {
             "workload": self.workload,
             "system": self.system,
             "scheme": self.scheme,
@@ -101,6 +107,9 @@ class JobResult:
             "messages": self.messages,
             "bytes_sent": self.bytes_sent,
         }
+        if self.perf is not None:
+            data["perf"] = self.perf
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "JobResult":
@@ -116,6 +125,7 @@ class JobResult:
             phase_times=[dict(pt) for pt in data["phase_times"]],
             messages=data["messages"],
             bytes_sent=data["bytes_sent"],
+            perf=data.get("perf"),
         )
 
 
@@ -125,12 +135,17 @@ class JobRunner:
     def __init__(self, spec: MachineSpec, affinity: ResolvedAffinity,
                  impl: MpiImplementation = OPENMPI,
                  lock: Optional[str] = None,
-                 trace: bool = False):
+                 trace: bool = False,
+                 profile: bool = False,
+                 perf: Optional[PerfSession] = None):
         if affinity.spec.name != spec.name:
             raise ValueError("affinity was resolved for a different system")
         self.spec = spec
         self.affinity = affinity
-        self.machine = Machine(spec, tracer=Tracer(enabled=trace))
+        if perf is None and profile:
+            perf = PerfSession()
+        self.perf = perf
+        self.machine = Machine(spec, tracer=Tracer(enabled=trace), perf=perf)
         self.world = MpiWorld(
             self.machine,
             affinity.placement,
@@ -156,12 +171,32 @@ class JobRunner:
         category_times: List[Dict[str, float]] = [dict() for _ in range(n)]
         phase_times: List[Dict[str, float]] = [dict() for _ in range(n)]
 
+        perf = self.perf
+        core_of_rank = self.affinity.placement.core_of_rank
+        frequency = self.spec.socket.core.frequency_hz
+
         def rank_process(rank: int):
             engine = self.machine.engine
+            core = core_of_rank[rank]
             for op in workload.program(rank):
+                if isinstance(op, (MarkerStart, MarkerStop)):
+                    # zero-cost observability brackets; invisible (and
+                    # free) when no profiling session is attached
+                    if perf is not None:
+                        if isinstance(op, MarkerStart):
+                            perf.region_start(op.name, core)
+                        else:
+                            perf.region_stop(op.name, core)
+                    continue
                 start = engine.now
+                if perf is not None and op.phase:
+                    perf.region_start(op.phase, core)
                 category = yield from self._execute(op, rank)
                 elapsed = engine.now - start
+                if perf is not None:
+                    perf.count(core, "cycles", elapsed * frequency)
+                    if op.phase:
+                        perf.region_stop(op.phase, core)
                 bucket = category_times[rank]
                 bucket[category] = bucket.get(category, 0.0) + elapsed
                 if op.phase:
@@ -178,6 +213,14 @@ class JobRunner:
         self.machine.engine.run()
 
         scale = workload.time_scale
+        perf_snapshot = None
+        if perf is not None:
+            leaked = perf.regions.open_regions
+            if leaked:
+                raise ValueError(
+                    f"unclosed marker regions at job end: {leaked}"
+                )
+            perf_snapshot = perf.snapshot(time_scale=scale)
         return JobResult(
             workload=workload.name,
             system=self.spec.name,
@@ -193,6 +236,7 @@ class JobRunner:
             ],
             messages=self.world.stats.messages,
             bytes_sent=self.world.stats.bytes_sent,
+            perf=perf_snapshot,
         )
 
     # -- op execution -----------------------------------------------------
@@ -260,6 +304,19 @@ class JobRunner:
             op.working_set / threads, op.reuse
         )
 
+        perf = self.perf
+        perf_core = self.affinity.placement.core_of_rank[rank]
+        if perf is not None:
+            if op.flops > 0:
+                perf.count(perf_core, "flops", op.flops)
+            line_requests = op.dram_bytes / CACHE_LINE + op.random_accesses
+            if line_requests > 0:
+                hierarchy = self.machine.cache.hierarchy_counts(
+                    op.working_set / threads, op.reuse, line_requests
+                )
+                for event, value in hierarchy.items():
+                    perf.count(perf_core, event, value)
+
         flop_time = 0.0
         if op.flops > 0:
             flop_time = op.flops / (core.peak_flops * op.flop_efficiency
@@ -281,6 +338,9 @@ class JobRunner:
                 socket, distribution, extra_sharers=extra
             )
             latency_time = misses * per_access
+            self.machine.mem.count_dependent_accesses(
+                socket, distribution, misses * threads, perf_core
+            )
 
         memory_floor = 0.0
         if op.dram_bytes > 0:
@@ -288,8 +348,10 @@ class JobRunner:
             distribution = self.affinity.distribution(rank)
             per_node = {node: traffic * frac
                         for node, frac in distribution.items()}
-            parts.append(self.machine.mem.stream(socket, per_node,
-                                                 weight=float(threads)))
+            parts.append(self.machine.mem.stream(
+                socket, per_node, weight=float(threads), core=perf_core,
+                write_fraction=op.write_fraction,
+            ))
             # Serial-stream floor: one core cannot pull faster than a
             # single latency-limited request stream (capped further by
             # the kernel's own access-pattern demand), however many
@@ -325,7 +387,9 @@ def run_workload(spec: MachineSpec, workload: Workload,
                  scheme: AffinityScheme = AffinityScheme.DEFAULT,
                  impl: MpiImplementation = OPENMPI,
                  lock: Optional[str] = None,
-                 parked: int = 0) -> JobResult:
+                 parked: int = 0,
+                 profile: bool = False) -> JobResult:
     """One-call convenience: resolve the scheme, build a runner, run."""
     affinity = resolve_scheme(scheme, spec, workload.ntasks, parked=parked)
-    return JobRunner(spec, affinity, impl=impl, lock=lock).run(workload)
+    return JobRunner(spec, affinity, impl=impl, lock=lock,
+                     profile=profile).run(workload)

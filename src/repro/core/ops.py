@@ -32,6 +32,8 @@ from typing import Optional
 __all__ = [
     "Op",
     "Compute",
+    "MarkerStart",
+    "MarkerStop",
     "Send",
     "Recv",
     "SendRecv",
@@ -72,6 +74,9 @@ class Compute(Op):
     #: OpenMP-style thread team executing this slice (one rank may fan
     #: out over its socket's cores; see :mod:`repro.openmp`)
     threads: int = 1
+    #: fraction of the slice's DRAM line transfers that are writes
+    #: (profiling only; 1/3 is the STREAM-triad 2-read/1-write pattern)
+    write_fraction: float = 1.0 / 3.0
 
     def __post_init__(self):
         if min(self.flops, self.dram_bytes, self.working_set,
@@ -85,6 +90,26 @@ class Compute(Op):
             raise ValueError("stream_bandwidth must be positive")
         if self.threads < 1:
             raise ValueError("threads must be >= 1")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MarkerStart(Op):
+    """Open a named profiling region (``LIKWID_MARKER_START`` analogue).
+
+    Zero simulated cost; ignored entirely when profiling is off, so
+    instrumented workloads stay bit-identical to uninstrumented runs.
+    """
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class MarkerStop(Op):
+    """Close a region opened by :class:`MarkerStart` (zero cost)."""
+
+    name: str = ""
 
 
 @dataclass(frozen=True)

@@ -68,12 +68,15 @@ class JobRequest:
     impl: Optional[MpiImplementation] = None
     lock: Optional[str] = None
     parked: int = 0
+    #: attach a perfctr session and return counters with the result
+    profile: bool = False
 
     def key(self) -> str:
         """Content address of this cell (raises :class:`Uncacheable`)."""
         return job_key(self.spec, self.workload, scheme=self.scheme,
                        affinity=self.affinity, impl=self.impl or OPENMPI,
-                       lock=self.lock, parked=self.parked)
+                       lock=self.lock, parked=self.parked,
+                       profile=self.profile)
 
     def execute(self) -> JobResult:
         """Run the cell; raises :class:`InfeasibleSchemeError` for dashes."""
@@ -83,7 +86,7 @@ class JobRequest:
                                       self.workload.ntasks,
                                       parked=self.parked)
         runner = JobRunner(self.spec, affinity, impl=self.impl or OPENMPI,
-                           lock=self.lock)
+                           lock=self.lock, profile=self.profile)
         return runner.run(self.workload)
 
 

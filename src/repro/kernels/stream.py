@@ -31,10 +31,14 @@ __all__ = [
     "triad_model",
     "stream_model",
     "BYTES_PER_ELEMENT",
+    "WRITE_FRACTION",
 ]
 
 BYTES_PER_ELEMENT = {"copy": 16, "scale": 16, "add": 24, "triad": 24}
 FLOPS_PER_ELEMENT = {"copy": 0, "scale": 1, "add": 1, "triad": 2}
+#: writes / (reads + writes) per element: copy and scale stream one
+#: read and one write; add and triad read two arrays and write one
+WRITE_FRACTION = {"copy": 0.5, "scale": 0.5, "add": 1 / 3, "triad": 1 / 3}
 
 
 # -- functional -----------------------------------------------------------
@@ -80,6 +84,7 @@ def stream_model(kind: str, n: int, passes: int = 1,
         working_set=BYTES_PER_ELEMENT[kind] * n,
         reuse=0.0,
         flop_efficiency=0.9,
+        write_fraction=WRITE_FRACTION[kind],
     )
 
 

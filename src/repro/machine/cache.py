@@ -62,6 +62,40 @@ class CacheModel:
         return traffic_factor(working_set, self.capacity, reuse,
                               floor=self.traffic_floor)
 
+    def hierarchy_counts(self, working_set: float, reuse: float,
+                         line_requests: float) -> dict:
+        """Split ``line_requests`` cacheline accesses across the hierarchy.
+
+        The analytic model only distinguishes "captured by some cache"
+        from "reaches DRAM"; this projects that onto per-level counters
+        the way a hardware PMU would see them:
+
+        * L1 captures the reuse fraction resident in L1D (never more
+          than the overall cache-captured fraction);
+        * everything missing L1 looks up L2 (exclusive victim hierarchy:
+          L1 misses *are* the L2 accesses);
+        * the DRAM traffic factor fixes the L2 miss count, L2 hits are
+          the remainder.
+
+        By construction ``l1_hits + l1_misses == line_requests`` and
+        ``l2_hits + l2_misses == l1_misses`` — the conservation
+        invariants the counter tests assert.
+        """
+        if line_requests < 0:
+            raise ValueError("line_requests must be non-negative")
+        if line_requests == 0:
+            return {"l1_hits": 0.0, "l1_misses": 0.0,
+                    "l2_hits": 0.0, "l2_misses": 0.0}
+        factor = self.dram_traffic_factor(working_set, reuse)
+        l1_factor = traffic_factor(working_set, self.core.l1d_bytes, reuse,
+                                   floor=self.traffic_floor)
+        l1_hits = line_requests * min(1.0 - l1_factor, 1.0 - factor)
+        l1_misses = line_requests - l1_hits
+        l2_misses = min(line_requests * factor, l1_misses)
+        l2_hits = l1_misses - l2_misses
+        return {"l1_hits": l1_hits, "l1_misses": l1_misses,
+                "l2_hits": l2_hits, "l2_misses": l2_misses}
+
     def fits(self, working_set: float) -> bool:
         """True when the working set is cache-resident."""
         return working_set <= self.capacity

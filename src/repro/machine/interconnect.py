@@ -11,7 +11,7 @@ HyperTransport ladder" (Section 3.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
@@ -24,9 +24,10 @@ __all__ = ["Interconnect"]
 class Interconnect:
     """Directed-link network over the socket graph with shortest-path routing."""
 
-    def __init__(self, engine: Engine, spec: MachineSpec):
+    def __init__(self, engine: Engine, spec: MachineSpec, perf=None):
         self.engine = engine
         self.spec = spec
+        self.perf = perf
         self.graph = build_socket_graph(spec)
         params = spec.params
         self.links: Dict[Tuple[int, int], BandwidthResource] = {}
@@ -62,18 +63,22 @@ class Interconnect:
         return self.hops(src, dst) * self.spec.params.ht_link_latency
 
     def transfer(self, src: int, dst: int, nbytes: float,
-                 weight: float = 1.0) -> Event:
+                 weight: float = 1.0, core: Optional[int] = None) -> Event:
         """Move ``nbytes`` from socket ``src`` to ``dst``.
 
         The returned event fires when the payload has cleared every link
         on the path.  Same-socket transfers complete immediately (the
         caller models the local copy through the memory system).
+        ``core`` attributes the link traffic (bytes x links crossed,
+        matching per-link HT event counts) when profiling is active.
         """
         links = self.path_links(src, dst)
         if not links:
             ev = Event(self.engine)
             ev.succeed(self.engine.now)
             return ev
+        if self.perf is not None and core is not None and nbytes > 0:
+            self.perf.count(core, "ht_link_bytes", nbytes * len(links))
         flows = [link.transfer(nbytes, weight=weight) for link in links]
         return self.engine.all_of(flows)
 

@@ -26,10 +26,12 @@ class Machine:
     """A live shared-memory node built from a :class:`MachineSpec`."""
 
     def __init__(self, spec: MachineSpec, engine: Optional[Engine] = None,
-                 tracer: Optional[Tracer] = None):
+                 tracer: Optional[Tracer] = None, perf=None):
         self.spec = spec
         self.engine = engine if engine is not None else Engine()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: optional perfctr.PerfSession; None keeps every hook a no-op
+        self.perf = perf
 
         self.sockets: List[Socket] = []
         self.cores: List[Core] = []
@@ -44,8 +46,10 @@ class Machine:
                 core_id += 1
             self.sockets.append(socket)
 
-        self.net = Interconnect(self.engine, spec)
-        self.mem = MemorySystem(self.engine, spec, self.net)
+        if perf is not None:
+            perf.bind(self.engine, len(self.cores))
+        self.net = Interconnect(self.engine, spec, perf=perf)
+        self.mem = MemorySystem(self.engine, spec, self.net, perf=perf)
         self.cache = CacheModel(spec.socket.core,
                                 traffic_floor=spec.params.compulsory_traffic_floor)
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from ..perfctr.counters import CACHE_LINE
 from ..sim import BandwidthResource, Engine, Event
 from .interconnect import Interconnect
 from .topology import MachineSpec
@@ -32,10 +33,11 @@ class MemorySystem:
     """All memory controllers of a machine plus the access cost model."""
 
     def __init__(self, engine: Engine, spec: MachineSpec,
-                 interconnect: Interconnect):
+                 interconnect: Interconnect, perf=None):
         self.engine = engine
         self.spec = spec
         self.net = interconnect
+        self.perf = perf
         params = spec.params
         self._coherence = 1.0 / (
             1.0 + params.coherence_probe_cost * (spec.sockets - 1)
@@ -63,19 +65,36 @@ class MemorySystem:
     # -- streaming (bandwidth-bound) traffic ------------------------------
 
     def stream(self, from_socket: int, traffic: Mapping[int, float],
-               weight: float = 1.0) -> Event:
+               weight: float = 1.0, core: Optional[int] = None,
+               write_fraction: float = 1.0 / 3.0) -> Event:
         """Issue streaming DRAM traffic from a core on ``from_socket``.
 
         ``traffic`` maps home NUMA node (socket id) -> bytes.  Each
         portion occupies its home controller; remote portions also cross
         every HT link en route and pay a per-hop occupancy surcharge.
         The event fires when all portions have drained.
+
+        When profiling, ``core`` attributes the traffic to a counter
+        bank (pre-surcharge payload bytes, classified local vs. remote
+        by home node) and ``write_fraction`` splits the cacheline
+        accesses into DRAM read and write counters.
         """
         flows = []
         params = self.spec.params
+        perf = self.perf
         for node, nbytes in traffic.items():
             if nbytes <= 0:
                 continue
+            if perf is not None and core is not None:
+                lines = nbytes / CACHE_LINE
+                local = node == from_socket
+                perf.count(core,
+                           "dram_local_bytes" if local else "dram_remote_bytes",
+                           nbytes)
+                perf.count(core, "dram_local_accesses" if local
+                           else "dram_remote_accesses", lines)
+                perf.count(core, "dram_writes", lines * write_fraction)
+                perf.count(core, "dram_reads", lines * (1.0 - write_fraction))
             hops = self.net.hops(from_socket, node)
             surcharge = 1.0 + params.hop_bandwidth_derate * hops
             flows.append(
@@ -83,7 +102,8 @@ class MemorySystem:
             )
             if hops:
                 flows.append(
-                    self.net.transfer(from_socket, node, nbytes, weight=weight)
+                    self.net.transfer(from_socket, node, nbytes, weight=weight,
+                                      core=core)
                 )
         if not flows:
             ev = Event(self.engine)
@@ -135,6 +155,32 @@ class MemorySystem:
             frac / total * self.access_latency(from_socket, node, extra_sharers)
             for node, frac in distribution.items()
         )
+
+    def count_dependent_accesses(self, from_socket: int,
+                                 distribution: Mapping[int, float],
+                                 accesses: float, core: int) -> None:
+        """Attribute ``accesses`` latency-bound DRAM reads to ``core``.
+
+        Dependent (RandomAccess-style) loads touch one cacheline each;
+        they are pure reads and split local/remote by the same node
+        distribution the latency charge uses.  No-op when unprofiled.
+        """
+        perf = self.perf
+        if perf is None or accesses <= 0:
+            return
+        total = sum(distribution.values())
+        if total <= 0:
+            return
+        for node, frac in distribution.items():
+            part = accesses * frac / total
+            if part <= 0:
+                continue
+            local = node == from_socket
+            perf.count(core, "dram_local_accesses" if local
+                       else "dram_remote_accesses", part)
+            perf.count(core, "dram_local_bytes" if local
+                       else "dram_remote_bytes", part * CACHE_LINE)
+        perf.count(core, "dram_reads", accesses)
 
     # -- quick analytic estimate (used by reports and sanity tests) -------
 

@@ -95,7 +95,11 @@ class MpiWorld:
             buffer_nodes = {
                 r: placement.socket_of_rank(r) for r in range(placement.ntasks)
             }
-        self.transport = ShmTransport(machine, impl, buffer_nodes)
+        self.transport = ShmTransport(
+            machine, impl, buffer_nodes,
+            core_of_rank={r: placement.core_of_rank[r]
+                          for r in range(placement.ntasks)},
+        )
         self.stats = MpiStats()
         self._queues: Dict[int, List[Message]] = {
             r: [] for r in range(placement.ntasks)

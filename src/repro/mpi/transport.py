@@ -16,7 +16,7 @@ core's copy bandwidth even on an idle controller).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..machine import Machine
 from ..sim import Event
@@ -29,14 +29,31 @@ class ShmTransport:
     """Copy engine for one MPI world."""
 
     def __init__(self, machine: Machine, impl: MpiImplementation,
-                 buffer_node_of_rank: Dict[int, int]):
+                 buffer_node_of_rank: Dict[int, int],
+                 core_of_rank: Optional[Dict[int, int]] = None):
         self.machine = machine
         self.impl = impl
         self.buffer_node_of_rank = dict(buffer_node_of_rank)
+        #: rank -> issuing core, for counter attribution when profiling
+        self.core_of_rank = dict(core_of_rank) if core_of_rank else {}
 
     def buffer_node(self, sender_rank: int) -> int:
         """Home NUMA node of ``sender_rank``'s shared send buffer."""
         return self.buffer_node_of_rank[sender_rank]
+
+    def _count_message(self, sender_rank: int, nbytes: float) -> None:
+        """Tally one message on the sender's core (zero-byte sends too:
+        barriers are exactly the small-message traffic the lock-cost
+        figures care about)."""
+        perf = self.machine.perf
+        if perf is None:
+            return
+        core = self.core_of_rank.get(sender_rank)
+        if core is None:
+            return
+        perf.count(core, "mpi_messages", 1)
+        if nbytes > 0:
+            perf.count(core, "mpi_bytes", nbytes)
 
     def _stream_bandwidth(self, socket_a: int, socket_b: int) -> float:
         """Single-stream copy bandwidth between a core and a buffer node."""
@@ -48,7 +65,7 @@ class ShmTransport:
         return base * self.impl.copy_bandwidth_factor
 
     def _copy(self, core_socket: int, buffer_node: int, nbytes: float,
-              copies: float) -> Event:
+              copies: float, core: Optional[int] = None) -> Event:
         """``copies`` serialized buffer copies touching ``buffer_node``.
 
         The event combines: controller occupancy (``nbytes * copies``),
@@ -67,21 +84,25 @@ class ShmTransport:
         ]
         if core_socket != buffer_node:
             parts.append(
-                self.machine.net.transfer(core_socket, buffer_node, nbytes)
+                self.machine.net.transfer(core_socket, buffer_node, nbytes,
+                                          core=core)
             )
         return engine.all_of(parts)
 
     def copy_in(self, sender_socket: int, sender_rank: int,
                 nbytes: float) -> Event:
         """Sender-side copy of the payload into the shared buffer."""
+        self._count_message(sender_rank, nbytes)
         return self._copy(sender_socket, self.buffer_node(sender_rank),
-                          nbytes, copies=1.0)
+                          nbytes, copies=1.0,
+                          core=self.core_of_rank.get(sender_rank))
 
     def copy_out(self, receiver_socket: int, sender_rank: int,
                  nbytes: float) -> Event:
         """Receiver-side copy of the payload out of the shared buffer."""
         return self._copy(receiver_socket, self.buffer_node(sender_rank),
-                          nbytes, copies=1.0)
+                          nbytes, copies=1.0,
+                          core=self.core_of_rank.get(sender_rank))
 
     def bulk(self, sender_socket: int, sender_rank: int,
              receiver_socket: int, nbytes: float) -> Event:
@@ -92,11 +113,13 @@ class ShmTransport:
         one buffer traversal.  The slower endpoint sets the stream cap.
         """
         engine = self.machine.engine
+        self._count_message(sender_rank, nbytes)
         if nbytes <= 0:
             ev = Event(engine)
             ev.succeed(engine.now)
             return ev
         buffer = self.buffer_node(sender_rank)
+        core = self.core_of_rank.get(sender_rank)
         copies = self.impl.copy_cost_factor(nbytes)
         stream_bw = min(
             self._stream_bandwidth(sender_socket, buffer),
@@ -107,9 +130,11 @@ class ShmTransport:
             engine.timeout(nbytes * copies / stream_bw),
         ]
         if sender_socket != buffer:
-            parts.append(self.machine.net.transfer(sender_socket, buffer, nbytes))
+            parts.append(self.machine.net.transfer(sender_socket, buffer, nbytes,
+                                                   core=core))
         if receiver_socket != buffer:
-            parts.append(self.machine.net.transfer(buffer, receiver_socket, nbytes))
+            parts.append(self.machine.net.transfer(buffer, receiver_socket,
+                                                   nbytes, core=core))
         return engine.all_of(parts)
 
     def wire_latency(self, sender_socket: int, receiver_socket: int) -> float:

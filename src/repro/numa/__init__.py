@@ -7,7 +7,7 @@ the paper drives its experiments with.
 """
 
 from .numactl import NumactlConfig, parse_numactl
-from .numastat import NodeStats, numastat
+from .numastat import NodeStats, numastat, remote_fraction
 from .pages import PAGE_SIZE, PageTable, Region
 from .policy import (
     FirstTouch,
@@ -32,4 +32,5 @@ __all__ = [
     "parse_numactl",
     "NodeStats",
     "numastat",
+    "remote_fraction",
 ]

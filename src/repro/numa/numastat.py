@@ -15,7 +15,7 @@ from typing import Dict, Mapping
 
 from .pages import PageTable
 
-__all__ = ["NodeStats", "numastat"]
+__all__ = ["NodeStats", "numastat", "remote_fraction"]
 
 
 @dataclass
@@ -64,3 +64,15 @@ def numastat(table: PageTable,
             if distinct > 1:
                 entry.interleave_hit += pages
     return stats
+
+
+def remote_fraction(stats: Mapping[int, NodeStats]) -> float:
+    """Fraction of all resident pages that are remote to their task.
+
+    The page-level analogue of the counter layer's DRAM
+    remote-access ratio; the `repro-prof validate` table cross-checks
+    the two against each other.
+    """
+    total = sum(entry.total_pages for entry in stats.values())
+    remote = sum(entry.other_node for entry in stats.values())
+    return remote / total if total else 0.0

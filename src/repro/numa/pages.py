@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from .policy import MemoryPolicy
 
@@ -48,6 +48,8 @@ class PageTable:
 
     num_nodes: int
     regions: List[Region] = field(default_factory=list)
+    #: optional perfctr.PerfSession; placement counts land in its uncore
+    perf: Optional[object] = None
     _next_page_index: Dict[int, int] = field(default_factory=dict)
 
     def allocate(self, task: int, nbytes: int, toucher_node: int,
@@ -68,6 +70,10 @@ class PageTable:
         self._next_page_index[task] = start + num_pages
         region = Region(task=task, nbytes=nbytes, page_nodes=nodes)
         self.regions.append(region)
+        if self.perf is not None:
+            local = sum(1 for node in nodes if node == toucher_node)
+            self.perf.count(None, "numa_local_pages", local)
+            self.perf.count(None, "numa_remote_pages", num_pages - local)
         return region
 
     def task_regions(self, task: int) -> List[Region]:

@@ -1,0 +1,171 @@
+"""Simulated hardware performance counters.
+
+A :class:`PerfSession` is the machine-wide counter fabric of one
+profiled run: one :class:`CounterBank` per core plus one *uncore* bank
+for events with no issuing core (page placement).  Model components hold
+an optional session reference and emit with ``perf.count(core, event,
+value)``; when no session is attached every hook site is a single
+``if perf is not None`` test, so unprofiled runs — the byte-identity
+path of the bench pipeline — pay nothing and schedule nothing.
+
+The event vocabulary mirrors what LIKWID exposes on the paper's
+Opterons (cycles, flops, cache hierarchy, DRAM read/write, local vs.
+remote NUMA traffic, HT link bytes) plus the MPI software counters the
+study derives from ``mpptest``-style instrumentation.  Counts are
+floats: the analytic cache model produces fractional line counts and
+keeping them exact preserves the conservation invariants the tests
+assert (L1 misses == L2 accesses, local + remote == total DRAM
+accesses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .markers import RegionAccumulator
+
+__all__ = ["CACHE_LINE", "EVENTS", "CounterBank", "PerfSession"]
+
+#: coherence granularity of the modeled Opterons
+CACHE_LINE = 64
+
+#: the full event vocabulary, in report order
+EVENTS = (
+    "cycles",
+    "flops",
+    "l1_hits",
+    "l1_misses",
+    "l2_hits",
+    "l2_misses",
+    "dram_reads",
+    "dram_writes",
+    "dram_local_accesses",
+    "dram_remote_accesses",
+    "dram_local_bytes",
+    "dram_remote_bytes",
+    "ht_link_bytes",
+    "mpi_messages",
+    "mpi_bytes",
+    "numa_local_pages",
+    "numa_remote_pages",
+)
+
+
+class CounterBank:
+    """One core's (or the uncore's) monotonically increasing counters."""
+
+    __slots__ = ("counts",)
+
+    def __init__(self):
+        self.counts: Dict[str, float] = {}
+
+    def add(self, event: str, value: float = 1.0) -> None:
+        if event not in EVENTS:
+            raise ValueError(f"unknown counter event {event!r}")
+        self.counts[event] = self.counts.get(event, 0.0) + value
+
+    def get(self, event: str) -> float:
+        return self.counts.get(event, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """A point-in-time copy (marker regions diff two of these)."""
+        return dict(self.counts)
+
+    def __bool__(self) -> bool:
+        return bool(self.counts)
+
+
+class PerfSession:
+    """Counter banks + marker regions for one profiled simulation run.
+
+    The session is created by the caller that wants profiling (the
+    :class:`~repro.core.execution.JobRunner` with ``profile=True``) and
+    handed to :class:`~repro.machine.machine.Machine`, which binds it to
+    the engine and fans it out to the subsystems.
+    """
+
+    def __init__(self, ncores: int = 0):
+        self.engine = None
+        self.banks: List[CounterBank] = [CounterBank() for _ in range(ncores)]
+        self.uncore = CounterBank()
+        self.regions = RegionAccumulator(self)
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(self, engine, ncores: int) -> None:
+        """Attach to a machine's engine and size the per-core banks."""
+        self.engine = engine
+        engine.perf = self
+        while len(self.banks) < ncores:
+            self.banks.append(CounterBank())
+
+    @property
+    def now(self) -> float:
+        """Engine time, or 0 when used standalone (page-table tests)."""
+        return self.engine.now if self.engine is not None else 0.0
+
+    # -- emission ---------------------------------------------------------
+
+    def count(self, core: Optional[int], event: str,
+              value: float = 1.0) -> None:
+        """Add ``value`` to ``event`` on ``core`` (``None`` = uncore)."""
+        if core is None or core < 0:
+            self.uncore.add(event, value)
+            return
+        while core >= len(self.banks):
+            self.banks.append(CounterBank())
+        self.banks[core].add(event, value)
+
+    # -- marker regions ---------------------------------------------------
+
+    def region_start(self, name: str, core: int) -> None:
+        self.regions.start(name, core)
+
+    def region_stop(self, name: str, core: int) -> None:
+        self.regions.stop(name, core)
+
+    # -- readout ----------------------------------------------------------
+
+    def core_counters(self, core: int) -> Dict[str, float]:
+        if not 0 <= core < len(self.banks):
+            return {}
+        return self.banks[core].snapshot()
+
+    def totals(self) -> Dict[str, float]:
+        """Machine-wide sums over every core bank plus the uncore."""
+        out: Dict[str, float] = {}
+        for bank in [*self.banks, self.uncore]:
+            for event, value in bank.counts.items():
+                out[event] = out.get(event, 0.0) + value
+        return out
+
+    def snapshot(self, time_scale: float = 1.0) -> Dict:
+        """JSON-serializable counter state, time-scale adjusted.
+
+        Iteration-subsampled workloads report times multiplied by
+        ``time_scale`` (see :class:`~repro.core.workload.Workload`);
+        region seconds and the ``cycles`` counter scale the same way so
+        derived rates (GB/s, GFLOP/s) stay consistent with the reported
+        :class:`~repro.core.execution.JobResult` times.  Event counts
+        other than cycles are left as simulated — they describe the
+        representative iterations, exactly like LIKWID counting a
+        shortened run.
+        """
+
+        def scaled(counts: Dict[str, float]) -> Dict[str, float]:
+            out = dict(sorted(counts.items()))
+            if "cycles" in out:
+                out["cycles"] *= time_scale
+            return out
+
+        return {
+            "schema": 1,
+            "events": list(EVENTS),
+            "cores": {
+                str(core): scaled(bank.counts)
+                for core, bank in enumerate(self.banks) if bank
+            },
+            "uncore": scaled(self.uncore.counts),
+            "totals": scaled(self.totals()),
+            "regions": self.regions.snapshot(time_scale=time_scale),
+        }

@@ -1,0 +1,81 @@
+"""Derived metrics computed from raw counter dictionaries.
+
+Every helper takes a plain ``{event: count}`` mapping (a bank snapshot,
+a region's counter deltas, or machine-wide totals) so the same formulas
+serve per-core tables, per-region tables, and job summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = [
+    "achieved_bandwidth",
+    "dram_bytes",
+    "derive",
+    "flop_rate",
+    "l1_miss_ratio",
+    "link_utilization",
+    "remote_access_ratio",
+]
+
+
+def dram_bytes(counters: Mapping[str, float]) -> float:
+    """Total DRAM traffic (local + remote), in bytes."""
+    return (counters.get("dram_local_bytes", 0.0)
+            + counters.get("dram_remote_bytes", 0.0))
+
+
+def achieved_bandwidth(counters: Mapping[str, float],
+                       seconds: float) -> float:
+    """Counter-derived DRAM bandwidth in bytes/s (0 when no time passed)."""
+    if seconds <= 0:
+        return 0.0
+    return dram_bytes(counters) / seconds
+
+
+def flop_rate(counters: Mapping[str, float], seconds: float) -> float:
+    """Achieved FLOP/s (0 when no time passed)."""
+    if seconds <= 0:
+        return 0.0
+    return counters.get("flops", 0.0) / seconds
+
+
+def remote_access_ratio(counters: Mapping[str, float]) -> float:
+    """Fraction of DRAM accesses served by a remote NUMA node."""
+    local = counters.get("dram_local_accesses", 0.0)
+    remote = counters.get("dram_remote_accesses", 0.0)
+    total = local + remote
+    return remote / total if total > 0 else 0.0
+
+
+def l1_miss_ratio(counters: Mapping[str, float]) -> float:
+    """L1 misses over L1 accesses (hits + misses)."""
+    hits = counters.get("l1_hits", 0.0)
+    misses = counters.get("l1_misses", 0.0)
+    total = hits + misses
+    return misses / total if total > 0 else 0.0
+
+
+def link_utilization(machine, elapsed: float = None) -> Dict[str, float]:
+    """Average utilization of every HT link of a live machine.
+
+    Reads the interconnect's :class:`BandwidthResource` transfer totals,
+    so it reflects *all* traffic (streaming, MPI copies), not just the
+    portion attributed to counter banks.
+    """
+    return {
+        link.name: link.utilization(elapsed)
+        for link in machine.net.links.values()
+    }
+
+
+def derive(counters: Mapping[str, float], seconds: float) -> Dict[str, float]:
+    """The standard derived-metric bundle for one counter dict."""
+    return {
+        "dram_bytes": dram_bytes(counters),
+        "achieved_bandwidth": achieved_bandwidth(counters, seconds),
+        "flop_rate": flop_rate(counters, seconds),
+        "remote_access_ratio": remote_access_ratio(counters),
+        "l1_miss_ratio": l1_miss_ratio(counters),
+    }

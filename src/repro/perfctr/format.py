@@ -1,0 +1,48 @@
+"""Human-readable counter formatting shared by repro-prof and --timings."""
+
+from __future__ import annotations
+
+__all__ = ["format_count", "format_bytes", "format_rate", "format_ratio"]
+
+_SUFFIXES = ["", "K", "M", "G", "T", "P"]
+
+
+def format_count(value: float) -> str:
+    """Engineering notation with a metric suffix: ``12.3M``, ``960``.
+
+    Counter magnitudes span nine orders; fixed three-significant-digit
+    scaling keeps table columns aligned and comparable at a glance.
+    """
+    if value < 0:
+        return "-" + format_count(-value)
+    if value < 1000:
+        if value == int(value):
+            return str(int(value))
+        return f"{value:.3g}"
+    scaled = float(value)
+    for suffix in _SUFFIXES:
+        if scaled < 1000:
+            return f"{scaled:.3g}{suffix}"
+        scaled /= 1000.0
+    return f"{scaled:.3g}E"
+
+
+def format_bytes(value: float) -> str:
+    """Decimal byte units (the paper reports decimal gigabytes)."""
+    if value < 0:
+        return "-" + format_bytes(-value)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1000 or unit == "TB":
+            return f"{value:.3g} {unit}"
+        value /= 1000.0
+    return f"{value:.3g} TB"
+
+
+def format_rate(value: float, unit: str) -> str:
+    """A per-second rate, e.g. ``format_rate(5.2e9, "B/s")`` -> ``5.2 GB/s``."""
+    return f"{format_count(value)}{unit}"
+
+
+def format_ratio(value: float) -> str:
+    """A 0..1 ratio as a percentage with one decimal."""
+    return f"{100.0 * value:.1f}%"

@@ -1,0 +1,99 @@
+"""Marker regions: ``LIKWID_MARKER_START``/``STOP`` for the simulator.
+
+A region is a named, per-core bracket around interesting work (a POP
+``baroclinic`` step, a STREAM triad inner loop).  Starting a region
+snapshots the core's counter bank and the simulated clock; stopping it
+accumulates the deltas.  Regions nest across *names* but not within
+one — starting ``("triad", core 0)`` twice without a stop is an error,
+exactly like LIKWID's marker API.
+
+The runtime auto-brackets every op's ``phase`` label as a region, so
+phase-labelled workloads profile without modification; workloads can
+additionally yield explicit :class:`~repro.core.ops.MarkerStart` /
+:class:`~repro.core.ops.MarkerStop` descriptors to bracket multi-op
+spans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["RegionAccumulator"]
+
+
+class RegionAccumulator:
+    """Per-(region, core) call counts, elapsed seconds, counter deltas."""
+
+    def __init__(self, session):
+        self.session = session
+        # (name, core) -> (start time, counter snapshot)
+        self._open: Dict[Tuple[str, int], Tuple[float, Dict[str, float]]] = {}
+        # name -> core -> {"calls", "seconds", "counters"}
+        self.data: Dict[str, Dict[int, Dict]] = {}
+
+    def start(self, name: str, core: int) -> None:
+        if not name:
+            raise ValueError("region name must be non-empty")
+        key = (name, core)
+        if key in self._open:
+            raise ValueError(
+                f"region {name!r} already started on core {core}"
+            )
+        bank = self.session.banks[core] if core < len(self.session.banks) \
+            else None
+        snap = bank.snapshot() if bank is not None else {}
+        self._open[key] = (self.session.now, snap)
+
+    def stop(self, name: str, core: int) -> None:
+        key = (name, core)
+        try:
+            started, snap = self._open.pop(key)
+        except KeyError:
+            raise ValueError(
+                f"region {name!r} was not started on core {core}"
+            ) from None
+        bank = self.session.banks[core] if core < len(self.session.banks) \
+            else None
+        current = bank.snapshot() if bank is not None else {}
+        entry = self.data.setdefault(name, {}).setdefault(
+            core, {"calls": 0, "seconds": 0.0, "counters": {}}
+        )
+        entry["calls"] += 1
+        entry["seconds"] += self.session.now - started
+        counters = entry["counters"]
+        for event, value in current.items():
+            delta = value - snap.get(event, 0.0)
+            if delta:
+                counters[event] = counters.get(event, 0.0) + delta
+
+    @property
+    def open_regions(self) -> Tuple[Tuple[str, int], ...]:
+        """Still-started (name, core) pairs, for leak diagnostics."""
+        return tuple(sorted(self._open))
+
+    def names(self):
+        """Region names in first-seen order."""
+        return list(self.data)
+
+    def snapshot(self, time_scale: float = 1.0) -> Dict:
+        """JSON form: region -> core (str) -> calls/seconds/counters.
+
+        ``seconds`` and the ``cycles`` delta are multiplied by
+        ``time_scale`` for the same reason as
+        :meth:`~repro.perfctr.counters.PerfSession.snapshot`.
+        """
+        out: Dict[str, Dict] = {}
+        for name, cores in self.data.items():
+            per_core = {}
+            for core in sorted(cores):
+                entry = cores[core]
+                counters = dict(sorted(entry["counters"].items()))
+                if "cycles" in counters:
+                    counters["cycles"] *= time_scale
+                per_core[str(core)] = {
+                    "calls": entry["calls"],
+                    "seconds": entry["seconds"] * time_scale,
+                    "counters": counters,
+                }
+            out[name] = per_core
+        return out

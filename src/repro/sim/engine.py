@@ -44,11 +44,30 @@ class Engine:
         self._now = float(start_time)
         self._queue: list = []
         self._seq = 0
+        #: optional attached profiling session (set by PerfSession.bind)
+        self.perf = None
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    # -- marker regions (LIKWID_MARKER_START/STOP analogue) --------------
+
+    def marker_start(self, name: str, core: int = 0) -> None:
+        """Open a named profiling region on ``core``.
+
+        No-op unless a :class:`~repro.perfctr.counters.PerfSession` is
+        attached, so workloads may bracket phases unconditionally
+        without perturbing unprofiled (byte-identical) runs.
+        """
+        if self.perf is not None:
+            self.perf.region_start(name, core)
+
+    def marker_stop(self, name: str, core: int = 0) -> None:
+        """Close a named profiling region on ``core`` (no-op unprofiled)."""
+        if self.perf is not None:
+            self.perf.region_stop(name, core)
 
     # -- event construction helpers ------------------------------------
 

@@ -33,20 +33,34 @@ class TraceRecord:
 
 
 class Tracer:
-    """Append-only trace sink with simple aggregation queries."""
+    """Append-only trace sink with simple aggregation queries.
 
-    def __init__(self, enabled: bool = True):
+    ``capacity`` bounds memory on long profiled runs: once the record
+    list is full, further emissions are dropped and tallied in
+    ``dropped`` instead of growing without bound (the convention of
+    kernel ring-buffer tracers — keep the head, count the overflow).
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
         self.enabled = enabled
+        self.capacity = capacity
+        self.dropped = 0
         self.records: List[TraceRecord] = []
 
     def emit(self, time: float, category: str, rank: int = -1,
              duration: float = 0.0, **detail: Any) -> None:
         """Record one event (no-op when tracing is disabled)."""
-        if self.enabled:
-            self.records.append(
-                TraceRecord(time=time, category=category, rank=rank,
-                            duration=duration, detail=detail)
-            )
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            TraceRecord(time=time, category=category, rank=rank,
+                        duration=duration, detail=detail)
+        )
 
     def __len__(self) -> int:
         return len(self.records)
@@ -71,5 +85,6 @@ class Tracer:
         )
 
     def clear(self) -> None:
-        """Drop all records."""
+        """Drop all records and reset the overflow tally."""
         self.records.clear()
+        self.dropped = 0

@@ -1,0 +1,355 @@
+"""Tests for the repro.perfctr counter subsystem.
+
+The load-bearing properties: conservation invariants hold across
+workload classes (L1 misses == L2 accesses, L2 misses == total DRAM
+accesses == local + remote == reads + writes), marker regions bracket
+exactly the work between start and stop, profiling never perturbs the
+simulated result, and profiled cells live under distinct cache keys.
+"""
+
+import pytest
+
+from repro.core import AffinityScheme, Compute, MarkerStart, MarkerStop, Workload
+from repro.core.cache import job_key
+from repro.core.execution import JobRunner, run_workload
+from repro.core.parallel import JobRequest
+from repro.core.affinity import resolve_scheme
+from repro.mpi.implementations import OPENMPI
+from repro.apps.md.lammps import LammpsBench
+from repro.machine import by_name, dmz, longs
+from repro.machine.cache import CacheModel
+from repro.numa import Interleave, LocalAlloc, PageTable, numastat
+from repro.numa import remote_fraction
+from repro.perfctr import (
+    CACHE_LINE,
+    PerfSession,
+    format_bytes,
+    format_count,
+    remote_access_ratio,
+)
+from repro.sim import Engine, Tracer
+from repro.workloads.blas_scaling import DgemmBench
+from repro.workloads.hpcc import HpccRandomAccess
+from repro.workloads.lmbench import StreamTriad, triad_bytes_moved
+
+
+def totals_of(result):
+    assert result.perf is not None
+    return result.perf["totals"]
+
+
+def get(counters, event):
+    return counters.get(event, 0.0)
+
+
+# -- conservation invariants ------------------------------------------------
+
+def assert_conserved(totals):
+    """The hierarchy must neither create nor lose cacheline accesses."""
+    l2_accesses = get(totals, "l2_hits") + get(totals, "l2_misses")
+    assert get(totals, "l1_misses") == pytest.approx(l2_accesses, rel=1e-9)
+    dram = (get(totals, "dram_local_accesses")
+            + get(totals, "dram_remote_accesses"))
+    assert get(totals, "l2_misses") == pytest.approx(dram, rel=1e-9)
+    reads_writes = get(totals, "dram_reads") + get(totals, "dram_writes")
+    assert reads_writes == pytest.approx(dram, rel=1e-9)
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: StreamTriad(2, elements_per_task=200_000, passes=2),
+    lambda: DgemmBench(2, 250),
+    lambda: LammpsBench("lj", 2, steps=10, simulated_steps=5),
+])
+def test_conservation_across_workloads(factory):
+    result = run_workload(dmz(), factory(), profile=True)
+    totals = totals_of(result)
+    assert totals["cycles"] > 0
+    assert_conserved(totals)
+
+
+def test_conservation_with_dependent_accesses():
+    # RandomAccess exercises the latency-bound counting path
+    result = run_workload(
+        dmz(), HpccRandomAccess(1, mode="single", updates=50_000, rounds=8),
+        profile=True)
+    totals = totals_of(result)
+    assert totals["dram_local_accesses"] > 0
+    assert_conserved(totals)
+
+
+def test_mpi_counters_match_world_stats():
+    result = run_workload(longs(), StreamTriad(4, elements_per_task=100_000),
+                          profile=True)
+    totals = totals_of(result)
+    assert totals["mpi_messages"] == result.messages
+    assert get(totals, "mpi_bytes") == result.bytes_sent
+
+
+# -- counter-derived bandwidth vs. table values -----------------------------
+
+def test_counter_bandwidth_matches_table_within_one_percent():
+    from repro.bench.common import bound_spread_affinity
+
+    spec = longs()
+    for ncores in (1, 2, 4):
+        workload = StreamTriad(ncores)
+        affinity = bound_spread_affinity(spec, ncores)
+        result = JobRunner(spec, affinity, profile=True).run(workload)
+        per_task = triad_bytes_moved(workload) / ncores
+        table_bw = sum(per_task / result.phase_times[r]["triad"]
+                       for r in range(ncores))
+        region = result.perf["regions"]["triad"]
+        counter_bw = sum(
+            (get(e["counters"], "dram_local_bytes")
+             + get(e["counters"], "dram_remote_bytes")) / e["seconds"]
+            for e in region.values())
+        assert counter_bw == pytest.approx(table_bw, rel=0.01)
+
+
+def test_remote_ratio_ordering_matches_paper():
+    spec = longs()
+    ratios = {}
+    for scheme in (AffinityScheme.TWO_MPI_LOCAL, AffinityScheme.DEFAULT,
+                   AffinityScheme.INTERLEAVE):
+        result = run_workload(spec, StreamTriad(8, elements_per_task=100_000),
+                              scheme=scheme, profile=True)
+        ratios[scheme] = remote_access_ratio(totals_of(result))
+    assert (ratios[AffinityScheme.TWO_MPI_LOCAL]
+            < ratios[AffinityScheme.DEFAULT]
+            < ratios[AffinityScheme.INTERLEAVE])
+
+
+# -- zero overhead / byte identity when disabled ----------------------------
+
+def test_unprofiled_results_identical_and_carry_no_perf():
+    workload = StreamTriad(2, elements_per_task=100_000)
+    plain = run_workload(longs(), workload)
+    profiled = run_workload(longs(), workload, profile=True)
+    assert plain.perf is None
+    assert "perf" not in plain.to_dict()
+    assert profiled.perf is not None
+    # profiling must not perturb the simulation
+    assert profiled.wall_time == plain.wall_time
+    assert profiled.rank_times == plain.rank_times
+    assert profiled.phase_times == plain.phase_times
+
+
+def test_profile_flag_changes_cache_key_only_when_set():
+    spec = longs()
+    workload = StreamTriad(2)
+    base = job_key(spec, workload)
+    assert job_key(spec, workload, profile=False) == base
+    assert job_key(spec, workload, profile=True) != base
+    plain = JobRequest(spec=spec, workload=workload)
+    profiled = JobRequest(spec=spec, workload=workload, profile=True)
+    assert plain.key() != profiled.key()
+    # the disabled path keeps the exact pre-profiling key layout
+    assert plain.key() == job_key(spec, workload, scheme=plain.scheme,
+                                  impl=OPENMPI)
+
+
+def test_perf_snapshot_round_trips_through_cache_json():
+    import json
+
+    from repro.core.execution import JobResult
+
+    result = run_workload(dmz(), StreamTriad(2, elements_per_task=100_000),
+                          profile=True)
+    clone = JobResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert clone.perf == result.perf
+
+
+# -- marker regions ---------------------------------------------------------
+
+class MarkedWorkload(Workload):
+    """Two compute slices, only the second inside an explicit region."""
+
+    name = "marked"
+    ntasks = 1
+
+    def program(self, rank):
+        yield Compute(flops=1e7, flop_efficiency=0.5)
+        yield MarkerStart(name="hot")
+        yield Compute(flops=2e7, flop_efficiency=0.5,
+                      dram_bytes=64e6, working_set=64e6)
+        yield MarkerStop(name="hot")
+
+
+def test_marker_region_brackets_exactly_the_enclosed_ops():
+    result = run_workload(dmz(), MarkedWorkload(), profile=True)
+    region = result.perf["regions"]["hot"]
+    (entry,) = region.values()
+    assert entry["calls"] == 1
+    assert get(entry["counters"], "flops") == pytest.approx(2e7)
+    assert get(entry["counters"], "dram_local_bytes") > 0
+    # the first slice's flops stay outside the region
+    assert get(totals_of(result), "flops") == pytest.approx(3e7)
+
+
+class LeakyWorkload(Workload):
+    name = "leaky"
+    ntasks = 1
+
+    def program(self, rank):
+        yield MarkerStart(name="open")
+        yield Compute(flops=1e6, flop_efficiency=0.5)
+
+
+def test_unclosed_marker_region_raises():
+    with pytest.raises(ValueError, match="unclosed"):
+        run_workload(dmz(), LeakyWorkload(), profile=True)
+
+
+def test_markers_are_free_when_profiling_is_off():
+    plain = run_workload(dmz(), MarkedWorkload())
+    assert plain.perf is None
+    profiled = run_workload(dmz(), MarkedWorkload(), profile=True)
+    assert plain.wall_time == profiled.wall_time
+
+
+def test_engine_marker_api_is_noop_without_session():
+    engine = Engine()
+    engine.marker_start("anything", core=0)   # must not raise
+    engine.marker_stop("anything", core=0)
+    session = PerfSession()
+    session.bind(engine, 2)
+    engine.marker_start("r", core=1)
+    session.count(1, "flops", 5.0)
+    engine.marker_stop("r", core=1)
+    assert session.regions.data["r"][1]["counters"]["flops"] == 5.0
+    with pytest.raises(ValueError, match="not started"):
+        engine.marker_stop("r", core=0)
+
+
+# -- hierarchy split unit tests ---------------------------------------------
+
+def test_hierarchy_counts_conserve_lines():
+    model = CacheModel(dmz().socket.core)
+    for working_set, reuse in [(64e6, 0.0), (256e3, 0.9), (1e6, 0.5)]:
+        counts = model.hierarchy_counts(working_set, reuse, 1e6)
+        assert counts["l1_hits"] + counts["l1_misses"] == pytest.approx(1e6)
+        assert counts["l2_hits"] + counts["l2_misses"] == pytest.approx(
+            counts["l1_misses"])
+        assert counts["l2_misses"] == pytest.approx(
+            1e6 * model.dram_traffic_factor(working_set, reuse))
+    assert model.hierarchy_counts(1e6, 0.5, 0.0)["l1_hits"] == 0.0
+    with pytest.raises(ValueError):
+        model.hierarchy_counts(1e6, 0.5, -1.0)
+
+
+def test_compute_write_fraction_validation():
+    with pytest.raises(ValueError, match="write_fraction"):
+        Compute(flops=1.0, write_fraction=1.5)
+
+
+# -- page-level NUMA counters -----------------------------------------------
+
+def test_page_table_feeds_uncore_counters_and_numastat():
+    session = PerfSession()
+    table = PageTable(num_nodes=4, perf=session)
+    table.allocate(0, 40 * 4096, 0, LocalAlloc())
+    table.allocate(1, 40 * 4096, 1, Interleave())
+    uncore = session.uncore
+    assert uncore.get("numa_local_pages") == 40 + 10
+    assert uncore.get("numa_remote_pages") == 30
+    stats = numastat(table, {0: 0, 1: 1})
+    assert remote_fraction(stats) == pytest.approx(30 / 80)
+    assert remote_fraction({}) == 0.0
+
+
+def test_scheme_remote_page_fraction_ordering():
+    spec = by_name("longs")
+    fractions = {}
+    for scheme in (AffinityScheme.TWO_MPI_LOCAL, AffinityScheme.DEFAULT,
+                   AffinityScheme.INTERLEAVE):
+        affinity = resolve_scheme(scheme, spec, 8)
+        table = PageTable(num_nodes=spec.sockets)
+        task_nodes = {}
+        for rank in range(8):
+            node = affinity.placement.socket_of_rank(rank)
+            task_nodes[rank] = node
+            table.allocate(rank, 256 * 4096, node, affinity.policies[rank])
+        fractions[scheme] = remote_fraction(numastat(table, task_nodes))
+    assert (fractions[AffinityScheme.TWO_MPI_LOCAL]
+            < fractions[AffinityScheme.DEFAULT]
+            < fractions[AffinityScheme.INTERLEAVE])
+
+
+# -- bounded tracer ---------------------------------------------------------
+
+def test_tracer_bounded_capacity_drops_and_counts():
+    tracer = Tracer(enabled=True, capacity=3)
+    for i in range(5):
+        tracer.emit(float(i), "compute", rank=0)
+    assert len(tracer.records) == 3
+    assert tracer.dropped == 2
+    assert [r.time for r in tracer.records] == [0.0, 1.0, 2.0]
+    tracer.clear()
+    assert len(tracer.records) == 0 and tracer.dropped == 0
+    tracer.emit(9.0, "compute")
+    assert len(tracer.records) == 1
+
+
+def test_tracer_capacity_validation_and_disabled_path():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+    tracer = Tracer(enabled=False, capacity=1)
+    tracer.emit(0.0, "compute")
+    tracer.emit(1.0, "compute")
+    assert len(tracer.records) == 0 and tracer.dropped == 0
+
+
+def test_unbounded_tracer_unchanged():
+    tracer = Tracer(enabled=True)
+    for i in range(10):
+        tracer.emit(float(i), "compute")
+    assert len(tracer.records) == 10 and tracer.dropped == 0
+
+
+# -- session plumbing -------------------------------------------------------
+
+def test_session_grows_banks_and_rejects_unknown_events():
+    session = PerfSession()
+    session.count(5, "flops", 2.0)
+    assert session.core_counters(5)["flops"] == 2.0
+    assert session.core_counters(99) == {}
+    session.count(None, "numa_local_pages", 3.0)
+    assert session.totals()["numa_local_pages"] == 3.0
+    with pytest.raises(ValueError, match="unknown counter event"):
+        session.count(0, "no_such_event")
+
+
+def test_snapshot_scales_cycles_and_seconds_by_time_scale():
+    engine = Engine()
+    session = PerfSession()
+    session.bind(engine, 1)
+    session.region_start("r", 0)
+    session.count(0, "cycles", 100.0)
+    session.count(0, "flops", 10.0)
+    engine._now = 2.0
+    session.region_stop("r", 0)
+    snap = session.snapshot(time_scale=5.0)
+    assert snap["cores"]["0"]["cycles"] == 500.0
+    assert snap["cores"]["0"]["flops"] == 10.0
+    entry = snap["regions"]["r"]["0"]
+    assert entry["seconds"] == 10.0
+    assert entry["counters"]["cycles"] == 500.0
+
+
+# -- formatting helpers -----------------------------------------------------
+
+def test_format_count():
+    assert format_count(0) == "0"
+    assert format_count(960) == "960"
+    assert format_count(12_345_678) == "12.3M"
+    assert format_count(3.87e9) == "3.87G"
+    assert format_count(-2000) == "-2K"
+
+
+def test_format_bytes():
+    assert format_bytes(512) == "512 B"
+    assert format_bytes(3.84e9) == "3.84 GB"
+
+
+def test_cache_line_constant():
+    assert CACHE_LINE == 64

@@ -1,0 +1,126 @@
+"""Tests for the ``repro-prof`` CLI and the ``--timings`` cache report.
+
+These drive the CLI through its ``main`` entry points the way the
+console scripts do, against the small dmz system so the whole file
+stays cheap.  The exported JSON is checked against the same schema
+validator CI runs on the uploaded artifact.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import cli
+from repro.bench.prof import SCHEME_ALIASES, WORKLOADS, main as prof_main
+from repro.core import cache as result_cache
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_schema_validator():
+    path = REPO_ROOT / "benchmarks" / "validate_prof_schema.py"
+    spec = importlib.util.spec_from_file_location("validate_prof_schema", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path):
+    """Point the process-wide cache at a throwaway directory."""
+    cache = result_cache.default_cache()
+    saved = (cache.enabled, cache.directory, cache.disk)
+    result_cache.configure(enabled=True, directory=tmp_path / "cache")
+    yield
+    result_cache.configure(enabled=saved[0], directory=saved[1],
+                           disk=saved[2])
+
+
+def test_no_command_prints_help(capsys):
+    assert prof_main([]) == 2
+    assert "repro-prof" in capsys.readouterr().out
+
+
+def test_list_names_workloads_systems_schemes(capsys):
+    assert prof_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in WORKLOADS:
+        assert name in out
+    for alias in SCHEME_ALIASES:
+        assert alias in out
+    assert "longs" in out and "dmz" in out
+
+
+def test_unknown_workload_and_system_exit_2(capsys):
+    assert prof_main(["run", "nosuch"]) == 2
+    assert "unknown workload" in capsys.readouterr().err
+    assert prof_main(["run", "stream", "--system", "nosuch"]) == 2
+    assert capsys.readouterr().err != ""
+
+
+def test_run_prints_counter_tables(capsys):
+    assert prof_main(["run", "stream", "--system", "dmz",
+                      "--ntasks", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Per-core counters" in out
+    assert "Region 'triad'" in out
+    assert "Derived metrics" in out
+    assert "achieved bandwidth" in out
+
+
+def test_run_json_matches_ci_schema(tmp_path, capsys):
+    json_path = tmp_path / "prof.json"
+    assert prof_main(["run", "stream", "--system", "dmz", "--ntasks", "2",
+                      "--json", str(json_path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(json_path.read_text())
+    validator = _load_schema_validator()
+    assert validator.validate(doc) == []
+    assert doc["cell"] == {"system": "DMZ", "workload": "stream-triad[2]",
+                           "scheme": "Default", "ntasks": 2, "lock": None}
+    assert len(doc["perf"]["cores"]) == 2
+    assert doc["derived"]["achieved_bandwidth"] > 0
+    # the validator's CLI front door agrees
+    assert validator.main(["validate_prof_schema.py", str(json_path)]) == 0
+
+
+def test_run_trace_writes_chrome_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    assert prof_main(["run", "stream", "--system", "dmz", "--ntasks", "2",
+                      "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    assert {event["ph"] for event in trace["traceEvents"]} == {"X"}
+
+
+def test_run_cached_and_uncached_agree(capsys):
+    assert prof_main(["run", "dgemm", "--system", "dmz",
+                      "--ntasks", "2"]) == 0
+    first = capsys.readouterr().out
+    assert prof_main(["run", "dgemm", "--system", "dmz",
+                      "--ntasks", "2"]) == 0           # cache hit
+    second = capsys.readouterr().out
+    assert prof_main(["run", "dgemm", "--system", "dmz", "--ntasks", "2",
+                      "--no-cache"]) == 0
+    third = capsys.readouterr().out
+    assert first == second == third
+
+
+def test_validate_passes_on_dmz(capsys):
+    assert prof_main(["validate", "--system", "dmz"]) == 0
+    out = capsys.readouterr().out
+    assert "validation OK" in out
+    assert "counter-derived STREAM bandwidth" in out
+    assert "remote-access ratio" in out
+
+
+def test_bench_timings_reports_cache_traffic(capsys):
+    assert cli.main(["tab01", "--timings"]) == 0
+    captured = capsys.readouterr()
+    assert "Table 1" in captured.out
+    assert "per-target wall time and cache traffic:" in captured.err
+    assert "hits" in captured.err and "misses" in captured.err
+    assert "total" in captured.err
