@@ -7,15 +7,19 @@ Usage::
     repro-bench all                  # everything (minutes)
     repro-bench all --jobs 8         # fan sweep cells over 8 workers
     repro-bench tab02 --csv out/     # also write CSV files
+    repro-bench all --ledger         # record the run in .repro/ledger/
+    repro-bench history              # sparkline trends over past runs
+    repro-bench regress              # fail on fidelity/perf regressions
 
 Tables and CSVs always go to stdout byte-identically regardless of
-``--jobs``/caching; diagnostics (``--timings``, ``--cache-stats``) go
-to stderr.
+``--jobs``/caching/telemetry; diagnostics (``--timings``,
+``--cache-stats``, log output) go to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -87,11 +91,52 @@ def _prefetch(names, jobs: int) -> None:
         parallel.run_requests(requests, jobs=jobs)
 
 
+def _timings_payload(timings) -> Dict:
+    """The ``--timings-json`` document (also embedded in ledger records)."""
+    return {
+        "schema": 1,
+        "targets": [
+            {"name": name, "seconds": round(elapsed, 6),
+             "cache_hits": hits, "cache_misses": misses}
+            for name, elapsed, hits, misses in timings
+        ],
+        "total": {
+            "seconds": round(sum(t for _n, t, _h, _m in timings), 6),
+            "cache_hits": sum(h for _n, _t, h, _m in timings),
+            "cache_misses": sum(m for _n, _t, _h, m in timings),
+        },
+    }
+
+
+def _fidelity_scores(results: Dict) -> Dict:
+    """Per-table fidelity scores out of a generated ``fidelity`` table."""
+    table = results.get("fidelity")
+    if not isinstance(table, TableResult):
+        return {}
+    return {
+        str(row[0]): {"cells": row[1], "rank_correlation": row[2],
+                      "median_ratio": row[3], "ratio_spread": row[4]}
+        for row in table.rows
+    }
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in ("history", "regress"):
+        # ledger-reading subcommands own their argument parsing
+        if argv[0] == "history":
+            from ..telemetry.history import main as sub_main
+        else:
+            from ..telemetry.regress import main as sub_main
+        return sub_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate tables/figures of the IISWC 2006 "
                     "multi-core characterization paper from the model.",
+        epilog="subcommands: 'repro-bench history' renders run-ledger "
+               "trends, 'repro-bench regress' gates the latest recorded "
+               "run against its rolling baseline.",
     )
     parser.add_argument("targets", nargs="*",
                         help="targets like tab02, fig08, or 'all' / 'list'")
@@ -111,9 +156,25 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-stats", action="store_true",
                         help="print cache hit/miss counters to stderr")
     parser.add_argument("--timings", action="store_true",
-                        help="print per-target wall times to stderr")
+                        help="print per-target wall times to stderr, "
+                             "slowest first")
+    parser.add_argument("--timings-json", metavar="FILE", default=None,
+                        help="write per-target time/hit/miss data as JSON")
+    parser.add_argument("--ledger", action="store_true",
+                        help="append this run's telemetry record to the "
+                             "run ledger (.repro/ledger/)")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger location (implies --ledger)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="repro.* log verbosity (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log repro.* errors")
     args = parser.parse_args(argv)
 
+    from ..telemetry import ledger as run_ledger
+    from ..telemetry.log import configure_logging
+
+    configure_logging(-1 if args.quiet else args.verbose)
     if args.no_cache:
         result_cache.configure(enabled=False)
     if args.jobs is not None:
@@ -137,6 +198,17 @@ def main(argv=None) -> int:
     if args.csv:
         os.makedirs(args.csv, exist_ok=True)
     jobs = parallel.default_jobs()
+
+    recorder = None
+    cache0 = pool0 = dropped0 = None
+    if args.ledger or args.ledger_dir or run_ledger.env_configured():
+        from ..sim.trace import total_dropped
+
+        recorder = run_ledger.RunRecorder(tool="bench", argv=argv).start()
+        cache0 = dict(result_cache.default_cache().stats.as_dict())
+        pool0 = parallel.pool_stats().as_dict()
+        dropped0 = total_dropped()
+
     if jobs > 1:
         _prefetch(names, jobs)
     results = {}
@@ -154,11 +226,20 @@ def main(argv=None) -> int:
             _render(name, results[name], args.csv, show_plot=args.plot)
     finally:
         parallel.shutdown_pool()
+        if recorder is not None:
+            recorder.stop()
     if args.report:
         from .report_writer import write_report
 
         write_report(args.report, results)
         print(f"[report written to {args.report}]")
+    if args.timings_json:
+        with open(args.timings_json, "w") as handle:
+            json.dump(_timings_payload(timings), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"[timings JSON written to {args.timings_json}]",
+              file=sys.stderr)
     if args.timings:
         from ..perfctr import format_count
 
@@ -166,7 +247,8 @@ def main(argv=None) -> int:
         total_hits = sum(h for _n, _t, h, _m in timings)
         total_misses = sum(m for _n, _t, _h, m in timings)
         print("per-target wall time and cache traffic:", file=sys.stderr)
-        for name, elapsed, hits, misses in timings:
+        for name, elapsed, hits, misses in sorted(timings,
+                                                  key=lambda t: -t[1]):
             print(f"  {name:10s} {elapsed:8.2f}s  "
                   f"{format_count(hits):>6s} hits  "
                   f"{format_count(misses):>6s} misses", file=sys.stderr)
@@ -178,6 +260,29 @@ def main(argv=None) -> int:
         print(f"result cache: {stats.memory_hits} memory hits, "
               f"{stats.disk_hits} disk hits, {stats.misses} misses, "
               f"{stats.stores} stores", file=sys.stderr)
+    if recorder is not None:
+        from ..sim.trace import total_dropped
+
+        cache = result_cache.default_cache()
+        cache_stats = {key: value - cache0.get(key, 0)
+                       for key, value in cache.stats.as_dict().items()}
+        cache_stats.update(cache.disk_usage())
+        pool = {key: value - pool0.get(key, 0)
+                for key, value in parallel.pool_stats().as_dict().items()}
+        pool["jobs"] = jobs
+        record = recorder.finish(
+            config={"targets": names, "jobs": jobs,
+                    "cache_enabled": cache.enabled,
+                    "csv": bool(args.csv), "plot": bool(args.plot)},
+            targets=_timings_payload(timings)["targets"],
+            cache=cache_stats,
+            pool=pool,
+            fidelity=_fidelity_scores(results),
+            trace_dropped=total_dropped() - dropped0,
+        )
+        path = run_ledger.append(record, args.ledger_dir)
+        print(f"[run {record['run_id']} recorded to {path}]",
+              file=sys.stderr)
     return 0
 
 

@@ -218,6 +218,18 @@ def _run(args) -> int:
         result = _profile_cell(spec, workload, scheme, args.lock,
                                use_cache=not args.no_cache)
 
+    from ..telemetry.spans import active_recorder
+
+    recorder = active_recorder()
+    if recorder is not None:
+        recorder.extra["cell"] = {
+            "system": spec.name, "workload": workload.name,
+            "scheme": str(scheme), "ntasks": workload.ntasks,
+        }
+        recorder.extra["wall_time"] = result.wall_time
+        recorder.extra["perf_derived"] = derive(result.perf["totals"],
+                                                result.wall_time)
+
     print(_core_table(result).to_text())
     for name in result.perf["regions"]:
         print()
@@ -359,6 +371,15 @@ def main(argv=None) -> int:
         description="Profile one experiment cell with simulated hardware "
                     "performance counters.",
     )
+    parser.add_argument("--ledger", action="store_true",
+                        help="append this run's telemetry record to the "
+                             "run ledger (.repro/ledger/)")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger location (implies --ledger)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="repro.* log verbosity (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only log repro.* errors")
     sub = parser.add_subparsers(dest="command")
 
     run_parser = sub.add_parser("run", help="profile one cell")
@@ -394,9 +415,30 @@ def main(argv=None) -> int:
     if args.command is None:
         parser.print_help()
         return 2
+
+    from ..telemetry import ledger as run_ledger
+    from ..telemetry.log import configure_logging
+
+    configure_logging(-1 if args.quiet else args.verbose)
     if getattr(args, "no_cache", False):
         result_cache.configure(enabled=False)
-    return args.func(args)
+
+    recorder = None
+    if args.ledger or args.ledger_dir or run_ledger.env_configured():
+        recorder = run_ledger.RunRecorder(tool="prof", argv=argv).start()
+    try:
+        status = args.func(args)
+    finally:
+        if recorder is not None:
+            recorder.stop()
+    if recorder is not None and status == 0:
+        record = recorder.finish(
+            config={"command": args.command,
+                    "cell": recorder.extra.get("cell")})
+        path = run_ledger.append(record, args.ledger_dir)
+        print(f"[run {record['run_id']} recorded to {path}]",
+              file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

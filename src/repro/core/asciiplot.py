@@ -12,10 +12,55 @@ from typing import List, Optional
 
 from .report import SeriesResult
 
-__all__ = ["plot"]
+__all__ = ["plot", "sparkline"]
 
 #: marker per series, cycled in sorted-name order
 _MARKERS = "ox+*#@%&"
+
+#: block characters for one-line trends, lowest to highest
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line block-character trend of a numeric series.
+
+    ``None``/NaN cells render as ``·`` (a gap, not a zero); an empty
+    series renders as the empty string; a single point or a constant
+    series sits on the bottom rung.  Series longer than ``width`` are
+    bucket-averaged down to fit, so arbitrarily long run ledgers still
+    render in one terminal line.
+    """
+    if width < 1:
+        raise ValueError(f"width must be positive, got {width}")
+    vals = list(values)
+    if not vals:
+        return ""
+    if len(vals) > width:
+        buckets = []
+        for i in range(width):
+            lo = i * len(vals) // width
+            hi = max(lo + 1, (i + 1) * len(vals) // width)
+            chunk = [v for v in vals[lo:hi] if _finite(v)]
+            buckets.append(sum(chunk) / len(chunk) if chunk else None)
+        vals = buckets
+    finite = [v for v in vals if _finite(v)]
+    if not finite:
+        return "·" * len(vals)
+    lo, hi = min(finite), max(finite)
+    cells = []
+    for v in vals:
+        if not _finite(v):
+            cells.append("·")
+            continue
+        idx = 0 if hi <= lo else round(
+            (v - lo) / (hi - lo) * (len(_SPARKS) - 1))
+        cells.append(_SPARKS[idx])
+    return "".join(cells)
 
 
 def _scale(value: float, lo: float, hi: float, cells: int,
@@ -40,7 +85,8 @@ def plot(series: SeriesResult, width: int = 64, height: int = 16,
     """
     if width < 16 or height < 4:
         raise ValueError("plot needs at least 16x4 cells")
-    points = [(x, y) for pts in series.series.values() for x, y in pts]
+    points = [(x, y) for pts in series.series.values() for x, y in pts
+              if _finite(x) and _finite(y)]
     if not points:
         return "(empty figure)"
     xs = [p[0] for p in points]
@@ -55,6 +101,8 @@ def plot(series: SeriesResult, width: int = 64, height: int = 16,
     for index, name in enumerate(names):
         marker = _MARKERS[index % len(_MARKERS)]
         for x, y in series.series[name]:
+            if not (_finite(x) and _finite(y)):
+                continue
             col = _scale(x, x_lo, x_hi, width, series.log_x)
             row = _scale(y, y_lo, y_hi, height, log_y)
             cell = grid[height - 1 - row][col]

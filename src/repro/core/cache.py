@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass, fields, is_dataclass
@@ -53,6 +54,8 @@ __all__ = [
 
 #: bump when the key layout or the stored-result schema changes
 CACHE_SCHEMA = 1
+
+_LOG = logging.getLogger("repro.core.cache")
 
 
 class Uncacheable(TypeError):
@@ -204,6 +207,7 @@ class ResultCache:
         self.disk = disk
         self.stats = CacheStats()
         self._memory: Dict[str, JobResult] = {}
+        self._disk_warned = False
 
     # -- paths ----------------------------------------------------------
 
@@ -260,11 +264,31 @@ class ResultCache:
                     pass
                 raise
         except OSError:
-            pass  # a read-only cache directory degrades to memory-only
+            # a read-only cache directory degrades to memory-only
+            if not self._disk_warned:
+                self._disk_warned = True
+                _LOG.warning("result cache disk writes under %s failing; "
+                             "continuing memory-only", self.directory)
 
     def clear_memory(self) -> None:
         """Drop the in-process tier (disk entries stay)."""
         self._memory.clear()
+
+    def disk_usage(self) -> Dict[str, int]:
+        """Entry count and byte size of the disk tier (best effort).
+
+        Walks the cache directory, so call it at run boundaries (the
+        ledger does), not in hot paths.
+        """
+        entries = 0
+        size = 0
+        try:
+            for path in self.directory.rglob("*.json"):
+                entries += 1
+                size += path.stat().st_size
+        except OSError:
+            pass
+        return {"entries": entries, "bytes": size}
 
 
 _DEFAULT: Optional[ResultCache] = None
@@ -276,6 +300,8 @@ def default_cache() -> ResultCache:
     if _DEFAULT is None:
         enabled = os.environ.get("REPRO_BENCH_NO_CACHE", "") not in ("1", "true")
         _DEFAULT = ResultCache(enabled=enabled)
+        _LOG.debug("result cache at %s (enabled=%s)",
+                   _DEFAULT.directory, enabled)
     return _DEFAULT
 
 

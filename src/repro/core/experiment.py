@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
+from ..telemetry.spans import span
 from .affinity import AffinityScheme, InfeasibleSchemeError, resolve_scheme
 from .execution import JobResult, JobRunner
 from .metrics import parallel_efficiency
@@ -100,7 +101,9 @@ def scheme_sweep(
         for scheme in schemes:
             requests.append(Experiment(system, workload, scheme, impl=impl,
                                        lock=lock).request())
-    results = run_requests(requests, jobs=jobs)
+    with span("sweep", kind="scheme_sweep", table=table.title,
+              cells=len(requests)):
+        results = run_requests(requests, jobs=jobs)
     cells = iter(results)
     for ntasks in task_counts:
         row: List = [ntasks]
@@ -155,7 +158,9 @@ def compare_schemes(
     workload = workload_factory()
     requests = [Experiment(system, workload, scheme, impl=impl,
                            lock=lock).request() for scheme in schemes]
-    results = run_requests(requests, jobs=jobs)
+    with span("sweep", kind="compare_schemes", workload=workload.name,
+              cells=len(requests)):
+        results = run_requests(requests, jobs=jobs)
     times: Dict[str, float] = {
         str(scheme): value(result)
         for scheme, result in zip(schemes, results)
@@ -206,7 +211,9 @@ def scaling_study(
             requests.append(Experiment(system, workload_factory(n), scheme,
                                        impl=impl).request())
             cells.append((system, n))
-    results = dict(zip(cells, run_requests(requests, jobs=jobs)))
+    with span("sweep", kind="scaling_study", table=table.title,
+              cells=len(requests)):
+        results = dict(zip(cells, run_requests(requests, jobs=jobs)))
     for system in systems:
         t1 = value(results[(system, None)])
         row: List = [system.name]

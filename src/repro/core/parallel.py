@@ -32,6 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
+from ..telemetry.spans import span
 from .affinity import (
     AffinityScheme,
     InfeasibleSchemeError,
@@ -44,8 +45,11 @@ from .workload import Workload
 
 __all__ = [
     "JobRequest",
+    "PoolStats",
     "default_jobs",
+    "pool_stats",
     "prefetch",
+    "reset_pool_stats",
     "run_request",
     "run_requests",
     "set_default_jobs",
@@ -88,6 +92,54 @@ class JobRequest:
         runner = JobRunner(self.spec, affinity, impl=self.impl or OPENMPI,
                            lock=self.lock, profile=self.profile)
         return runner.run(self.workload)
+
+
+# -- executor accounting ---------------------------------------------------
+
+@dataclass
+class PoolStats:
+    """Process-wide executor utilization counters (plain ints, always on).
+
+    ``executed_parallel`` counts cells actually dispatched to worker
+    processes; ``executed_serial`` counts cells run in-process (serial
+    batches, single stragglers, unpicklable fallbacks, and
+    :func:`run_request` calls).  Together with ``cache_hits`` and
+    ``duplicates`` they account for every ``cells`` entry, which is what
+    the run ledger's ``pool`` section reports.
+    """
+
+    batches: int = 0
+    cells: int = 0
+    cache_hits: int = 0
+    duplicates: int = 0
+    executed_serial: int = 0
+    executed_parallel: int = 0
+    infeasible: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "batches": self.batches,
+            "cells": self.cells,
+            "cache_hits": self.cache_hits,
+            "duplicates": self.duplicates,
+            "executed_serial": self.executed_serial,
+            "executed_parallel": self.executed_parallel,
+            "infeasible": self.infeasible,
+        }
+
+
+_POOL_STATS = PoolStats()
+
+
+def pool_stats() -> PoolStats:
+    """The process-wide executor counters (cumulative; snapshot to diff)."""
+    return _POOL_STATS
+
+
+def reset_pool_stats() -> None:
+    """Zero the executor counters (tests, run boundaries)."""
+    global _POOL_STATS
+    _POOL_STATS = PoolStats()
 
 
 # -- worker-count plumbing -------------------------------------------------
@@ -157,6 +209,8 @@ def run_request(request: JobRequest,
                 cache: Optional[ResultCache] = None) -> JobResult:
     """Run one cell through the cache; infeasibility raises."""
     cache = cache if cache is not None else default_cache()
+    stats = _POOL_STATS
+    stats.cells += 1
     try:
         key = request.key()
     except Uncacheable:
@@ -164,7 +218,9 @@ def run_request(request: JobRequest,
     if key is not None:
         hit = cache.get(key)
         if hit is not None:
+            stats.cache_hits += 1
             return hit
+    stats.executed_serial += 1
     result = request.execute()
     if key is not None:
         cache.put(key, result)
@@ -184,6 +240,9 @@ def run_requests(requests: Sequence[JobRequest],
     """
     cache = cache if cache is not None else default_cache()
     jobs = default_jobs() if jobs is None else max(1, jobs)
+    stats = _POOL_STATS
+    stats.batches += 1
+    stats.cells += len(requests)
 
     results: List[Optional[JobResult]] = [None] * len(requests)
     keys: List[Optional[str]] = [None] * len(requests)
@@ -200,29 +259,37 @@ def run_requests(requests: Sequence[JobRequest],
         hit = cache.get(keys[i])
         if hit is not None:
             results[i] = hit
+            stats.cache_hits += 1
             continue
         twin = first_index_for_key.get(keys[i])
         if twin is not None:
             duplicates.append((i, twin))
+            stats.duplicates += 1
             continue
         first_index_for_key[keys[i]] = i
         pending.append(i)
 
     if pending:
         todo = [requests[i] for i in pending]
-        outcomes = None
-        if jobs > 1 and len(todo) > 1:
-            try:
-                for request in todo:
-                    pickle.dumps(request)
-            except Exception:
-                outcomes = None  # unpicklable cell: serial fallback
-            else:
-                outcomes = list(_pool(jobs).map(_execute_cell, todo))
-        if outcomes is None:
-            outcomes = [_execute_cell(request) for request in todo]
+        with span("executor_batch", cells=len(requests),
+                  dispatched=len(todo), jobs=jobs) as timer:
+            outcomes = None
+            if jobs > 1 and len(todo) > 1:
+                try:
+                    for request in todo:
+                        pickle.dumps(request)
+                except Exception:
+                    outcomes = None  # unpicklable cell: serial fallback
+                else:
+                    outcomes = list(_pool(jobs).map(_execute_cell, todo))
+                    stats.executed_parallel += len(todo)
+                    timer.note(parallel=True)
+            if outcomes is None:
+                outcomes = [_execute_cell(request) for request in todo]
+                stats.executed_serial += len(todo)
         for i, (status, payload) in zip(pending, outcomes):
             if status == "infeasible":
+                stats.infeasible += 1
                 continue  # results[i] stays None
             results[i] = payload
             if keys[i] is not None:

@@ -11,9 +11,11 @@ from .engine import EmptySchedule, Engine
 from .events import AllOf, AnyOf, Event, Interrupt, Timeout
 from .process import Process
 from .resources import BandwidthResource, Resource, Store
-from .trace import TraceRecord, Tracer
+from .trace import TraceRecord, Tracer, reset_dropped, total_dropped
 
 __all__ = [
+    "reset_dropped",
+    "total_dropped",
     "Engine",
     "EmptySchedule",
     "Event",

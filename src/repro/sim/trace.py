@@ -9,10 +9,27 @@ reports.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "reset_dropped", "total_dropped"]
+
+_LOG = logging.getLogger("repro.sim.trace")
+
+#: records dropped across every Tracer in this process (ledger fodder)
+_TOTAL_DROPPED = 0
+
+
+def total_dropped() -> int:
+    """Process-wide count of trace records dropped at capacity."""
+    return _TOTAL_DROPPED
+
+
+def reset_dropped() -> None:
+    """Reset the process-wide drop tally (tests, run boundaries)."""
+    global _TOTAL_DROPPED
+    _TOTAL_DROPPED = 0
 
 
 @dataclass(frozen=True)
@@ -55,7 +72,13 @@ class Tracer:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.records) >= self.capacity:
+            if self.dropped == 0:
+                _LOG.warning(
+                    "trace capacity %d reached; further records are "
+                    "dropped (tallied in Tracer.dropped)", self.capacity)
             self.dropped += 1
+            global _TOTAL_DROPPED
+            _TOTAL_DROPPED += 1
             return
         self.records.append(
             TraceRecord(time=time, category=category, rank=rank,

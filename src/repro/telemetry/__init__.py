@@ -1,0 +1,41 @@
+"""Structured telemetry: run ledger, spans, and logging wiring.
+
+Three layers, all zero-overhead until a CLI opts in:
+
+* :mod:`~repro.telemetry.log` — the ``repro.*`` stdlib-logging
+  hierarchy (``--verbose``/``--quiet`` map onto it);
+* :mod:`~repro.telemetry.spans` — ``span("sweep", ...)`` wall-time
+  brackets that aggregate into the active run's record;
+* :mod:`~repro.telemetry.ledger` — one append-only JSONL record per
+  instrumented ``repro-bench``/``repro-prof`` invocation, consumed by
+  ``repro-bench history`` (:mod:`~repro.telemetry.history`) and the
+  regression gate ``repro-bench regress``
+  (:mod:`~repro.telemetry.regress`).
+"""
+
+from .ledger import (
+    RunRecorder,
+    append,
+    env_configured,
+    hit_rate,
+    ledger_dir,
+    ledger_path,
+    read_records,
+)
+from .log import configure_logging, get_logger
+from .spans import active_recorder, set_recorder, span
+
+__all__ = [
+    "RunRecorder",
+    "active_recorder",
+    "append",
+    "configure_logging",
+    "env_configured",
+    "get_logger",
+    "hit_rate",
+    "ledger_dir",
+    "ledger_path",
+    "read_records",
+    "set_recorder",
+    "span",
+]

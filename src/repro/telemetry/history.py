@@ -1,0 +1,123 @@
+"""``repro-bench history``: ASCII trend view over the run ledger.
+
+Renders one sparkline per tracked metric — wall time, cache hit rate,
+mean and per-table fidelity rank correlation, trace drops — across the
+recorded runs, oldest to newest, so the ROADMAP's "fast as the hardware
+allows" trajectory is visible from the shell.  ``--plot METRIC`` blows
+one metric up into a full :mod:`~repro.core.asciiplot` chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.asciiplot import plot, sparkline
+from ..core.report import SeriesResult
+from . import ledger
+
+__all__ = ["main", "metric_series", "render_history"]
+
+Series = List[Optional[float]]
+
+
+def _mean_rho(record: Dict[str, Any]) -> Optional[float]:
+    rhos = [scores.get("rank_correlation")
+            for scores in (record.get("fidelity") or {}).values()]
+    rhos = [r for r in rhos if r is not None]
+    return sum(rhos) / len(rhos) if rhos else None
+
+
+#: metric name -> extractor over one ledger record
+METRICS: Dict[str, Callable[[Dict[str, Any]], Optional[float]]] = {
+    "elapsed": lambda r: r.get("elapsed_s"),
+    "hit-rate": ledger.hit_rate,
+    "fidelity": _mean_rho,
+    "trace-dropped": lambda r: r.get("trace_dropped"),
+}
+
+
+def metric_series(records: List[Dict[str, Any]], metric: str) -> Series:
+    """One value (or None) per record for a named metric."""
+    try:
+        extract = METRICS[metric]
+    except KeyError:
+        raise ValueError(f"unknown metric {metric!r}; "
+                         f"choose from {', '.join(sorted(METRICS))}")
+    return [extract(r) for r in records]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "—"
+    return f"{value:.3g}"
+
+
+def _line(label: str, values: Series, width: int) -> str:
+    finite = [v for v in values if v is not None]
+    trend = sparkline(values, width=width)
+    stats = "(no data)" if not finite else (
+        f"last {_fmt(values[-1] if values[-1] is not None else finite[-1])}"
+        f"  min {_fmt(min(finite))}  max {_fmt(max(finite))}")
+    return f"  {label:<28s} {trend:<{min(width, 40)}s}  {stats}"
+
+
+def render_history(records: List[Dict[str, Any]], width: int = 40) -> str:
+    """The multi-metric sparkline view as one printable string."""
+    lines = []
+    for metric in ("elapsed", "hit-rate", "fidelity", "trace-dropped"):
+        lines.append(_line(metric, metric_series(records, metric), width))
+    tables = sorted({name for r in records
+                     for name in (r.get("fidelity") or {})})
+    if tables:
+        lines.append("  per-table rank correlation:")
+        for table in tables:
+            values = [
+                (r.get("fidelity") or {}).get(table, {})
+                .get("rank_correlation")
+                for r in records
+            ]
+            lines.append(_line(f"  {table}", values, width))
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench history",
+        description="Sparkline trends over the recorded bench runs.",
+    )
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger location (default: .repro/ledger, "
+                             "or $REPRO_LEDGER_DIR)")
+    parser.add_argument("--last", type=int, default=50, metavar="N",
+                        help="show at most the last N runs (default: 50)")
+    parser.add_argument("--width", type=int, default=40, metavar="COLS",
+                        help="sparkline width (default: 40)")
+    parser.add_argument("--plot", metavar="METRIC", default=None,
+                        choices=sorted(METRICS),
+                        help="render one metric as a full ASCII chart")
+    args = parser.parse_args(argv)
+
+    records = [r for r in ledger.read_records(args.ledger_dir)
+               if r.get("tool") == "bench"]
+    if not records:
+        print(f"no bench runs recorded under "
+              f"{ledger.ledger_dir(args.ledger_dir)} "
+              "(run repro-bench with --ledger first)", file=sys.stderr)
+        return 1
+    records = records[-max(1, args.last):]
+
+    print(f"run ledger: {ledger.ledger_path(args.ledger_dir)} "
+          f"({len(records)} run(s), oldest -> newest)")
+    if args.plot:
+        values = metric_series(records, args.plot)
+        series = SeriesResult(title=f"{args.plot} by run", x_label="run #",
+                              y_label=args.plot)
+        for i, value in enumerate(values, start=1):
+            if value is not None:
+                series.add_point(args.plot, float(i), value)
+        print(plot(series))
+        return 0
+    print(render_history(records, width=max(4, args.width)))
+    return 0

@@ -1,0 +1,70 @@
+"""stdlib-``logging`` wiring for the ``repro.*`` logger hierarchy.
+
+Every module logs through ``logging.getLogger("repro.<subsystem>")``
+(:func:`get_logger` is a convenience spelling).  Nothing is printed
+until :func:`configure_logging` installs the single stderr handler —
+the CLIs call it from ``--verbose``/``--quiet``; library users never
+pay for handlers they did not ask for (a ``NullHandler`` on the root
+``repro`` logger suppresses the "no handlers" fallback while leaving
+genuine warnings reachable through ``logging.lastResort``).
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["ROOT_LOGGER", "configure_logging", "get_logger"]
+
+ROOT_LOGGER = "repro"
+
+#: the handler installed by :func:`configure_logging` (one per process)
+_HANDLER: Optional[logging.Handler] = None
+
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    ``get_logger("sim.trace")`` and ``get_logger("repro.sim.trace")``
+    name the same logger.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def _level_for(verbosity: int) -> int:
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install (or retune) the process-wide stderr handler.
+
+    ``verbosity`` follows the CLI convention: ``-1`` for ``--quiet``,
+    ``0`` default (warnings), ``1`` for ``-v`` (info), ``>=2`` for
+    ``-vv`` (debug).  Calling again replaces the previous handler, so
+    repeated CLI invocations in one process (the test suite) never
+    stack duplicate output.
+    """
+    global _HANDLER
+    root = logging.getLogger(ROOT_LOGGER)
+    if _HANDLER is not None:
+        root.removeHandler(_HANDLER)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(logging.Formatter("[%(name)s] %(levelname)s: "
+                                           "%(message)s"))
+    root.addHandler(handler)
+    root.setLevel(_level_for(verbosity))
+    _HANDLER = handler
+    return root

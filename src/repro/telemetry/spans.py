@@ -1,0 +1,74 @@
+"""Lightweight wall-time spans feeding the run ledger.
+
+``span("sweep", table=...)`` brackets a region of work; when a
+:class:`~repro.telemetry.ledger.RunRecorder` is active the elapsed time
+and attributes aggregate into the run's ledger record, keyed by span
+name.  When no recorder is active — every library use outside an
+instrumented CLI run — the context manager is a single module-global
+``None`` check and no clock is read, which is what lets the
+instrumented modules (``core/experiment.py``, ``core/parallel.py``)
+keep spans in place unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+__all__ = ["Span", "active_recorder", "set_recorder", "span"]
+
+#: the currently active RunRecorder (None = telemetry unconfigured)
+_RECORDER: Optional[object] = None
+
+
+def set_recorder(recorder: Optional[object]) -> None:
+    """Install (or clear, with ``None``) the process-wide recorder."""
+    global _RECORDER
+    _RECORDER = recorder
+
+
+def active_recorder() -> Optional[object]:
+    """The recorder spans currently report to, if any."""
+    return _RECORDER
+
+
+class Span:
+    """One live span; ``note(**attrs)`` attaches attributes mid-flight."""
+
+    __slots__ = ("name", "attrs")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+
+    def note(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Attribute sink used when no recorder is active."""
+
+    __slots__ = ()
+
+    def note(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[object]:
+    """Bracket a region of work and report it to the active recorder."""
+    recorder = _RECORDER
+    if recorder is None:
+        yield _NULL_SPAN
+        return
+    live = Span(name, attrs)
+    start = time.perf_counter()
+    try:
+        yield live
+    finally:
+        recorder.record_span(live.name, time.perf_counter() - start,
+                             live.attrs)

@@ -6,7 +6,7 @@ import pytest
 
 from repro.bench.report_writer import to_markdown, write_report
 from repro.core import SeriesResult, TableResult
-from repro.core.asciiplot import plot
+from repro.core.asciiplot import plot, sparkline
 from repro.numa import PAGE_SIZE, LocalAlloc, PageTable
 
 
@@ -56,6 +56,48 @@ def test_plot_collision_marker():
     assert "*" in plot(s)
 
 
+def test_plot_single_point():
+    s = SeriesResult(title="one", x_label="x", y_label="y")
+    s.add_point("a", 2.0, 3.0)
+    text = plot(s)
+    assert "one" in text and "o=a" in text
+    assert "3" in text.splitlines()[1]  # the lone y value labels the top
+
+
+def test_plot_skips_non_finite_points():
+    s = SeriesResult(title="nan", x_label="x", y_label="y")
+    s.add_point("a", 1.0, float("nan"))
+    assert plot(s) == "(empty figure)"
+    s.add_point("a", 2.0, 5.0)
+    text = plot(s)  # the NaN point is dropped, the finite one plotted
+    assert "5" in text.splitlines()[1]
+
+
+# -- sparkline ---------------------------------------------------------------
+
+def test_sparkline_empty_and_single():
+    assert sparkline([]) == ""
+    assert sparkline([42.0]) == "▁"
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"  # constant: bottom rung
+
+
+def test_sparkline_trend_and_gaps():
+    line = sparkline([0.0, None, float("nan"), 10.0])
+    assert line == "▁··█"
+    assert sparkline([None, None]) == "··"
+
+
+def test_sparkline_downsamples_long_series():
+    line = sparkline(list(range(1000)), width=10)
+    assert len(line) == 10
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_validation():
+    with pytest.raises(ValueError):
+        sparkline([1.0], width=0)
+
+
 # -- report writer ------------------------------------------------------------
 
 def test_to_markdown_table():
@@ -72,6 +114,26 @@ def test_to_markdown_table():
 def test_to_markdown_series_mentions_y_axis():
     md = to_markdown(make_series())
     assert "*y axis: MB/s*" in md
+
+
+def test_to_markdown_nan_and_none_cells():
+    table = TableResult(title="edge", headers=["a", "b", "c"])
+    table.add_row(1, float("nan"), None)
+    md = to_markdown(table)
+    assert "| 1 | nan | — |" in md
+
+
+def test_to_markdown_empty_series():
+    empty = SeriesResult(title="empty", x_label="x", y_label="y")
+    md = to_markdown(empty)
+    assert "### empty" in md
+    assert "| x |" in md  # header row renders even with no points
+
+
+def test_write_report_empty_results(tmp_path):
+    path = tmp_path / "empty.md"
+    write_report(str(path), {})
+    assert "Reproduced tables and figures" in path.read_text()
 
 
 def test_write_report(tmp_path):
