@@ -25,8 +25,9 @@ KNOWN_EVENTS = {
     "cycles", "flops", "l1_hits", "l1_misses", "l2_hits", "l2_misses",
     "dram_reads", "dram_writes", "dram_local_accesses",
     "dram_remote_accesses", "dram_local_bytes", "dram_remote_bytes",
-    "ht_link_bytes", "mpi_messages", "mpi_bytes", "numa_local_pages",
-    "numa_remote_pages",
+    "ht_link_bytes", "mpi_messages", "mpi_bytes", "mpi_retries",
+    "mpi_dropped", "mpi_duplicated", "numa_local_pages",
+    "numa_remote_pages", "numa_fallback_pages",
 }
 
 

@@ -10,10 +10,14 @@ Usage::
     repro-bench all --ledger         # record the run in .repro/ledger/
     repro-bench history              # sparkline trends over past runs
     repro-bench regress              # fail on fidelity/perf regressions
+    repro-bench doctor --fix         # scan/repair cache + ledger stores
+    repro-bench chaos                # self-test crash/corruption recovery
+    repro-bench all --faults p.json  # degrade the modeled machine per plan
 
 Tables and CSVs always go to stdout byte-identically regardless of
 ``--jobs``/caching/telemetry; diagnostics (``--timings``,
-``--cache-stats``, log output) go to stderr.
+``--cache-stats``, log output) go to stderr.  A fault plan changes the
+*modeled machine* (and the cache keys), never the harness itself.
 """
 
 from __future__ import annotations
@@ -122,12 +126,16 @@ def _fidelity_scores(results: Dict) -> Dict:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in ("history", "regress"):
-        # ledger-reading subcommands own their argument parsing
+    if argv and argv[0] in ("history", "regress", "doctor", "chaos"):
+        # maintenance subcommands own their argument parsing
         if argv[0] == "history":
             from ..telemetry.history import main as sub_main
-        else:
+        elif argv[0] == "regress":
             from ..telemetry.regress import main as sub_main
+        elif argv[0] == "doctor":
+            from ..telemetry.doctor import main as sub_main
+        else:
+            from .chaos import main as sub_main
         return sub_main(argv[1:])
 
     parser = argparse.ArgumentParser(
@@ -136,7 +144,9 @@ def main(argv=None) -> int:
                     "multi-core characterization paper from the model.",
         epilog="subcommands: 'repro-bench history' renders run-ledger "
                "trends, 'repro-bench regress' gates the latest recorded "
-               "run against its rolling baseline.",
+               "run against its rolling baseline, 'repro-bench doctor' "
+               "scans/repairs the cache and ledger stores, 'repro-bench "
+               "chaos' self-tests crash and corruption recovery.",
     )
     parser.add_argument("targets", nargs="*",
                         help="targets like tab02, fig08, or 'all' / 'list'")
@@ -151,6 +161,20 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="simulate sweep cells on N worker processes "
                              "(results are bit-identical to serial)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stall watchdog: give up on a sweep batch "
+                             "after SECONDS with zero cell completions "
+                             "(default: $REPRO_BENCH_TIMEOUT, else off)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="re-dispatch crashed/stalled cells up to N "
+                             "times (default: $REPRO_BENCH_RETRIES, "
+                             "else 1)")
+    parser.add_argument("--faults", metavar="FILE", default=None,
+                        help="inject machine faults from a JSON fault "
+                             "plan into every simulated cell (results "
+                             "get distinct cache keys and are excluded "
+                             "from regression baselines)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed result cache")
     parser.add_argument("--cache-stats", action="store_true",
@@ -182,6 +206,22 @@ def main(argv=None) -> int:
             print("--jobs must be >= 1", file=sys.stderr)
             return 2
         parallel.set_default_jobs(args.jobs)
+    if args.timeout is not None:
+        parallel.set_default_timeout(args.timeout if args.timeout > 0
+                                     else None)
+    if args.retries is not None:
+        parallel.set_default_retries(args.retries)
+    fault_plan = None
+    if args.faults:
+        from ..faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"--faults: cannot load {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+        parallel.set_default_faults(fault_plan)
 
     if not args.targets or "list" in args.targets:
         print("available targets:")
@@ -199,22 +239,26 @@ def main(argv=None) -> int:
         os.makedirs(args.csv, exist_ok=True)
     jobs = parallel.default_jobs()
 
+    from ..sim.trace import reset_dropped, total_dropped
+
+    # each CLI invocation is one run: start the drop tally from zero so
+    # ledger records never inherit a previous in-process run's drops
+    reset_dropped()
+
     recorder = None
     cache0 = pool0 = dropped0 = None
     if args.ledger or args.ledger_dir or run_ledger.env_configured():
-        from ..sim.trace import total_dropped
-
         recorder = run_ledger.RunRecorder(tool="bench", argv=argv).start()
         cache0 = dict(result_cache.default_cache().stats.as_dict())
         pool0 = parallel.pool_stats().as_dict()
         dropped0 = total_dropped()
 
-    if jobs > 1:
-        _prefetch(names, jobs)
     results = {}
     timings = []
     stats = result_cache.default_cache().stats
     try:
+        if jobs > 1:
+            _prefetch(names, jobs)
         for name in names:
             start = time.perf_counter()
             hits0 = stats.memory_hits + stats.disk_hits
@@ -224,10 +268,36 @@ def main(argv=None) -> int:
                             stats.memory_hits + stats.disk_hits - hits0,
                             stats.misses - misses0))
             _render(name, results[name], args.csv, show_plot=args.plot)
+    except KeyboardInterrupt:
+        # clean abort: futures are already cancelled and the pool killed
+        # by the executor's interrupt path; leave an honest ledger trail
+        print("\ninterrupted; aborting the run", file=sys.stderr)
+        if recorder is not None:
+            record = recorder.finish(
+                config={"targets": names, "jobs": jobs},
+                status="aborted",
+                targets=_timings_payload(timings)["targets"],
+            )
+            if fault_plan is not None:
+                record["faults"] = fault_plan.to_dict()
+            path = run_ledger.append(record, args.ledger_dir)
+            print(f"[aborted run {record['run_id']} recorded to {path}]",
+                  file=sys.stderr)
+        return 130
     finally:
         parallel.shutdown_pool()
+        if fault_plan is not None:
+            parallel.set_default_faults(None)
         if recorder is not None:
             recorder.stop()
+
+    failures = parallel.take_failures()
+    if failures:
+        print(f"{len(failures)} sweep cell(s) failed and were skipped:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  [{failure.kind}] {failure.label}: {failure.message}",
+                  file=sys.stderr)
     if args.report:
         from .report_writer import write_report
 
@@ -261,8 +331,6 @@ def main(argv=None) -> int:
               f"{stats.disk_hits} disk hits, {stats.misses} misses, "
               f"{stats.stores} stores", file=sys.stderr)
     if recorder is not None:
-        from ..sim.trace import total_dropped
-
         cache = result_cache.default_cache()
         cache_stats = {key: value - cache0.get(key, 0)
                        for key, value in cache.stats.as_dict().items()}
@@ -280,10 +348,14 @@ def main(argv=None) -> int:
             fidelity=_fidelity_scores(results),
             trace_dropped=total_dropped() - dropped0,
         )
+        if fault_plan is not None:
+            record["faults"] = fault_plan.to_dict()
+        if failures:
+            record["failures"] = [f.as_dict() for f in failures]
         path = run_ledger.append(record, args.ledger_dir)
         print(f"[run {record['run_id']} recorded to {path}]",
               file=sys.stderr)
-    return 0
+    return 1 if failures else 0
 
 
 def prof_main(argv=None) -> int:

@@ -170,9 +170,10 @@ def prof_payload(result: JobResult, cell: Dict) -> Dict:
 
 
 def _profile_cell(spec: MachineSpec, workload, scheme: AffinityScheme,
-                  lock: Optional[str], use_cache: bool) -> JobResult:
+                  lock: Optional[str], use_cache: bool,
+                  faults=None) -> JobResult:
     request = JobRequest(spec=spec, workload=workload, scheme=scheme,
-                         lock=lock, profile=True)
+                         lock=lock, profile=True, faults=faults)
     if not use_cache:
         return request.execute()
     return run_request(request)
@@ -193,6 +194,17 @@ def _run(args) -> int:
     scheme = SCHEME_ALIASES[args.scheme]
     workload = factory(args.ntasks)
 
+    fault_plan = None
+    if args.faults:
+        from ..faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json(args.faults)
+        except (OSError, ValueError) as exc:
+            print(f"--faults: cannot load {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 2
+
     if args.trace:
         # Trace export needs Tracer records, which the cached path does
         # not store; run this cell directly with tracing enabled.
@@ -200,7 +212,7 @@ def _run(args) -> int:
 
         affinity = resolve_scheme(scheme, spec, workload.ntasks)
         runner = JobRunner(spec, affinity, lock=args.lock, trace=True,
-                           profile=True)
+                           profile=True, faults=fault_plan)
         result = runner.run(workload)
         with open(args.trace, "w") as handle:
             handle.write(to_chrome_trace(runner.machine.tracer,
@@ -216,7 +228,8 @@ def _run(args) -> int:
                 for name, util in busiest.items()), file=sys.stderr)
     else:
         result = _profile_cell(spec, workload, scheme, args.lock,
-                               use_cache=not args.no_cache)
+                               use_cache=not args.no_cache,
+                               faults=fault_plan)
 
     from ..telemetry.spans import active_recorder
 
@@ -229,6 +242,8 @@ def _run(args) -> int:
         recorder.extra["wall_time"] = result.wall_time
         recorder.extra["perf_derived"] = derive(result.perf["totals"],
                                                 result.wall_time)
+        if fault_plan is not None:
+            recorder.extra["faults"] = fault_plan.to_dict()
 
     print(_core_table(result).to_text())
     for name in result.perf["regions"]:
@@ -401,6 +416,11 @@ def main(argv=None) -> int:
                                  "timeline (forces an uncached run)")
     run_parser.add_argument("--no-cache", action="store_true",
                             help="bypass the content-addressed result cache")
+    run_parser.add_argument("--faults", metavar="FILE", default=None,
+                            help="inject machine faults from a JSON fault "
+                                 "plan (profiled under a distinct cache "
+                                 "key; counters gain mpi_retries/dropped/"
+                                 "duplicated and numa_fallback_pages)")
     run_parser.set_defaults(func=_run)
 
     validate_parser = sub.add_parser(

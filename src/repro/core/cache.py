@@ -50,10 +50,11 @@ __all__ = [
     "default_cache",
     "job_key",
     "model_fingerprint",
+    "result_checksum",
 ]
 
 #: bump when the key layout or the stored-result schema changes
-CACHE_SCHEMA = 1
+CACHE_SCHEMA = 2
 
 _LOG = logging.getLogger("repro.core.cache")
 
@@ -129,7 +130,7 @@ def model_fingerprint() -> str:
 
 def job_key(spec, workload, scheme=None, affinity=None, impl=None,
             lock: Optional[str] = None, parked: int = 0,
-            profile: bool = False) -> str:
+            profile: bool = False, faults=None) -> str:
     """The content address of one experiment cell.
 
     Exactly one of ``scheme`` / ``affinity`` describes the placement;
@@ -137,10 +138,11 @@ def job_key(spec, workload, scheme=None, affinity=None, impl=None,
     mirroring the runner.  Raises :class:`Uncacheable` when any input
     has no canonical form.
 
-    ``profile`` folds into the key *only when enabled*: profiled results
-    carry counter payloads and must live under distinct addresses, while
-    the disabled path keeps the exact key layout (and therefore warm
-    disk-cache hits) of unprofiled runs.
+    ``profile`` and ``faults`` fold into the key *only when enabled*:
+    profiled results carry counter payloads and fault-injected results
+    describe a degraded machine, so both must live under distinct
+    addresses, while the disabled path keeps the exact key layout (and
+    therefore warm disk-cache hits) of plain runs.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -155,6 +157,8 @@ def job_key(spec, workload, scheme=None, affinity=None, impl=None,
     }
     if profile:
         payload["profile"] = True
+    if faults:
+        payload["faults"] = canonical_token(faults)
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
 
@@ -167,6 +171,8 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    #: disk entries that failed to parse or verify and were quarantined
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -174,12 +180,16 @@ class CacheStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {"memory_hits": self.memory_hits, "disk_hits": self.disk_hits,
-                "misses": self.misses, "stores": self.stores}
+                "misses": self.misses, "stores": self.stores,
+                "corrupt": self.corrupt}
 
     def __str__(self) -> str:
-        return (f"{self.lookups} lookups: {self.memory_hits} memory hits, "
+        text = (f"{self.lookups} lookups: {self.memory_hits} memory hits, "
                 f"{self.disk_hits} disk hits, {self.misses} misses, "
                 f"{self.stores} stores")
+        if self.corrupt:
+            text += f", {self.corrupt} corrupt entries quarantined"
+        return text
 
 
 def _default_directory() -> Path:
@@ -191,13 +201,27 @@ def _default_directory() -> Path:
     return root / "repro-bench"
 
 
+def result_checksum(result_data: Dict) -> str:
+    """SHA-256 over the canonical JSON form of one stored result.
+
+    Stored next to the result so reads can tell *torn or bit-rotted*
+    entries apart from entries that simply never existed.
+    """
+    text = json.dumps(result_data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
 class ResultCache:
     """Two-tier (memory + JSON-on-disk) store of :class:`JobResult`.
 
-    Disk writes are atomic (temp file + ``os.replace``), so concurrent
-    writers — the parallel sweep executor's workers — can race on the
-    same key without corrupting it: every writer produces identical
-    bytes for a given content address.
+    Disk writes are atomic (temp file + fsync + ``os.replace``), so
+    concurrent writers — the parallel sweep executor's workers — can
+    race on the same key without corrupting it: every writer produces
+    identical bytes for a given content address.  Every entry carries a
+    checksum over its result payload; a read that finds a torn or
+    bit-rotted entry **quarantines** it (renames it to ``*.corrupt``),
+    counts it in :attr:`CacheStats.corrupt`, and reports a miss so the
+    cell is recomputed and the entry rewritten cleanly.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
@@ -217,7 +241,12 @@ class ResultCache:
     # -- tiers ----------------------------------------------------------
 
     def get(self, key: str) -> Optional[JobResult]:
-        """The stored result for ``key``, promoting disk hits to memory."""
+        """The stored result for ``key``, promoting disk hits to memory.
+
+        Disk entries are verified against their stored checksum; a
+        mismatch (or an unparseable file) is quarantined and reported
+        as a miss so the cell recomputes.
+        """
         if not self.enabled:
             return None
         hit = self._memory.get(key)
@@ -226,18 +255,40 @@ class ResultCache:
             return hit
         if self.disk:
             path = self._path(key)
+            exists = path.exists()
             try:
                 with open(path) as handle:
                     data = json.load(handle)
+                if data.get("schema") != CACHE_SCHEMA:
+                    raise ValueError("cache schema mismatch")
+                if data.get("check") != result_checksum(data["result"]):
+                    raise ValueError("cache checksum mismatch")
                 result = JobResult.from_dict(data["result"])
-            except (OSError, ValueError, KeyError, TypeError):
-                pass  # absent or unreadable: treat as a miss
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                if exists:
+                    self._quarantine(path, exc)
             else:
                 self._memory[key] = result
                 self.stats.disk_hits += 1
                 return result
         self.stats.misses += 1
         return None
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a bad entry aside so the key recomputes cleanly.
+
+        The quarantined copy is kept (``<key>.json.corrupt``) for
+        ``repro-bench doctor`` to inspect or sweep; renaming rather than
+        deleting also means a concurrent healthy writer to the same key
+        is never raced against a delete of its fresh entry.
+        """
+        self.stats.corrupt += 1
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            pass  # a vanished entry needs no quarantine
+        _LOG.warning("quarantined corrupt cache entry %s (%s); "
+                     "the cell will recompute", path.name, reason)
 
     def put(self, key: str, result: JobResult) -> None:
         """Store ``result`` in both tiers."""
@@ -250,12 +301,16 @@ class ResultCache:
         path = self._path(key)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
+            result_data = result.to_dict()
             payload = json.dumps({"schema": CACHE_SCHEMA,
-                                  "result": result.to_dict()})
+                                  "check": result_checksum(result_data),
+                                  "result": result_data})
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:
                     handle.write(payload)
+                    handle.flush()
+                    os.fsync(handle.fileno())
                 os.replace(tmp, path)
             except BaseException:
                 try:

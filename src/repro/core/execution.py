@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults.plan import FaultPlan
 from ..machine import Machine
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, MpiWorld, OPENMPI
@@ -70,6 +71,9 @@ class JobResult:
     #: perfctr snapshot (profiled runs only; ``None`` keeps the cache
     #: JSON of unprofiled results byte-identical to pre-profiling runs)
     perf: Optional[Dict] = None
+    #: fault-injection summary (faulted runs only; ``None`` keeps the
+    #: cache JSON of healthy results byte-identical to pre-faults runs)
+    faults: Optional[Dict] = None
 
     def phase_time(self, phase: str) -> float:
         """Critical-path time of one phase (max over ranks)."""
@@ -109,6 +113,8 @@ class JobResult:
         }
         if self.perf is not None:
             data["perf"] = self.perf
+        if self.faults is not None:
+            data["faults"] = self.faults
         return data
 
     @classmethod
@@ -126,6 +132,7 @@ class JobResult:
             messages=data["messages"],
             bytes_sent=data["bytes_sent"],
             perf=data.get("perf"),
+            faults=data.get("faults"),
         )
 
 
@@ -137,7 +144,8 @@ class JobRunner:
                  lock: Optional[str] = None,
                  trace: bool = False,
                  profile: bool = False,
-                 perf: Optional[PerfSession] = None):
+                 perf: Optional[PerfSession] = None,
+                 faults: Optional[FaultPlan] = None):
         if affinity.spec.name != spec.name:
             raise ValueError("affinity was resolved for a different system")
         self.spec = spec
@@ -145,7 +153,8 @@ class JobRunner:
         if perf is None and profile:
             perf = PerfSession()
         self.perf = perf
-        self.machine = Machine(spec, tracer=Tracer(enabled=trace), perf=perf)
+        self.machine = Machine(spec, tracer=Tracer(enabled=trace), perf=perf,
+                               fault_plan=faults)
         self.world = MpiWorld(
             self.machine,
             affinity.placement,
@@ -221,12 +230,19 @@ class JobRunner:
                     f"unclosed marker regions at job end: {leaked}"
                 )
             perf_snapshot = perf.snapshot(time_scale=scale)
+        faults_summary = None
+        end_time = self.machine.engine.now
+        if self.machine.faults is not None:
+            # arm/disarm events can outlive the last rank; wall time is
+            # when the job finished, not when the schedule drained
+            end_time = max(rank_times) if rank_times else end_time
+            faults_summary = self.machine.faults.summary()
         return JobResult(
             workload=workload.name,
             system=self.spec.name,
             scheme=str(self.affinity.scheme),
             ntasks=n,
-            wall_time=self.machine.engine.now * scale,
+            wall_time=end_time * scale,
             rank_times=[t * scale for t in rank_times],
             category_times=[
                 {k: v * scale for k, v in ct.items()} for ct in category_times
@@ -237,7 +253,16 @@ class JobRunner:
             messages=self.world.stats.messages,
             bytes_sent=self.world.stats.bytes_sent,
             perf=perf_snapshot,
+            faults=faults_summary,
         )
+
+    def _distribution(self, rank: int):
+        """The rank's NUMA traffic shares, remapped under armed node loss."""
+        distribution = self.affinity.distribution(rank)
+        faults = self.machine.faults
+        if faults is not None:
+            distribution = faults.remap_distribution(distribution)
+        return distribution
 
     # -- op execution -----------------------------------------------------
 
@@ -321,6 +346,11 @@ class JobRunner:
         if op.flops > 0:
             flop_time = op.flops / (core.peak_flops * op.flop_efficiency
                                     * threads)
+            if self.machine.faults is not None:
+                # thermal throttle, sampled at op start (analytic
+                # granularity: an op spanning an arm instant is charged
+                # the factor armed when it was issued)
+                flop_time *= self.machine.faults.flop_factor(perf_core)
 
         latency_time = 0.0
         if op.random_accesses > 0:
@@ -329,7 +359,7 @@ class JobRunner:
             # traffic.  This is the source of superlinear speedups when
             # a per-task working set drops into L2 (LAMMPS chain).
             misses = op.random_accesses * residency_factor / threads
-            distribution = self.affinity.distribution(rank)
+            distribution = self._distribution(rank)
             extra = max(0.0, sum(
                 frac * (self._sharers.get(node, 1.0) - 1.0)
                 for node, frac in distribution.items()
@@ -345,7 +375,7 @@ class JobRunner:
         memory_floor = 0.0
         if op.dram_bytes > 0:
             traffic = op.dram_bytes * residency_factor
-            distribution = self.affinity.distribution(rank)
+            distribution = self._distribution(rank)
             per_node = {node: traffic * frac
                         for node, frac in distribution.items()}
             parts.append(self.machine.mem.stream(
@@ -388,8 +418,9 @@ def run_workload(spec: MachineSpec, workload: Workload,
                  impl: MpiImplementation = OPENMPI,
                  lock: Optional[str] = None,
                  parked: int = 0,
-                 profile: bool = False) -> JobResult:
+                 profile: bool = False,
+                 faults: Optional[FaultPlan] = None) -> JobResult:
     """One-call convenience: resolve the scheme, build a runner, run."""
     affinity = resolve_scheme(scheme, spec, workload.ntasks, parked=parked)
     return JobRunner(spec, affinity, impl=impl, lock=lock,
-                     profile=profile).run(workload)
+                     profile=profile, faults=faults).run(workload)

@@ -1,0 +1,264 @@
+"""Fault-plan specification: declarative, seedable degradation of the model.
+
+A :class:`FaultPlan` is a value object — a seed plus a tuple of typed
+fault specs — describing *when* and *how* the simulated machine departs
+from healthy hardware.  Plans are plain dataclasses of primitives, so
+they pickle into worker processes, canonicalize into cache keys (a
+faulted cell never collides with its healthy twin), and round-trip
+through JSON (the ``--faults plan.json`` CLI path).
+
+Fault kinds (all timestamps are *simulated* seconds):
+
+* :class:`CoreSlowdown` — thermal throttle: flop throughput of one core
+  divided by ``factor`` while armed;
+* :class:`LinkDegrade` — an HT link keeps carrying traffic at
+  ``bandwidth_factor`` of its capacity with ``latency_factor`` x wire
+  latency (both directions of the full-duplex pair);
+* :class:`LinkOutage` — the link goes away entirely; routes are
+  recomputed over the surviving edges (the ladder's redundant rungs),
+  and arming a partitioning outage fails loudly;
+* :class:`NodeLoss` — a NUMA node loses ``fraction`` of its memory:
+  that share of traffic/pages falls back to ``fallback`` (remote
+  allocation), and the victim controller's bandwidth derates alike;
+* :class:`MessageFaults` — the MPI transport drops or duplicates
+  messages with the given probabilities; senders retry dropped
+  deliveries with exponential backoff up to ``max_retries``, then raise
+  :class:`TransportExhaustedError`;
+* :class:`CacheDegrade` — transient cache-way disable: effective cache
+  capacity multiplied by ``capacity_factor`` while armed.
+
+``duration=None`` means the fault stays armed for the rest of the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple, Type
+
+__all__ = [
+    "CacheDegrade",
+    "CoreSlowdown",
+    "Fault",
+    "FaultPlan",
+    "FaultPlanError",
+    "LinkDegrade",
+    "LinkOutage",
+    "MessageFaults",
+    "NodeLoss",
+    "TransportExhaustedError",
+    "kind_of",
+]
+
+
+class FaultPlanError(ValueError):
+    """An ill-formed or unarmable fault plan (bad spec, partitioned net)."""
+
+
+class TransportExhaustedError(RuntimeError):
+    """A sender ran out of retries delivering through a lossy transport."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Common timing envelope of every fault spec."""
+
+    #: simulated time at which the fault arms
+    start: float = 0.0
+    #: armed interval length; ``None`` = until the end of the run
+    duration: Optional[float] = None
+
+    def validate(self) -> None:
+        if self.start < 0:
+            raise FaultPlanError(f"{type(self).__name__}: start must be "
+                                 f">= 0, got {self.start}")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultPlanError(f"{type(self).__name__}: duration must be "
+                                 f"positive, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class CoreSlowdown(Fault):
+    """Thermal throttle: ``core`` computes ``factor`` x slower."""
+
+    core: int = 0
+    factor: float = 2.0
+
+    def validate(self) -> None:
+        super().validate()
+        if self.core < 0:
+            raise FaultPlanError(f"core_slowdown: core must be >= 0, "
+                                 f"got {self.core}")
+        if self.factor < 1.0:
+            raise FaultPlanError(f"core_slowdown: factor must be >= 1, "
+                                 f"got {self.factor}")
+
+
+@dataclass(frozen=True)
+class LinkDegrade(Fault):
+    """HT link runs at reduced bandwidth and inflated latency."""
+
+    src: int = 0
+    dst: int = 1
+    bandwidth_factor: float = 0.5
+    latency_factor: float = 1.0
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise FaultPlanError("link_degrade: bandwidth_factor must be in "
+                                 f"(0, 1], got {self.bandwidth_factor} "
+                                 "(use link_outage for a dead link)")
+        if self.latency_factor < 1.0:
+            raise FaultPlanError("link_degrade: latency_factor must be >= 1, "
+                                 f"got {self.latency_factor}")
+
+
+@dataclass(frozen=True)
+class LinkOutage(Fault):
+    """HT link failure: traffic reroutes over the surviving edges."""
+
+    src: int = 0
+    dst: int = 1
+
+
+@dataclass(frozen=True)
+class NodeLoss(Fault):
+    """NUMA node capacity loss forcing remote fallback allocation."""
+
+    node: int = 0
+    fraction: float = 0.5
+    fallback: int = 1
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 < self.fraction <= 1.0:
+            raise FaultPlanError("node_loss: fraction must be in (0, 1], "
+                                 f"got {self.fraction}")
+        if self.fallback == self.node:
+            raise FaultPlanError("node_loss: fallback must differ from the "
+                                 "lost node")
+
+
+@dataclass(frozen=True)
+class MessageFaults(Fault):
+    """Lossy MPI transport with bounded retry / timeout / backoff."""
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    max_retries: int = 4
+    #: sender-side ack timeout before the first retry (simulated seconds)
+    retry_timeout: float = 20e-6
+    #: multiplier applied to the timeout per successive retry
+    backoff: float = 2.0
+
+    def validate(self) -> None:
+        super().validate()
+        for name, p in (("drop_prob", self.drop_prob),
+                        ("dup_prob", self.dup_prob)):
+            if not 0.0 <= p < 1.0:
+                raise FaultPlanError(f"message_faults: {name} must be in "
+                                     f"[0, 1), got {p}")
+        if self.drop_prob + self.dup_prob >= 1.0:
+            raise FaultPlanError("message_faults: drop_prob + dup_prob "
+                                 "must stay below 1")
+        if self.max_retries < 0:
+            raise FaultPlanError("message_faults: max_retries must be >= 0")
+        if self.retry_timeout <= 0 or self.backoff < 1.0:
+            raise FaultPlanError("message_faults: retry_timeout must be "
+                                 "positive and backoff >= 1")
+
+
+@dataclass(frozen=True)
+class CacheDegrade(Fault):
+    """Transient cache-way disable: capacity x ``capacity_factor``."""
+
+    capacity_factor: float = 0.5
+
+    def validate(self) -> None:
+        super().validate()
+        if not 0.0 < self.capacity_factor <= 1.0:
+            raise FaultPlanError("cache_degrade: capacity_factor must be in "
+                                 f"(0, 1], got {self.capacity_factor}")
+
+
+#: JSON ``kind`` tag -> spec class (the FaultPlan wire format)
+KINDS: Dict[str, Type[Fault]] = {
+    "core_slowdown": CoreSlowdown,
+    "link_degrade": LinkDegrade,
+    "link_outage": LinkOutage,
+    "node_loss": NodeLoss,
+    "message_faults": MessageFaults,
+    "cache_degrade": CacheDegrade,
+}
+
+_KIND_OF = {cls: kind for kind, cls in KINDS.items()}
+
+
+def kind_of(fault: Fault) -> str:
+    """The JSON ``kind`` tag of a fault spec instance."""
+    return _KIND_OF[type(fault)]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus an ordered tuple of fault specs."""
+
+    seed: int = 0
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    def validate(self) -> "FaultPlan":
+        for fault in self.faults:
+            if not isinstance(fault, Fault):
+                raise FaultPlanError(f"not a fault spec: {fault!r}")
+            fault.validate()
+        return self
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    # -- wire format ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [
+                {"kind": _KIND_OF[type(fault)], **asdict(fault)}
+                for fault in self.faults
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        faults = []
+        for entry in data.get("faults", ()):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultPlanError(f"fault spec needs a 'kind': {entry!r}")
+            kind = entry["kind"]
+            try:
+                spec_cls = KINDS[kind]
+            except KeyError:
+                raise FaultPlanError(
+                    f"unknown fault kind {kind!r}; choose from "
+                    f"{', '.join(sorted(KINDS))}") from None
+            params = {k: v for k, v in entry.items() if k != "kind"}
+            try:
+                fault = spec_cls(**params)
+            except TypeError as exc:
+                raise FaultPlanError(f"{kind}: {exc}") from None
+            faults.append(fault)
+        plan = cls(seed=int(data.get("seed", 0)), faults=tuple(faults))
+        return plan.validate()
+
+    @classmethod
+    def from_json(cls, path: os.PathLike) -> "FaultPlan":
+        """Load and validate a plan from a JSON file."""
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise FaultPlanError(f"cannot read fault plan {path}: {exc}")
+        return cls.from_dict(data)

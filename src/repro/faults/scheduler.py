@@ -1,0 +1,234 @@
+"""Arms and disarms a :class:`~repro.faults.plan.FaultPlan` at sim time.
+
+The :class:`FaultScheduler` is created by
+:class:`~repro.machine.machine.Machine` when a run carries a fault plan.
+It registers one engine callback per arm/disarm instant, keeps the
+armed-fault state the model components query mid-run, and tallies every
+injected event for the run's ledger/``JobResult`` summary.
+
+Query surface (all cheap, called from hot paths only when a plan is
+present — the no-plan path never sees this module):
+
+* :meth:`flop_factor` — combined thermal-throttle slowdown of one core;
+* :meth:`remap_distribution` — NUMA traffic shares after node loss;
+* :meth:`message_outcome` — per-message verdict of the lossy transport;
+* :meth:`summary` — plan + injected-event counts + arm/disarm log.
+
+Determinism: one :class:`random.Random` seeded from the plan drives all
+probabilistic faults, and it is consumed in engine event order, so a
+given (plan, workload, machine) triple always injects the same faults.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from .plan import (
+    CacheDegrade,
+    CoreSlowdown,
+    Fault,
+    FaultPlan,
+    FaultPlanError,
+    LinkDegrade,
+    LinkOutage,
+    MessageFaults,
+    NodeLoss,
+    kind_of,
+)
+
+__all__ = ["FaultScheduler"]
+
+#: controllers never derate below this share of their base bandwidth
+#: (a fully dead controller would stall the fluid model forever)
+_MIN_CONTROLLER_FACTOR = 0.05
+
+
+class FaultScheduler:
+    """Live fault state of one simulated machine."""
+
+    def __init__(self, machine, plan: FaultPlan):
+        self.machine = machine
+        self.engine = machine.engine
+        self.plan = plan.validate()
+        self.rng = random.Random(plan.seed)
+        #: injected-event tallies (mpi_dropped, numa_fallback_pages, ...)
+        self.counts: Dict[str, int] = {}
+        #: chronological arm/disarm log for the run summary
+        self.log: List[Dict] = []
+        self._core_slowdowns: List[CoreSlowdown] = []
+        self._link_degrades: List[LinkDegrade] = []
+        self._link_outages: List[LinkOutage] = []
+        self._node_losses: List[NodeLoss] = []
+        self._message_faults: List[MessageFaults] = []
+        self._cache_degrades: List[CacheDegrade] = []
+        self._touched_links: set = set()
+        self._check_against_machine()
+        self._install()
+
+    # -- construction -----------------------------------------------------
+
+    def _check_against_machine(self) -> None:
+        """Fail fast on specs that reference hardware the machine lacks."""
+        machine = self.machine
+        for fault in self.plan.faults:
+            if isinstance(fault, CoreSlowdown):
+                if fault.core >= machine.total_cores:
+                    raise FaultPlanError(
+                        f"core_slowdown: core {fault.core} outside machine "
+                        f"with {machine.total_cores} cores")
+            elif isinstance(fault, (LinkDegrade, LinkOutage)):
+                if not machine.net.graph.has_edge(fault.src, fault.dst):
+                    raise FaultPlanError(
+                        f"{kind_of(fault)}: no HT link between sockets "
+                        f"{fault.src} and {fault.dst} on {machine.name}")
+            elif isinstance(fault, NodeLoss):
+                for node in (fault.node, fault.fallback):
+                    if not 0 <= node < machine.num_sockets:
+                        raise FaultPlanError(
+                            f"node_loss: node {node} outside machine with "
+                            f"{machine.num_sockets} NUMA nodes")
+
+    def _install(self) -> None:
+        for index, fault in enumerate(self.plan.faults):
+            self.engine.schedule_callback(
+                fault.start,
+                lambda _ev, f=fault, i=index: self._transition(f, i, arm=True),
+            )
+            if fault.duration is not None:
+                self.engine.schedule_callback(
+                    fault.start + fault.duration,
+                    lambda _ev, f=fault, i=index: self._transition(f, i,
+                                                                   arm=False),
+                )
+
+    # -- arm / disarm -----------------------------------------------------
+
+    def _armed_list(self, fault: Fault) -> List[Fault]:
+        if isinstance(fault, CoreSlowdown):
+            return self._core_slowdowns
+        if isinstance(fault, LinkDegrade):
+            return self._link_degrades
+        if isinstance(fault, LinkOutage):
+            return self._link_outages
+        if isinstance(fault, NodeLoss):
+            return self._node_losses
+        if isinstance(fault, MessageFaults):
+            return self._message_faults
+        if isinstance(fault, CacheDegrade):
+            return self._cache_degrades
+        raise FaultPlanError(f"unhandled fault spec {fault!r}")
+
+    def _transition(self, fault: Fault, index: int, arm: bool) -> None:
+        armed = self._armed_list(fault)
+        if arm:
+            armed.append(fault)
+        elif fault in armed:
+            armed.remove(fault)
+        self.log.append({
+            "t": round(self.engine.now, 9),
+            "action": "arm" if arm else "disarm",
+            "fault": f"{kind_of(fault)}[{index}]",
+        })
+        if isinstance(fault, (LinkDegrade, LinkOutage)):
+            self._apply_link_faults()
+        elif isinstance(fault, NodeLoss):
+            self._apply_node_derates()
+        elif isinstance(fault, CacheDegrade):
+            self._apply_cache_factor()
+
+    def _apply_link_faults(self) -> None:
+        """Push the combined armed link state down to the interconnect."""
+        state: Dict[Tuple[int, int], List] = {}
+        for fault in self._link_degrades:
+            key = (min(fault.src, fault.dst), max(fault.src, fault.dst))
+            entry = state.setdefault(key, [1.0, 1.0, False])
+            entry[0] *= fault.bandwidth_factor
+            entry[1] *= fault.latency_factor
+        for fault in self._link_outages:
+            key = (min(fault.src, fault.dst), max(fault.src, fault.dst))
+            state.setdefault(key, [1.0, 1.0, False])[2] = True
+        net = self.machine.net
+        for key in sorted(self._touched_links - set(state)):
+            net.set_link_state(key[0], key[1])  # back to healthy
+        for key, (bw, lat, failed) in sorted(state.items()):
+            net.set_link_state(key[0], key[1], bandwidth_factor=bw,
+                               latency_factor=lat, failed=failed)
+        self._touched_links = set(state)
+
+    def _apply_node_derates(self) -> None:
+        factors: Dict[int, float] = {}
+        for fault in self._node_losses:
+            factors[fault.node] = (
+                factors.get(fault.node, 1.0)
+                * max(1.0 - fault.fraction, _MIN_CONTROLLER_FACTOR)
+            )
+        self.machine.mem.set_controller_derates(factors)
+
+    def _apply_cache_factor(self) -> None:
+        product = 1.0
+        for fault in self._cache_degrades:
+            product *= fault.capacity_factor
+        self.machine.cache = dataclasses.replace(
+            self.machine.cache, capacity_factor=product
+        )
+
+    # -- queries (model hot paths) ----------------------------------------
+
+    def flop_factor(self, core: int) -> float:
+        """Combined slowdown multiplier of ``core`` (1.0 = healthy)."""
+        factor = 1.0
+        for fault in self._core_slowdowns:
+            if fault.core == core:
+                factor *= fault.factor
+        return factor
+
+    def remap_distribution(self, distribution: Mapping[int, float]
+                           ) -> Mapping[int, float]:
+        """NUMA traffic shares after armed node losses (input unchanged)."""
+        if not self._node_losses:
+            return distribution
+        out = dict(distribution)
+        for fault in self._node_losses:
+            share = out.get(fault.node, 0.0)
+            if share <= 0:
+                continue
+            moved = share * fault.fraction
+            out[fault.node] = share - moved
+            out[fault.fallback] = out.get(fault.fallback, 0.0) + moved
+        return out
+
+    def message_outcome(self) -> Optional[Tuple[str, MessageFaults]]:
+        """Per-message verdict: None (healthy), or (kind, spec) with kind
+        one of ``"ok"``, ``"drop"``, ``"dup"``.
+
+        Consumes one uniform variate per message in engine event order,
+        which is what keeps a seeded plan's injections reproducible.
+        """
+        if not self._message_faults:
+            return None
+        spec = self._message_faults[-1]  # most recently armed wins
+        draw = self.rng.random()
+        if draw < spec.drop_prob:
+            return ("drop", spec)
+        if draw < spec.drop_prob + spec.dup_prob:
+            return ("dup", spec)
+        return ("ok", spec)
+
+    # -- accounting -------------------------------------------------------
+
+    def note(self, event: str, rank: Optional[int] = None,
+             transport=None) -> None:
+        """Tally one injected event, mirroring it into perf counters."""
+        self.counts[event] = self.counts.get(event, 0) + 1
+        if transport is not None and rank is not None:
+            transport.count_fault(rank, event)
+
+    def summary(self) -> Dict:
+        """JSON-serializable record of what this run injected."""
+        return {
+            "plan": self.plan.to_dict(),
+            "injected": dict(sorted(self.counts.items())),
+            "events": list(self.log),
+        }

@@ -51,11 +51,14 @@ class CacheModel:
 
     core: CoreSpec
     traffic_floor: float = 0.02
+    #: fault injection: fraction of the cache left enabled (way disable);
+    #: 1.0 is the healthy default and multiplies capacity exactly
+    capacity_factor: float = 1.0
 
     @property
     def capacity(self) -> float:
         """Effective per-core capacity (L2 dominates on K8; L1 folded in)."""
-        return self.core.l2_bytes + self.core.l1d_bytes
+        return (self.core.l2_bytes + self.core.l1d_bytes) * self.capacity_factor
 
     def dram_traffic_factor(self, working_set: float, reuse: float) -> float:
         """Multiplier applied to a phase's natural DRAM traffic."""

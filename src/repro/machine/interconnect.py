@@ -11,7 +11,7 @@ HyperTransport ladder" (Section 3.3).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -36,11 +36,70 @@ class Interconnect:
                 self.links[(a, b)] = BandwidthResource(
                     engine, params.ht_link_bandwidth, name=f"ht:{a}->{b}"
                 )
-        # Pre-compute shortest paths once; the graph is tiny and static.
+        # Fault state: empty/healthy unless a FaultScheduler arms links.
+        self._base_bandwidth = params.ht_link_bandwidth
+        self._latency_factors: Dict[Tuple[int, int], float] = {}
+        self._failed: Set[Tuple[int, int]] = set()
+        # Pre-compute shortest paths once; the graph is tiny and, apart
+        # from injected outages, static.
         self._paths: Dict[Tuple[int, int], List[int]] = {}
-        for src, targets in nx.all_pairs_shortest_path(self.graph):
+        self._recompute_paths()
+
+    def _recompute_paths(self) -> None:
+        """Rebuild the routing table over the surviving edges."""
+        graph = self.graph
+        if self._failed:
+            graph = self.graph.copy()
+            graph.remove_edges_from(self._failed)
+            if graph.number_of_nodes() > 1 and not nx.is_connected(graph):
+                raise ValueError(
+                    "link outages partition the socket graph: "
+                    f"{sorted(self._failed)} leave no route for traffic"
+                )
+        paths: Dict[Tuple[int, int], List[int]] = {}
+        for src, targets in nx.all_pairs_shortest_path(graph):
             for dst, path in targets.items():
-                self._paths[(src, dst)] = path
+                paths[(src, dst)] = path
+        self._paths = paths
+
+    def set_link_state(self, src: int, dst: int, bandwidth_factor: float = 1.0,
+                       latency_factor: float = 1.0,
+                       failed: bool = False) -> None:
+        """Set the absolute fault state of one undirected link.
+
+        Both directed resources renegotiate to ``bandwidth_factor`` of
+        the healthy bandwidth and carry ``latency_factor`` x the wire
+        latency; ``failed=True`` removes the edge from routing (traffic
+        reroutes over the surviving graph — the ladder's redundant
+        rungs).  Defaults restore the link to healthy.  Raises
+        ``ValueError`` when the link does not exist or an outage would
+        partition the machine.
+        """
+        if not self.graph.has_edge(src, dst):
+            raise ValueError(f"no HT link between sockets {src} and {dst}")
+        if bandwidth_factor <= 0:
+            raise ValueError("bandwidth_factor must be positive")
+        u, v = (min(src, dst), max(src, dst))
+        for a, b in ((u, v), (v, u)):
+            self.links[(a, b)].set_capacity(
+                self._base_bandwidth * bandwidth_factor
+            )
+            if latency_factor != 1.0:
+                self._latency_factors[(a, b)] = latency_factor
+            else:
+                self._latency_factors.pop((a, b), None)
+        was_failed = (u, v) in self._failed
+        if failed:
+            self._failed.add((u, v))
+        else:
+            self._failed.discard((u, v))
+        if failed != was_failed:
+            try:
+                self._recompute_paths()
+            except ValueError:
+                self._failed.discard((u, v))
+                self._recompute_paths()
+                raise
 
     def path(self, src: int, dst: int) -> List[int]:
         """Socket sequence of the route from ``src`` to ``dst`` (inclusive)."""
@@ -60,7 +119,16 @@ class Interconnect:
 
     def path_latency(self, src: int, dst: int) -> float:
         """Pure wire/router latency of the route (seconds)."""
-        return self.hops(src, dst) * self.spec.params.ht_link_latency
+        base = self.spec.params.ht_link_latency
+        if not self._latency_factors:
+            # exact healthy fast path: a single multiply, bit-identical
+            # to the pre-fault-injection formula
+            return self.hops(src, dst) * base
+        path = self.path(src, dst)
+        return sum(
+            base * self._latency_factors.get((path[i], path[i + 1]), 1.0)
+            for i in range(len(path) - 1)
+        )
 
     def transfer(self, src: int, dst: int, nbytes: float,
                  weight: float = 1.0, core: Optional[int] = None) -> Event:

@@ -26,12 +26,16 @@ class Machine:
     """A live shared-memory node built from a :class:`MachineSpec`."""
 
     def __init__(self, spec: MachineSpec, engine: Optional[Engine] = None,
-                 tracer: Optional[Tracer] = None, perf=None):
+                 tracer: Optional[Tracer] = None, perf=None,
+                 fault_plan=None):
         self.spec = spec
         self.engine = engine if engine is not None else Engine()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         #: optional perfctr.PerfSession; None keeps every hook a no-op
         self.perf = perf
+        #: optional faults.FaultScheduler (set below); None keeps every
+        #: fault hook a single ``is not None`` test on the healthy path
+        self.faults = None
 
         self.sockets: List[Socket] = []
         self.cores: List[Core] = []
@@ -52,6 +56,13 @@ class Machine:
         self.mem = MemorySystem(self.engine, spec, self.net, perf=perf)
         self.cache = CacheModel(spec.socket.core,
                                 traffic_floor=spec.params.compulsory_traffic_floor)
+        if fault_plan is not None and fault_plan:
+            # Lazy import: the faults package is only loaded (and the
+            # scheduler's arm/disarm events only scheduled) when a run
+            # actually carries a plan.
+            from ..faults.scheduler import FaultScheduler
+
+            self.faults = FaultScheduler(self, fault_plan)
 
     # -- lookups -----------------------------------------------------------
 

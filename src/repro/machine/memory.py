@@ -47,10 +47,27 @@ class MemorySystem:
             * params.dram_achievable_fraction
             * self._coherence
         )
+        self._base_capacity = capacity
         self.controllers = [
             BandwidthResource(engine, capacity, name=f"mem:{s}")
             for s in range(spec.sockets)
         ]
+
+    def set_controller_derates(self, factors: Mapping[int, float]) -> None:
+        """Renegotiate controller bandwidth mid-run (fault injection).
+
+        ``factors`` maps NUMA node -> fraction of the healthy capacity
+        (losing DIMMs removes channels); nodes absent from the mapping
+        return to full bandwidth.
+        """
+        for node, controller in enumerate(self.controllers):
+            factor = factors.get(node, 1.0)
+            if not 0.0 < factor <= 1.0:
+                raise ValueError(
+                    f"controller derate for node {node} must be in (0, 1], "
+                    f"got {factor}"
+                )
+            controller.set_capacity(self._base_capacity * factor)
 
     @property
     def coherence_factor(self) -> float:

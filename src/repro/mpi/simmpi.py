@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..faults.plan import TransportExhaustedError
 from ..machine import Machine
 from ..osmodel import Placement
 from ..sim import Event, Resource
@@ -134,6 +135,54 @@ class MpiWorld:
         yield self.engine.timeout(self._lock_cost)
         self._queue_locks[dst].release()
 
+    # -- fault injection ---------------------------------------------------
+
+    def _lossy_delivery(self, faults, src_socket: int, src: int, dst: int,
+                        nbytes: int, copy: bool):
+        """Generator: push one payload (``copy=True``, the eager buffer
+        copy) or rendezvous header (``copy=False``) through a transport
+        that may drop or duplicate it.
+
+        Dropped attempts retransmit after an exponentially backed-off
+        sender timeout, up to the armed spec's ``max_retries``;
+        exhaustion raises :class:`TransportExhaustedError` (the send
+        fails visibly instead of hanging the receiver).  Duplicates cost
+        one wasted buffer copy (or queue-lock interval for a header) —
+        the receiver discards them by sequence number, so delivery stays
+        exactly-once.
+        """
+        attempt = 0
+        while True:
+            if copy:
+                yield self.transport.copy_in(src_socket, src, nbytes)
+            outcome = faults.message_outcome()
+            if outcome is None:
+                return  # no MessageFaults armed right now
+            kind, spec = outcome
+            if kind == "ok":
+                return
+            if kind == "dup":
+                faults.note("mpi_duplicated", rank=src,
+                            transport=self.transport)
+                if copy:
+                    yield self.transport.copy_in(src_socket, src, nbytes)
+                else:
+                    yield self.engine.timeout(self._lock_cost)
+                return
+            # dropped: tally, back off, retransmit
+            faults.note("mpi_dropped", rank=src, transport=self.transport)
+            if attempt >= spec.max_retries:
+                raise TransportExhaustedError(
+                    f"rank {src} -> {dst}: {nbytes}-byte "
+                    f"{'payload' if copy else 'header'} dropped "
+                    f"{attempt + 1} times; retries exhausted"
+                )
+            yield self.engine.timeout(
+                spec.retry_timeout * spec.backoff ** attempt
+            )
+            attempt += 1
+            faults.note("mpi_retries", rank=src, transport=self.transport)
+
     # -- matching ------------------------------------------------------------
 
     @staticmethod
@@ -180,12 +229,22 @@ class MpiWorld:
             self.impl.protocol_overhead(nbytes) / 2 * self.overhead_multiplier)
         # enqueue under the receiver's queue lock
         yield from self._locked(dst)
+        faults = self.machine.faults
         if eager:
-            yield self.transport.copy_in(src_socket, src, nbytes)
+            if faults is None:
+                yield self.transport.copy_in(src_socket, src, nbytes)
+            else:
+                yield from self._lossy_delivery(faults, src_socket, src, dst,
+                                                nbytes, copy=True)
             self._deliver(Message(src, dst, tag, nbytes, True, payload))
             return
         msg = Message(src, dst, tag, nbytes, False, payload,
                       ready=Event(self.engine), done=Event(self.engine))
+        if faults is not None:
+            # rendezvous: the lossy transport can drop/duplicate the
+            # header announcement; the bulk path below is flow-controlled
+            yield from self._lossy_delivery(faults, src_socket, src, dst,
+                                            nbytes, copy=False)
         self._deliver(msg)
         yield msg.ready  # wait for the receiver to post
         # bulk payloads move in shared-memory fragments, each paying one

@@ -41,6 +41,15 @@ class ShmTransport:
         """Home NUMA node of ``sender_rank``'s shared send buffer."""
         return self.buffer_node_of_rank[sender_rank]
 
+    def count_fault(self, sender_rank: int, event: str) -> None:
+        """Attribute one injected transport fault (drop/dup/retry) to the
+        sender's core; lands in the uncore when the rank has no core
+        mapping.  No-op unprofiled."""
+        perf = self.machine.perf
+        if perf is None:
+            return
+        perf.count(self.core_of_rank.get(sender_rank), event, 1)
+
     def _count_message(self, sender_rank: int, nbytes: float) -> None:
         """Tally one message on the sender's core (zero-byte sends too:
         barriers are exactly the small-message traffic the lock-cost

@@ -50,21 +50,61 @@ class PageTable:
     regions: List[Region] = field(default_factory=list)
     #: optional perfctr.PerfSession; placement counts land in its uncore
     perf: Optional[object] = None
+    #: fault injection / capacity experiments: max pages admitted per
+    #: node (nodes absent from the mapping are unlimited); placements
+    #: that hit a full node fall back to the lowest-id node with room
+    node_capacity: Optional[Dict[int, int]] = None
+    #: pages that could not land on their policy-chosen node
+    fallback_pages: int = 0
     _next_page_index: Dict[int, int] = field(default_factory=dict)
+    _node_used: Dict[int, int] = field(default_factory=dict)
+
+    def _has_room(self, node: int) -> bool:
+        cap = self.node_capacity.get(node)
+        return cap is None or self._node_used.get(node, 0) < cap
+
+    def _admit(self, node: int) -> int:
+        """Honor node capacity limits, falling back deterministically.
+
+        The kernel analogue: first-touch on a node whose zone is
+        exhausted silently allocates from the nearest node with free
+        pages.  The model uses lowest-id-with-room, which is
+        deterministic and easy to assert in tests.
+        """
+        if self.node_capacity is None:
+            return node
+        if not self._has_room(node):
+            for candidate in range(self.num_nodes):
+                if candidate != node and self._has_room(candidate):
+                    node = candidate
+                    break
+            else:
+                raise MemoryError(
+                    f"all {self.num_nodes} NUMA nodes at capacity"
+                )
+            self.fallback_pages += 1
+            if self.perf is not None:
+                self.perf.count(None, "numa_fallback_pages", 1)
+        self._node_used[node] = self._node_used.get(node, 0) + 1
+        return node
 
     def allocate(self, task: int, nbytes: int, toucher_node: int,
                  policy: MemoryPolicy) -> Region:
         """Touch ``nbytes`` of fresh memory from ``toucher_node``.
 
         Page indices continue across a task's allocations so round-robin
-        policies interleave correctly across regions.
+        policies interleave correctly across regions.  When
+        ``node_capacity`` is set, full nodes overflow to the lowest-id
+        node with room (counted in ``fallback_pages`` and, when
+        profiling, the uncore ``numa_fallback_pages`` event).
         """
         if nbytes <= 0:
             raise ValueError(f"allocation size must be positive, got {nbytes}")
         num_pages = -(-nbytes // PAGE_SIZE)  # ceil division
         start = self._next_page_index.get(task, 0)
         nodes = [
-            policy.place_page(toucher_node, start + i, self.num_nodes)
+            self._admit(policy.place_page(toucher_node, start + i,
+                                          self.num_nodes))
             for i in range(num_pages)
         ]
         self._next_page_index[task] = start + num_pages

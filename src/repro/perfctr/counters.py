@@ -46,8 +46,12 @@ EVENTS = (
     "ht_link_bytes",
     "mpi_messages",
     "mpi_bytes",
+    "mpi_retries",
+    "mpi_dropped",
+    "mpi_duplicated",
     "numa_local_pages",
     "numa_remote_pages",
+    "numa_fallback_pages",
 )
 
 

@@ -171,6 +171,19 @@ class BandwidthResource:
         self._reschedule()
         return ev
 
+    def set_capacity(self, capacity: float) -> None:
+        """Change the pipe's capacity mid-run (fault injection).
+
+        In-flight flows keep the bytes they have already moved at the
+        old rate; their remaining bytes drain at the new one — the fluid
+        analogue of a link renegotiating its width.
+        """
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._advance()
+        self.capacity = float(capacity)
+        self._reschedule()
+
     # -- internal fluid mechanics ---------------------------------------
 
     def _total_weight(self) -> float:

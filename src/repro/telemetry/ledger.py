@@ -39,6 +39,8 @@ __all__ = [
     "ledger_path",
     "machine_info",
     "read_records",
+    "repair",
+    "scan",
 ]
 
 #: bump when the record layout changes incompatibly
@@ -111,6 +113,74 @@ def read_records(directory: Optional[os.PathLike] = None
         if isinstance(record, dict):
             records.append(record)
     return records
+
+
+def scan(directory: Optional[os.PathLike] = None) -> Dict[str, Any]:
+    """Health-check the ledger file without modifying it.
+
+    Returns a summary dict: total line count, parseable record count,
+    and the 1-based line numbers of torn (unparseable) lines.  A
+    missing ledger scans clean with zero lines.
+    """
+    path = ledger_path(directory)
+    summary: Dict[str, Any] = {"path": str(path), "lines": 0,
+                               "records": 0, "torn_lines": []}
+    try:
+        text = path.read_text()
+    except OSError:
+        return summary
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        summary["lines"] += 1
+        try:
+            record = json.loads(stripped)
+        except ValueError:
+            summary["torn_lines"].append(lineno)
+            continue
+        if isinstance(record, dict):
+            summary["records"] += 1
+        else:
+            summary["torn_lines"].append(lineno)
+    return summary
+
+
+def repair(directory: Optional[os.PathLike] = None) -> Dict[str, Any]:
+    """Rewrite the ledger keeping only parseable records.
+
+    The original file is preserved as ``ledger.jsonl.bak`` and the
+    clean copy lands atomically (temp file + ``os.replace``), so a
+    crash mid-repair can never lose the healthy records.  Returns the
+    :func:`scan` summary from before the rewrite plus a ``"repaired"``
+    flag (False when there was nothing to fix).
+    """
+    summary = scan(directory)
+    summary["repaired"] = False
+    if not summary["torn_lines"]:
+        return summary
+    path = ledger_path(directory)
+    text = path.read_text()
+    kept = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            kept.append(json.dumps(record, sort_keys=True,
+                                   separators=(",", ":")))
+    backup = path.with_suffix(path.suffix + ".bak")
+    backup.write_text(text)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text("".join(line + "\n" for line in kept))
+    os.replace(tmp, path)
+    summary["repaired"] = True
+    summary["backup"] = str(backup)
+    return summary
 
 
 def hit_rate(record: Dict[str, Any]) -> Optional[float]:

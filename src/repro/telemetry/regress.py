@@ -42,6 +42,7 @@ __all__ = [
     "SLOWDOWN_FACTOR",
     "HIT_RATE_COLLAPSE",
     "evaluate",
+    "excluded_from_baseline",
     "export_history",
     "main",
     "run_class",
@@ -67,6 +68,22 @@ def run_class(record: Dict[str, Any]) -> str:
     if rate is None or rate < 0.5:
         return "cold"
     return "warm"
+
+
+def excluded_from_baseline(record: Dict[str, Any]) -> Optional[str]:
+    """Why a record cannot anchor (or be judged against) a baseline.
+
+    Aborted runs carry partial timings; fault-injected runs describe a
+    deliberately degraded machine.  Comparing either against healthy
+    runs would report injected damage as a regression (or mask a real
+    one), so both are excluded.  Returns the reason, or ``None`` for a
+    normal record.
+    """
+    if record.get("status") == "aborted":
+        return "aborted"
+    if record.get("faults"):
+        return "fault-injected"
+    return None
 
 
 def _median(values: List[float]) -> float:
@@ -102,9 +119,23 @@ def evaluate(records: List[Dict[str, Any]],
     if not bench:
         raise ValueError("ledger holds no bench records")
     candidate = copy.deepcopy(bench[-1])
-    previous = bench[:-1]
+    previous = [r for r in bench[:-1] if excluded_from_baseline(r) is None]
     failures: List[str] = []
     notes: List[str] = []
+
+    reason = excluded_from_baseline(candidate)
+    if reason is not None:
+        notes.append(f"candidate is {reason}; all gates skipped "
+                     "(such runs never anchor baselines either)")
+        summary = {
+            "run_id": candidate.get("run_id"),
+            "class": run_class(candidate),
+            "elapsed_s": candidate.get("elapsed_s"),
+            "hit_rate": ledger.hit_rate(candidate),
+            "baseline_runs": [],
+            "fidelity_baseline_runs": [],
+        }
+        return summary, failures, notes
 
     if inject_slowdown:
         candidate["elapsed_s"] = candidate.get("elapsed_s", 0.0) \

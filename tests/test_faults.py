@@ -1,0 +1,221 @@
+"""Fault-injection subsystem: plans, scheduler wiring, and effects."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.affinity import AffinityScheme
+from repro.core.execution import run_workload
+from repro.core.parallel import JobRequest
+from repro.faults import (
+    CacheDegrade,
+    CoreSlowdown,
+    FaultPlan,
+    FaultPlanError,
+    LinkDegrade,
+    LinkOutage,
+    MessageFaults,
+    NodeLoss,
+    TransportExhaustedError,
+    kind_of,
+)
+from repro.machine import longs, tiger
+from repro.numa import PageTable
+from repro.numa.policy import LocalAlloc
+from repro.workloads import DgemmBench, HpccStream, PingPong
+
+
+# -- plan specs ------------------------------------------------------------
+
+def test_plan_round_trips_through_dict_and_json(tmp_path):
+    plan = FaultPlan(seed=42, faults=(
+        LinkDegrade(src=0, dst=1, bandwidth_factor=0.25, latency_factor=2.0,
+                    start=0.1, duration=0.5),
+        CoreSlowdown(core=3, factor=4.0),
+        NodeLoss(node=2, fraction=0.75, fallback=0),
+        MessageFaults(drop_prob=0.2, dup_prob=0.05, max_retries=3),
+        CacheDegrade(capacity_factor=0.5),
+        LinkOutage(src=1, dst=2),
+    ))
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again == plan
+
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps(plan.to_dict()))
+    assert FaultPlan.from_json(path) == plan
+
+
+def test_plan_rejects_unknown_kind_and_bad_params():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [{"kind": "meteor_strike"}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [
+            {"kind": "link_degrade", "src": 0, "dst": 1,
+             "bandwidth_factor": 0.0}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [
+            {"kind": "core_slowdown", "core": 0, "factor": 0.5}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [
+            {"kind": "node_loss", "node": 1, "fraction": 0.5,
+             "fallback": 1}]})
+    with pytest.raises(FaultPlanError):
+        FaultPlan.from_dict({"faults": [
+            {"kind": "message_faults", "drop_prob": 0.8, "dup_prob": 0.3}]})
+
+
+def test_kind_registry_is_bidirectional():
+    fault = LinkOutage(src=0, dst=1)
+    assert kind_of(fault) == "link_outage"
+    assert not FaultPlan()  # empty plan is falsy
+    assert FaultPlan(faults=(fault,))
+
+
+def test_shipped_ci_plan_loads():
+    path = (Path(__file__).resolve().parents[1]
+            / "benchmarks" / "faultplans" / "ht_degrade.json")
+    plan = FaultPlan.from_json(path)
+    assert plan
+    kinds = sorted(kind_of(f) for f in plan.faults)
+    assert kinds == ["link_degrade", "node_loss"]
+
+
+# -- sim-plane effects -----------------------------------------------------
+
+def test_healthy_runs_are_untouched_by_the_fault_machinery():
+    result = run_workload(longs(), HpccStream(ntasks=4),
+                          scheme=AffinityScheme.INTERLEAVE)
+    assert result.faults is None
+    again = run_workload(longs(), HpccStream(ntasks=4),
+                         scheme=AffinityScheme.INTERLEAVE)
+    assert result.wall_time == again.wall_time
+
+
+def test_link_degrade_slows_interleaved_stream():
+    healthy = run_workload(longs(), HpccStream(ntasks=4),
+                           scheme=AffinityScheme.INTERLEAVE)
+    plan = FaultPlan(faults=(LinkDegrade(src=0, dst=1,
+                                         bandwidth_factor=0.05),))
+    degraded = run_workload(longs(), HpccStream(ntasks=4),
+                            scheme=AffinityScheme.INTERLEAVE, faults=plan)
+    assert degraded.wall_time > healthy.wall_time * 1.5
+    assert degraded.faults is not None
+    events = degraded.faults["events"]
+    assert events[0]["action"] == "arm"
+    assert events[0]["fault"].startswith("link_degrade")
+
+
+def test_transient_fault_disarms_and_logs_both_transitions():
+    plan = FaultPlan(faults=(LinkDegrade(src=0, dst=1,
+                                         bandwidth_factor=0.05,
+                                         start=0.0, duration=1e-6),))
+    result = run_workload(longs(), HpccStream(ntasks=4),
+                          scheme=AffinityScheme.INTERLEAVE, faults=plan)
+    actions = [e["action"] for e in result.faults["events"]]
+    assert actions == ["arm", "disarm"]
+
+
+def test_link_outage_reroutes_and_slows():
+    healthy = run_workload(longs(), HpccStream(ntasks=4),
+                           scheme=AffinityScheme.INTERLEAVE)
+    out = run_workload(longs(), HpccStream(ntasks=4),
+                       scheme=AffinityScheme.INTERLEAVE,
+                       faults=FaultPlan(faults=(LinkOutage(src=0, dst=1),)))
+    assert out.wall_time > healthy.wall_time
+
+
+def test_partitioning_outage_is_rejected():
+    # tiger has 2 sockets and a single link: cutting it partitions
+    with pytest.raises(ValueError):
+        run_workload(tiger(), HpccStream(ntasks=2),
+                     faults=FaultPlan(faults=(LinkOutage(src=0, dst=1),)))
+
+
+def test_core_slowdown_hits_only_the_throttled_core():
+    spec = longs()
+    base = run_workload(spec, DgemmBench(ntasks=2, n=256))
+    # default placement puts ranks on cores 2 and 4
+    hit = run_workload(spec, DgemmBench(ntasks=2, n=256),
+                       faults=FaultPlan(faults=(CoreSlowdown(core=2,
+                                                             factor=3.0),)))
+    idle = run_workload(spec, DgemmBench(ntasks=2, n=256),
+                        faults=FaultPlan(faults=(CoreSlowdown(core=0,
+                                                              factor=3.0),)))
+    assert hit.wall_time > base.wall_time
+    assert idle.wall_time == base.wall_time
+
+
+def test_node_loss_remaps_traffic_and_slows_local_runs():
+    spec = longs()
+    base = run_workload(spec, HpccStream(ntasks=4))
+    lost = run_workload(spec, HpccStream(ntasks=4),
+                        faults=FaultPlan(faults=(
+                            NodeLoss(node=1, fraction=0.8, fallback=0),)))
+    assert lost.wall_time > base.wall_time
+
+
+def test_page_table_capacity_fallback_counts_pages():
+    table = PageTable(num_nodes=4, node_capacity={0: 2})
+    region = table.allocate(0, 4096 * 5, 0, LocalAlloc())
+    # first two pages land on node 0; the rest fall back to node 1
+    assert region.page_nodes == [0, 0, 1, 1, 1]
+    assert table.fallback_pages == 3
+    with pytest.raises(MemoryError):
+        PageTable(num_nodes=1, node_capacity={0: 1}).allocate(
+            0, 4096 * 2, 0, LocalAlloc())
+
+
+def test_message_faults_retry_then_succeed_deterministically():
+    spec = longs()
+    clean = run_workload(spec, PingPong(nbytes=65536))
+    plan = FaultPlan(seed=11, faults=(MessageFaults(drop_prob=0.3,
+                                                    dup_prob=0.1),))
+    flaky = run_workload(spec, PingPong(nbytes=65536), faults=plan)
+    assert flaky.wall_time > clean.wall_time
+    injected = flaky.faults["injected"]
+    assert injected["mpi_retries"] > 0
+    assert injected["mpi_dropped"] == injected["mpi_retries"]
+    # same seed, same machine: bit-identical replay
+    again = run_workload(spec, PingPong(nbytes=65536), faults=plan)
+    assert again.wall_time == flaky.wall_time
+    assert again.faults["injected"] == injected
+
+
+def test_message_faults_exhaust_retries():
+    plan = FaultPlan(seed=3, faults=(MessageFaults(drop_prob=0.95,
+                                                   max_retries=1),))
+    with pytest.raises(TransportExhaustedError):
+        run_workload(longs(), PingPong(nbytes=65536), faults=plan)
+
+
+def test_fault_counters_surface_when_profiled():
+    plan = FaultPlan(seed=11, faults=(MessageFaults(drop_prob=0.3,
+                                                    dup_prob=0.1),))
+    result = run_workload(longs(), PingPong(nbytes=65536), faults=plan,
+                          profile=True)
+    totals = result.perf["totals"]
+    assert totals["mpi_retries"] > 0
+    assert totals["mpi_dropped"] == totals["mpi_retries"]
+
+
+def test_faulted_cells_get_distinct_cache_keys():
+    plan = FaultPlan(faults=(CacheDegrade(capacity_factor=0.5),))
+    spec = longs()
+    workload = HpccStream(ntasks=4)
+    plain = JobRequest(spec=spec, workload=workload)
+    faulted = JobRequest(spec=spec, workload=workload, faults=plan)
+    assert plain.key() != faulted.key()
+    # an empty plan keys identically to no plan at all
+    empty = JobRequest(spec=spec, workload=workload, faults=FaultPlan())
+    assert empty.key() == plain.key()
+
+
+def test_plan_validated_against_the_machine():
+    with pytest.raises(FaultPlanError):
+        run_workload(tiger(), HpccStream(ntasks=2),
+                     faults=FaultPlan(faults=(CoreSlowdown(core=99,),)))
+    with pytest.raises(FaultPlanError):
+        run_workload(tiger(), HpccStream(ntasks=2),
+                     faults=FaultPlan(faults=(
+                         LinkDegrade(src=0, dst=5, bandwidth_factor=0.5),)))

@@ -1,0 +1,260 @@
+"""Hardened bench pipeline: crash isolation, corruption recovery, repair."""
+
+import json
+
+import pytest
+
+from repro.bench import chaos
+from repro.bench.chaos import SCENARIOS, _QuickWorkload
+from repro.core import parallel
+from repro.core.affinity import AffinityScheme
+from repro.core.cache import CACHE_SCHEMA, ResultCache, result_checksum
+from repro.core.parallel import (
+    JobRequest,
+    TargetFailure,
+    reset_pool_stats,
+    run_request,
+    run_requests,
+    take_failures,
+)
+from repro.faults import CacheDegrade, FaultPlan
+from repro.machine import dmz, tiger
+from repro.telemetry import doctor, ledger
+from repro.telemetry.regress import excluded_from_baseline
+
+
+class _WideWorkload(_QuickWorkload):
+    """16 ranks: infeasible under One-MPI schemes on small machines."""
+
+    name = "chaos-wide"
+    ntasks = 16
+
+
+@pytest.fixture(autouse=True)
+def _clean_executor_state():
+    """Isolate the process-wide executor accounting per test."""
+    reset_pool_stats()
+    take_failures()
+    yield
+    parallel.set_default_faults(None)
+    parallel.shutdown_pool()
+    take_failures()
+    reset_pool_stats()
+
+
+# -- chaos self-test scenarios (the heavyweight end-to-end paths) ----------
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_chaos_scenario_recovers(name):
+    ok, notes = SCENARIOS[name]()
+    assert ok, f"{name} failed to recover: {notes}"
+
+
+def test_chaos_cli_single_scenario():
+    assert chaos.main(["--scenario", "torn-ledger"]) == 0
+
+
+# -- corrupted cache entries ------------------------------------------------
+
+def _populate(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    original = run_request(request, cache=cache)
+    return request, original, cache._path(request.key())
+
+
+def test_truncated_cache_entry_is_quarantined_and_recomputed(tmp_path):
+    request, original, path = _populate(tmp_path)
+    data = path.read_text()
+    path.write_text(data[: len(data) // 2])
+
+    fresh = ResultCache(directory=tmp_path)
+    recovered = run_request(request, cache=fresh)
+    assert fresh.stats.corrupt == 1
+    assert fresh.stats.misses == 1
+    assert recovered.to_dict() == original.to_dict()
+    assert path.with_suffix(".json.corrupt").exists()
+    # the recomputed entry was rewritten cleanly
+    entry = json.loads(path.read_text())
+    assert entry["schema"] == CACHE_SCHEMA
+    assert entry["check"] == result_checksum(entry["result"])
+
+
+def test_bitflipped_cache_entry_fails_the_checksum(tmp_path):
+    request, original, path = _populate(tmp_path)
+    entry = json.loads(path.read_text())
+    entry["result"]["wall_time"] += 1.0  # valid JSON, stale checksum
+    path.write_text(json.dumps(entry))
+
+    fresh = ResultCache(directory=tmp_path)
+    assert fresh.get(request.key()) is None
+    assert fresh.stats.corrupt == 1
+
+
+def test_missing_entry_is_a_plain_miss_not_corruption(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    assert cache.get(request.key()) is None
+    assert cache.stats.corrupt == 0
+    assert cache.stats.misses == 1
+
+
+def test_stale_schema_entry_is_rejected(tmp_path):
+    request, original, path = _populate(tmp_path)
+    entry = json.loads(path.read_text())
+    entry["schema"] = CACHE_SCHEMA - 1
+    path.write_text(json.dumps(entry))
+    fresh = ResultCache(directory=tmp_path)
+    assert fresh.get(request.key()) is None
+    assert fresh.stats.corrupt == 1
+
+
+# -- doctor -----------------------------------------------------------------
+
+def test_doctor_reports_then_fixes_cache_damage(tmp_path):
+    request, original, path = _populate(tmp_path)
+    path.write_text(path.read_text()[:10])  # corrupt the entry
+    (tmp_path / "dead-writer.json.tmp").write_text("partial")
+
+    report = doctor.check_cache_dir(tmp_path, fix=False)
+    assert report["entries"] == 1
+    assert len(report["corrupt"]) == 1
+    assert report["stale_tmp"] == 1
+    assert path.exists()  # scan-only never touches files
+
+    fixed = doctor.check_cache_dir(tmp_path, fix=True)
+    assert len(fixed["corrupt"]) == 1
+    assert not path.exists()
+    assert path.with_suffix(".json.corrupt").exists()
+    assert not (tmp_path / "dead-writer.json.tmp").exists()
+
+    again = doctor.check_cache_dir(tmp_path, fix=True)
+    assert not again["corrupt"]
+    assert again["quarantined"] == 1  # swept on this pass
+    assert not path.with_suffix(".json.corrupt").exists()
+
+
+def test_doctor_cli_exit_codes(tmp_path, capsys):
+    ledger_dir = tmp_path / "ledger"
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    ledger.append({"schema": 1, "run_id": "a"}, ledger_dir)
+    with open(ledger.ledger_path(ledger_dir), "a") as handle:
+        handle.write('{"torn": ')
+
+    argv = ["--ledger-dir", str(ledger_dir), "--cache-dir", str(cache_dir)]
+    assert doctor.main(argv) == 1  # torn line found, not fixed
+    assert doctor.main(argv + ["--fix"]) == 0
+    assert doctor.main(argv) == 0  # healthy after repair
+    out = capsys.readouterr().out
+    assert "healthy" in out
+
+
+# -- torn ledger ------------------------------------------------------------
+
+def test_ledger_scan_and_repair_round_trip(tmp_path):
+    ledger.append({"schema": 1, "run_id": "a"}, tmp_path)
+    ledger.append({"schema": 1, "run_id": "b"}, tmp_path)
+    path = ledger.ledger_path(tmp_path)
+    with open(path, "a") as handle:
+        handle.write('{"schema": 1, "run_id": "c', )  # torn mid-record
+
+    assert [r["run_id"] for r in ledger.read_records(tmp_path)] == ["a", "b"]
+    report = ledger.scan(tmp_path)
+    assert report["records"] == 2
+    assert report["torn_lines"] == [3]
+
+    repaired = ledger.repair(tmp_path)
+    assert repaired["repaired"]
+    backup = path.with_suffix(path.suffix + ".bak")
+    assert backup.exists()
+    assert ledger.scan(tmp_path)["torn_lines"] == []
+
+    # appending after a fresh tear starts on a new line: no coalescing
+    with open(path, "a") as handle:
+        handle.write('{"half": ')
+    ledger.append({"schema": 1, "run_id": "d"}, tmp_path)
+    assert [r["run_id"] for r in ledger.read_records(tmp_path)] \
+        == ["a", "b", "d"]
+
+
+def test_ledger_repair_is_a_noop_when_healthy(tmp_path):
+    ledger.append({"schema": 1, "run_id": "a"}, tmp_path)
+    report = ledger.repair(tmp_path)
+    assert report["repaired"] is False
+    path = ledger.ledger_path(tmp_path)
+    assert not path.with_suffix(path.suffix + ".bak").exists()
+
+
+# -- sweep executor failure handling ---------------------------------------
+
+def test_infeasible_cell_in_parallel_sweep_stays_a_dash(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    feasible = [JobRequest(spec=tiger(), workload=_QuickWorkload(salt=i))
+                for i in range(2)]
+    infeasible = JobRequest(spec=dmz(), workload=_WideWorkload(salt=9),
+                            scheme=AffinityScheme.ONE_MPI_LOCAL)
+    results = run_requests(feasible + [infeasible], jobs=2, cache=cache)
+    assert results[0] is not None and results[1] is not None
+    assert results[2] is None
+    assert parallel.pool_stats().infeasible == 1
+    # infeasibility is the paper's dash, not a pipeline failure
+    assert take_failures() == []
+
+
+def test_take_failures_drains():
+    failure = TargetFailure(index=0, kind="crash", message="boom",
+                            attempts=2, label="x on y [default]")
+    parallel._FAILURES.append(failure)
+    assert take_failures() == [failure]
+    assert take_failures() == []
+    assert failure.as_dict()["kind"] == "crash"
+
+
+def test_default_faults_materialize_into_requests(tmp_path):
+    cache = ResultCache(directory=tmp_path)
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    healthy = run_request(request, cache=cache)
+    assert healthy.faults is None
+
+    plan = FaultPlan(faults=(CacheDegrade(capacity_factor=0.5),))
+    parallel.set_default_faults(plan)
+    try:
+        faulted = run_request(request, cache=cache)
+    finally:
+        parallel.set_default_faults(None)
+    # the plan reached the simulation and the cell keyed separately
+    assert faulted.faults is not None
+    assert cache.stats.stores == 2
+
+    again = run_request(request, cache=cache)
+    assert again.faults is None  # default cleared; healthy key hits
+    assert again.to_dict() == healthy.to_dict()
+
+
+def test_timeout_and_retry_knobs_round_trip(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_TIMEOUT", "12.5")
+    monkeypatch.setenv("REPRO_BENCH_RETRIES", "3")
+    parallel.set_default_timeout(None)  # explicit None beats the env
+    assert parallel.default_timeout() is None
+    parallel.set_default_timeout(2.0)
+    assert parallel.default_timeout() == 2.0
+    parallel.set_default_retries(None)  # back to the environment
+    assert parallel.default_retries() == 3
+    parallel.set_default_retries(0)
+    assert parallel.default_retries() == 0
+    parallel.set_default_retries(None)
+    monkeypatch.delenv("REPRO_BENCH_RETRIES")
+    assert parallel.default_retries() == 1  # shipped default
+    # restore the unset-env default for the rest of the suite
+    parallel._DEFAULT_TIMEOUT_SET = False
+    parallel._DEFAULT_TIMEOUT = None
+
+
+# -- regression-gate exclusions --------------------------------------------
+
+def test_excluded_from_baseline_reasons():
+    assert excluded_from_baseline({"status": "aborted"}) == "aborted"
+    assert excluded_from_baseline({"faults": {"seed": 1}}) == "fault-injected"
+    assert excluded_from_baseline({"status": "ok"}) is None
+    assert excluded_from_baseline({"faults": None}) is None
