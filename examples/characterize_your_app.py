@@ -14,10 +14,10 @@ from repro.core import (
     AffinityScheme,
     JobRunner,
     analyze,
-    compare_schemes,
     resolve_scheme,
 )
 from repro.machine import longs
+from repro.service import default_session
 from repro.workloads import SyntheticWorkload
 
 # A coupled solver: a bandwidth-hungry stencil sweep, an irregular
@@ -44,7 +44,7 @@ def main() -> None:
     print(f"characterizing {APP_SPEC['name']!r} "
           f"({APP_SPEC['ntasks']} tasks on {system.name})\n")
 
-    comparison = compare_schemes(
+    comparison = default_session().compare_schemes(
         system, lambda: SyntheticWorkload.from_spec(APP_SPEC))
     print(f"{'scheme':26s} | seconds")
     for scheme, seconds in sorted(comparison.times.items(),

@@ -8,14 +8,15 @@ Table 2), and identifies the best scheme per row.
 Run:  python examples/placement_study.py
 """
 
-from repro.core import best_scheme, scheme_sweep
+from repro.core import best_scheme
 from repro.machine import longs
+from repro.service import default_session
 from repro.workloads import NasFT
 
 
 def main() -> None:
     system = longs()
-    table = scheme_sweep(
+    table = default_session().scheme_sweep(
         system,
         workload_factory=lambda n: NasFT(n),
         task_counts=(2, 4, 8, 16),

@@ -6,7 +6,9 @@ reports; the ``repro-bench`` CLI (:mod:`repro.bench.cli`) prints them.
 """
 
 from . import ablations, extensions, figures, paper_data, tables
-from .common import RUNTIME_CONFIGS, bound_spread_affinity, clear_cache, run
+from .common import (RUNTIME_CONFIGS, bound_spread_affinity, clear_cache,
+                     memo, run)
 
 __all__ = ["figures", "tables", "ablations", "extensions", "paper_data",
-           "RUNTIME_CONFIGS", "bound_spread_affinity", "run", "clear_cache"]
+           "RUNTIME_CONFIGS", "bound_spread_affinity", "memo", "run",
+           "clear_cache"]

@@ -121,6 +121,83 @@ def scenario_killed_worker() -> Tuple[bool, List[str]]:
     return ok, notes
 
 
+def scenario_killed_service_worker() -> Tuple[bool, List[str]]:
+    """A worker dying under the service loses no accepted job.
+
+    Submits a batch to a live :class:`~repro.service.Session` —
+    including a kamikaze cell and a coalesced twin — then kills the
+    worker mid-batch and asserts the service's promise: every accepted
+    future resolves (the crashed cell as a structured ``failed``
+    result, never silence), surviving cells keep bit-identical
+    payloads, and drain completes cleanly.
+    """
+    from ..core import parallel
+    from ..machine import tiger
+    from ..service.api import RunRequest
+    from ..service.session import Session
+
+    notes: List[str] = []
+    ok = True
+    spec = tiger()
+    quick = [_QuickWorkload(salt=i) for i in range(3)]
+    with tempfile.TemporaryDirectory() as tmp:
+        serial_cache = ResultCache(directory=os.path.join(tmp, "serial"))
+        serial = parallel.run_requests(_requests(quick), jobs=1,
+                                       cache=serial_cache)
+
+        # the session gets its own cold cache so the quick cells truly
+        # queue (a shared one would answer them at admission)
+        with Session(cache=ResultCache(directory=os.path.join(tmp, "svc")),
+                     jobs=2,
+                     retries=1, name="chaos", paused=True) as session:
+            futures = [session.submit(RunRequest(system=spec, workload=w))
+                       for w in quick + [KamikazeWorkload()]]
+            # a coalesced twin must survive the crash recovery too
+            futures.append(session.submit(
+                RunRequest(system=spec, workload=quick[0])))
+            accepted = session.stats.accepted
+            session.resume()
+            if not session.drain(timeout=120.0):
+                ok = False
+                notes.append("drain timed out with jobs outstanding")
+            results = []
+            for i, future in enumerate(futures):
+                if not future.done():
+                    ok = False
+                    notes.append(f"accepted job {i} never resolved")
+                    results.append(None)
+                else:
+                    results.append(future.result())
+        parallel.shutdown_pool()
+
+    if any(r is None for r in results):
+        return False, notes
+    for i, (before, after) in enumerate(zip(serial, results[:3])):
+        if not results[i].ok or before is None \
+                or before.to_dict() != after.job.to_dict():
+            ok = False
+            notes.append(f"surviving cell {i} lost or changed its result")
+    if results[3].status != "failed" or results[3].kind != "crash":
+        ok = False
+        notes.append(f"crashed cell resolved as "
+                     f"{results[3].status}/{results[3].kind}, "
+                     f"expected failed/crash")
+    else:
+        notes.append(f"crash surfaced to its waiter: {results[3].error}")
+    if not results[4].ok \
+            or results[4].job.to_dict() != results[0].job.to_dict():
+        ok = False
+        notes.append("the coalesced twin diverged from its sibling")
+    if accepted != 4:
+        ok = False
+        notes.append(f"expected 4 accepted jobs (1 coalesced), "
+                     f"got {accepted}")
+    if ok:
+        notes.append(f"all {accepted} accepted jobs resolved through the "
+                     f"crash; drain clean")
+    return ok, notes
+
+
 def scenario_hung_worker() -> Tuple[bool, List[str]]:
     """A wedged worker trips the stall watchdog; the batch completes."""
     from ..core import parallel
@@ -316,6 +393,7 @@ def scenario_sim_faults() -> Tuple[bool, List[str]]:
 
 SCENARIOS: Dict[str, Callable[[], Tuple[bool, List[str]]]] = {
     "killed-worker": scenario_killed_worker,
+    "killed-service-worker": scenario_killed_service_worker,
     "hung-worker": scenario_hung_worker,
     "corrupted-cache": scenario_corrupted_cache,
     "torn-ledger": scenario_torn_ledger,

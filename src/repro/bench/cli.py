@@ -13,6 +13,8 @@ Usage::
     repro-bench doctor --fix         # scan/repair cache + ledger stores
     repro-bench chaos                # self-test crash/corruption recovery
     repro-bench all --faults p.json  # degrade the modeled machine per plan
+    repro-bench serve                # characterization service daemon
+    repro-bench submit --workload stream   # submit a cell to the daemon
 
 Tables and CSVs always go to stdout byte-identically regardless of
 ``--jobs``/caching/telemetry; diagnostics (``--timings``,
@@ -126,14 +128,19 @@ def _fidelity_scores(results: Dict) -> Dict:
 
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
-    if argv and argv[0] in ("history", "regress", "doctor", "chaos"):
-        # maintenance subcommands own their argument parsing
+    if argv and argv[0] in ("history", "regress", "doctor", "chaos",
+                            "serve", "submit"):
+        # maintenance/service subcommands own their argument parsing
         if argv[0] == "history":
             from ..telemetry.history import main as sub_main
         elif argv[0] == "regress":
             from ..telemetry.regress import main as sub_main
         elif argv[0] == "doctor":
             from ..telemetry.doctor import main as sub_main
+        elif argv[0] == "serve":
+            from ..service.daemon import main as sub_main
+        elif argv[0] == "submit":
+            from ..service.daemon import submit_main as sub_main
         else:
             from .chaos import main as sub_main
         return sub_main(argv[1:])
@@ -146,7 +153,9 @@ def main(argv=None) -> int:
                "trends, 'repro-bench regress' gates the latest recorded "
                "run against its rolling baseline, 'repro-bench doctor' "
                "scans/repairs the cache and ledger stores, 'repro-bench "
-               "chaos' self-tests crash and corruption recovery.",
+               "chaos' self-tests crash and corruption recovery, "
+               "'repro-bench serve' runs the characterization service "
+               "daemon and 'repro-bench submit' sends cells to it.",
     )
     parser.add_argument("targets", nargs="*",
                         help="targets like tab02, fig08, or 'all' / 'list'")

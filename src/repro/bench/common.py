@@ -7,18 +7,27 @@ default curves' high latencies to "the high cost of the Linux
 implementation of the SystemV semaphore"), so the six Figure 8
 configurations resolve as below.
 
-Run results are memoized at two levels: a per-process dictionary under
-ad-hoc keys (several tables are different projections of the same sweep
-— Tables 13/14 share POP runs, Tables 7/9 share JAC runs — and
+Run results are memoized at two levels: a session-scoped memo table
+under ad-hoc keys (several tables are different projections of the same
+sweep — Tables 13/14 share POP runs, Tables 7/9 share JAC runs — and
 pytest-benchmark repeats calls), and the content-addressed
 :mod:`result cache <repro.core.cache>` inside :func:`run` itself, which
 also persists results to disk so bench reruns skip recomputation
 entirely.
+
+Both levels are owned by the process-wide
+:class:`repro.service.Session` — :func:`run` routes through
+``default_session().run(...)`` and :func:`memo` through
+``Session.memo``, so bench traffic shares one cache, one coalescing
+map, and one set of service counters with served traffic.  The old
+module-global spellings :func:`run_cached`/:func:`clear_cache` remain
+as deprecated shims over the default session.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import warnings
+from typing import Callable, List, Optional, Tuple
 
 from ..core import (
     AffinityScheme,
@@ -27,8 +36,8 @@ from ..core import (
     Workload,
     resolve_scheme,
 )
-from ..core.parallel import JobRequest, run_request
-from ..machine import MachineSpec, by_name
+from ..errors import ReproDeprecationWarning
+from ..machine import MachineSpec
 from ..mpi import MpiImplementation
 from ..numa import LocalAlloc
 from ..osmodel import spread
@@ -37,6 +46,7 @@ __all__ = [
     "RUNTIME_CONFIGS",
     "RuntimeConfig",
     "bound_spread_affinity",
+    "memo",
     "run",
     "run_cached",
     "clear_cache",
@@ -79,30 +89,47 @@ def run(spec: MachineSpec, workload: Workload,
         lock: Optional[str] = None,
         affinity: Optional[ResolvedAffinity] = None,
         parked: int = 0) -> JobResult:
-    """Run one configuration through the content-addressed result cache."""
-    return run_request(JobRequest(spec=spec, workload=workload, scheme=scheme,
-                                  affinity=affinity, impl=impl, lock=lock,
-                                  parked=parked))
+    """Run one configuration through the process-wide service session.
+
+    Served from the content-addressed result cache when an identical
+    cell already ran, coalesced when the service is simulating one.
+    """
+    from ..service.api import RunRequest
+    from ..service.session import default_session
+
+    request = RunRequest(system=spec, workload=workload, scheme=scheme,
+                         affinity=affinity, impl=impl, lock=lock,
+                         parked=parked)
+    return default_session().run(request).require()
 
 
-_CACHE: Dict[Tuple, JobResult] = {}
+def memo(key: Tuple, factory: Callable[[], JobResult]) -> JobResult:
+    """Memoize a run under an explicit hashable key (session-scoped)."""
+    from ..service.session import default_session
+
+    return default_session().memo(key, factory)
 
 
 def run_cached(key: Tuple, factory: Callable[[], JobResult]) -> JobResult:
-    """Memoize a run under an explicit hashable key."""
-    if key not in _CACHE:
-        _CACHE[key] = factory()
-    return _CACHE[key]
+    """Deprecated shim for :meth:`repro.service.Session.memo`."""
+    warnings.warn(
+        "repro.bench.common.run_cached() is deprecated; use "
+        "repro.service.Session.memo() (see docs/API.md)",
+        ReproDeprecationWarning, stacklevel=2)
+    return memo(key, factory)
 
 
 def clear_cache() -> None:
-    """Drop all in-process memoized results (tests use this for isolation).
+    """Deprecated shim for :meth:`repro.service.Session.clear`.
 
-    Clears both the ad-hoc memo above and the memory tier of the
+    Drops the default session's memo table and the memory tier of its
     content-addressed cache; on-disk entries are untouched (they are
     keyed by content and remain valid).
     """
-    from ..core.cache import default_cache
+    warnings.warn(
+        "repro.bench.common.clear_cache() is deprecated; use "
+        "repro.service.Session.clear() (see docs/API.md)",
+        ReproDeprecationWarning, stacklevel=2)
+    from ..service.session import default_session
 
-    _CACHE.clear()
-    default_cache().clear_memory()
+    default_session().clear()

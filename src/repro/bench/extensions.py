@@ -19,7 +19,7 @@ from ..core import (
 from ..machine import longs
 from ..workloads import NasCG, NasEP, NasFT, NasMG
 from ..workloads.hybrid import HybridNasCG, hybrid_affinity
-from .common import run, run_cached
+from .common import memo, run
 
 __all__ = ["ext_npb_spectrum", "ext_hybrid_scaling"]
 
@@ -46,7 +46,7 @@ def ext_npb_spectrum() -> TableResult:
         row: List = [name]
         for scheme in ALL_SCHEMES:
             try:
-                result = run_cached(("ext-npb", name, scheme.value),
+                result = memo(("ext-npb", name, scheme.value),
                                     lambda: run(spec, factory(), scheme))
                 row.append(result.wall_time)
             except InfeasibleSchemeError:
@@ -72,9 +72,9 @@ def ext_hybrid_scaling() -> TableResult:
     spec = longs()
     for sockets in (2, 4, 8):
         cores = 2 * sockets
-        pure = run_cached(("ext-hyb-pure", sockets), lambda: run(
+        pure = memo(("ext-hyb-pure", sockets), lambda: run(
             spec, NasCG(cores), AffinityScheme.TWO_MPI_LOCAL))
-        hybrid = run_cached(("ext-hyb-omp", sockets), lambda: JobRunner(
+        hybrid = memo(("ext-hyb-omp", sockets), lambda: JobRunner(
             spec, hybrid_affinity(spec, sockets, 2)).run(
                 HybridNasCG(sockets, 2)))
         table.add_row(sockets, cores, pure.wall_time, hybrid.wall_time,

@@ -43,7 +43,7 @@ from ..workloads import (
     triad_bytes_moved,
 )
 from ..core.parallel import JobRequest
-from .common import RUNTIME_CONFIGS, bound_spread_affinity, run, run_cached
+from .common import RUNTIME_CONFIGS, bound_spread_affinity, memo, run
 
 __all__ = [
     "figure02", "figure03", "figure04", "figure05", "figure06", "figure07",
@@ -69,7 +69,7 @@ def _stream_scaling(spec: MachineSpec) -> List[Tuple[int, float]]:
     for ncores in range(1, spec.total_cores + 1):
         workload = StreamTriad(ncores)
         key = ("stream", spec.name, ncores)
-        result = run_cached(key, lambda: run(
+        result = memo(key, lambda: run(
             spec, workload, affinity=bound_spread_affinity(spec, ncores)))
         per_task = triad_bytes_moved(workload) / ncores
         bandwidth = sum(
@@ -122,7 +122,7 @@ def _blas_figure(title: str, workload_cls, sizes: List[int],
         for n in sizes:
             workload = workload_cls(ntasks, n, vendor=vendor)
             key = ("blas", workload.name)
-            result = run_cached(key, lambda: run(
+            result = memo(key, lambda: run(
                 spec, workload, affinity=bound_spread_affinity(spec, ntasks)))
             phase = "daxpy" if workload_cls is DaxpyBench else "dgemm"
             rate = workload.flops_per_task * ntasks / result.phase_time(phase)
@@ -160,7 +160,7 @@ def figure07() -> SeriesResult:
 def _hpcc_run(label: str, spec: MachineSpec, workload, scheme: AffinityScheme,
               lock: str) -> JobResult:
     key = ("hpcc", spec.name, workload.name, label)
-    return run_cached(key, lambda: run(spec, workload, scheme,
+    return memo(key, lambda: run(spec, workload, scheme,
                                        impl=LAM, lock=lock))
 
 
@@ -313,7 +313,7 @@ def _imb_impl_results(workload_cls) -> Dict[str, Dict[int, JobResult]]:
                         if workload_cls is ImbPingPong
                         else workload_cls(2, nbytes))
             key = ("imb", workload.name, impl.name)
-            out[impl.name][nbytes] = run_cached(
+            out[impl.name][nbytes] = memo(
                 key, lambda: run(spec, workload, AffinityScheme.DEFAULT,
                                  impl=impl))
     return out
@@ -408,7 +408,7 @@ def _affinity_figure(workload_factory, phase: str, title: str,
         for nbytes in IMB_SWEEP:
             workload = workload_factory(nbytes, 2)
             key = ("imb-affinity", workload.name, label, phase)
-            result = run_cached(key, lambda: run(spec, workload,
+            result = memo(key, lambda: run(spec, workload,
                                                  impl=OPENMPI, **kwargs))
             if phase == "pingpong":
                 t = pingpong_oneway_time(result.phase_time(phase), 20)
@@ -447,7 +447,7 @@ def figure17() -> SeriesResult:
     for nbytes in IMB_SWEEP:
         workload = ImbExchange(4, nbytes)
         key = ("imb-affinity", workload.name, "4 procs", "exchange")
-        result = run_cached(key, lambda: run(spec, workload,
+        result = memo(key, lambda: run(spec, workload,
                                              AffinityScheme.DEFAULT,
                                              impl=OPENMPI))
         fig.add_point("4 procs", nbytes,

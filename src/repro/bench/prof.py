@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from ..core import AffinityScheme, JobResult, TableResult
 from ..core import cache as result_cache
@@ -47,38 +47,11 @@ from ..perfctr import (
     link_utilization,
     remote_access_ratio,
 )
-from ..workloads.blas_scaling import DgemmBench
+from ..service.registry import SCHEME_ALIASES, WORKLOADS
 from ..workloads.lmbench import StreamTriad, triad_bytes_moved
-from ..workloads.nas import NasCG, NasFT
-from ..apps.md.amber import AmberSander
-from ..apps.md.lammps import LammpsBench
-from ..apps.pop import Pop
 from .common import bound_spread_affinity
 
 __all__ = ["main", "WORKLOADS", "SCHEME_ALIASES", "prof_payload"]
-
-#: name -> factory(ntasks); the paper's workload spectrum
-WORKLOADS: Dict[str, Callable[[int], object]] = {
-    "stream": StreamTriad,
-    "dgemm": lambda n: DgemmBench(n, 1000, vendor=True),
-    "cg": NasCG,
-    "ft": NasFT,
-    "jac": lambda n: AmberSander("jac", n),
-    "lj": lambda n: LammpsBench("lj", n),
-    "chain": lambda n: LammpsBench("chain", n),
-    "pop": Pop,
-}
-
-#: CLI spellings of the Table 5 schemes (plus numactl-style aliases)
-SCHEME_ALIASES: Dict[str, AffinityScheme] = {
-    "default": AffinityScheme.DEFAULT,
-    "one-local": AffinityScheme.ONE_MPI_LOCAL,
-    "one-membind": AffinityScheme.ONE_MPI_MEMBIND,
-    "two-local": AffinityScheme.TWO_MPI_LOCAL,
-    "two-membind": AffinityScheme.TWO_MPI_MEMBIND,
-    "interleave": AffinityScheme.INTERLEAVE,
-    "localalloc": AffinityScheme.TWO_MPI_LOCAL,
-}
 
 #: compact counter columns for the per-core table, in display order
 _CORE_COLUMNS = [

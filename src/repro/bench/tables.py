@@ -24,7 +24,7 @@ from ..core import (
 )
 from ..machine import SYSTEM_TABLE, MachineSpec, all_systems, dmz, longs, tiger
 from ..workloads import NasCG, NasFT
-from .common import run, run_cached
+from .common import memo, run
 
 __all__ = [
     "table01", "table02", "table03", "table04", "table05", "table06",
@@ -118,7 +118,7 @@ def _sweep_cell(spec: MachineSpec, workload_key: str,
     """
     key = ("sweep", spec.name, workload_key, scheme.value)
     try:
-        return run_cached(key, lambda: run(spec, factory(), scheme))
+        return memo(key, lambda: run(spec, factory(), scheme))
     except InfeasibleSchemeError:
         return None
 
@@ -174,7 +174,7 @@ def table04() -> TableResult:
                                  ("FT", lambda n: NasFT(n))):
         for spec in all_systems():
             base_key = ("speedup-base", spec.name, kernel_name)
-            t1 = run_cached(base_key, lambda: run(spec, factory(1))).wall_time
+            t1 = memo(base_key, lambda: run(spec, factory(1))).wall_time
             row: List = [kernel_name, spec.name]
             for n in (2, 4, 8, 16):
                 if n > spec.total_cores:
@@ -232,7 +232,7 @@ def table08() -> TableResult:
         bases = {}
         for name in names:
             key = ("amber-base", spec.name, name)
-            bases[name] = run_cached(
+            bases[name] = memo(
                 key, lambda: run(spec, AmberSander(name, 1))).wall_time
         for n in counts:
             row: List = [n, spec.name]
@@ -258,7 +258,7 @@ def table10() -> TableResult:
         bases = {}
         for pot in ("lj", "chain", "eam"):
             key = ("lammps-base", spec.name, pot)
-            bases[pot] = run_cached(
+            bases[pot] = memo(
                 key, lambda: run(spec, LammpsBench(pot, 1))).wall_time
         for n in counts:
             row: List = [n, spec.name]
@@ -300,7 +300,7 @@ def table12() -> TableResult:
     for spec, counts in ((dmz(), (2, 4)), (tiger(), (2,)),
                          (longs(), (2, 4, 8, 16))):
         key = ("pop-base", spec.name)
-        base = run_cached(key, lambda: run(spec, Pop(1)))
+        base = memo(key, lambda: run(spec, Pop(1)))
         for n in counts:
             result = _sweep_cell(spec, f"pop-{n}", lambda m=n: Pop(m),
                                  AffinityScheme.DEFAULT)

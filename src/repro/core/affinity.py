@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import InfeasibleSchemeError
 from ..machine.topology import MachineSpec
 from ..numa import (
     FirstTouch,
@@ -48,18 +49,6 @@ __all__ = [
     "SCHEME_TABLE",
     "membind_node_set",
 ]
-
-
-class InfeasibleSchemeError(ValueError):
-    """A scheme/machine/task-count combination that cannot be placed.
-
-    These are the dashes in the paper's tables (e.g. a One-MPI scheme
-    with more tasks than sockets), not programming errors.  Sweeps catch
-    exactly this class, so genuine bugs — which raise plain
-    :class:`ValueError` or anything else — surface instead of rendering
-    as dashes.  Subclasses :class:`ValueError` for backward
-    compatibility with callers of :func:`resolve_scheme`.
-    """
 
 
 class AffinityScheme(str, Enum):

@@ -1,24 +1,28 @@
 """Experiments and sweeps: the paper's measurement methodology as a library.
 
-* :class:`Experiment` — one (system, workload, scheme, MPI config) cell.
-* :func:`scheme_sweep` — a full paper-style numactl table: task counts ×
-  the six Table 5 schemes, dashes for infeasible combinations.
-* :func:`scaling_study` — parallel-efficiency rows (Table 4 style)
-  against the single-task baseline.
+* :class:`Experiment` — one (system, workload, scheme, MPI config) cell,
+  now a thin typed wrapper over :class:`repro.service.RunRequest` that
+  executes through the process-wide :class:`repro.service.Session`.
+* :func:`scheme_sweep` / :func:`compare_schemes` / :func:`scaling_study`
+  — **deprecated** free-function shims.  The implementations moved to
+  the session facade (:meth:`Session.scheme_sweep` and friends) so
+  sweeps share the service's cache, coalescing, and telemetry; these
+  wrappers delegate to :func:`repro.service.default_session` and emit
+  :class:`~repro.errors.ReproDeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
+from ..errors import ReproDeprecationWarning
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
-from ..telemetry.spans import span
-from .affinity import AffinityScheme, InfeasibleSchemeError, resolve_scheme
+from .affinity import AffinityScheme, resolve_scheme
 from .execution import JobResult, JobRunner
-from .metrics import parallel_efficiency
-from .parallel import JobRequest, run_request, run_requests
+from .parallel import JobRequest
 from .report import TableResult
 from .workload import Workload
 
@@ -36,6 +40,20 @@ ALL_SCHEMES: List[AffinityScheme] = [
 ]
 
 
+def _session():
+    # lazy: repro.core must import without dragging the service package
+    # in at module time (the service imports core submodules back)
+    from ..service.session import default_session
+
+    return default_session()
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see docs/API.md)",
+        ReproDeprecationWarning, stacklevel=3)
+
+
 @dataclass
 class Experiment:
     """One measurement cell; ``run()`` is deterministic and repeatable."""
@@ -47,6 +65,14 @@ class Experiment:
     lock: Optional[str] = None
     parked: int = 0
 
+    def to_request(self) -> "RunRequest":
+        """This cell as a typed service :class:`RunRequest`."""
+        from ..service.api import RunRequest
+
+        return RunRequest(system=self.system, workload=self.workload,
+                          scheme=self.scheme, impl=self.impl,
+                          lock=self.lock, parked=self.parked)
+
     def request(self) -> JobRequest:
         """This cell as a value for the cache / parallel executor."""
         return JobRequest(spec=self.system, workload=self.workload,
@@ -56,12 +82,14 @@ class Experiment:
     def run(self) -> JobResult:
         """Resolve the scheme and simulate the workload.
 
-        Served from the content-addressed result cache when an identical
-        cell has already run (determinism makes the two
-        indistinguishable); raises :class:`InfeasibleSchemeError` when
-        the scheme cannot be placed.
+        Routed through the process-wide service session: served from
+        the content-addressed result cache when an identical cell has
+        already run, coalesced onto an in-flight twin when the async
+        plane is simulating one.  Raises
+        :class:`~repro.errors.InfeasibleSchemeError` when the scheme
+        cannot be placed.
         """
-        return run_request(self.request())
+        return _session().run(self.to_request()).require()
 
     def run_uncached(self) -> JobResult:
         """Simulate the workload, bypassing the result cache."""
@@ -83,40 +111,22 @@ def scheme_sweep(
     title: str = "",
     jobs: Optional[int] = None,
 ) -> TableResult:
-    """A paper-style numactl table for one workload on one system.
+    """Deprecated shim for :meth:`repro.service.Session.scheme_sweep`.
 
-    Rows are task counts, columns the affinity schemes; infeasible
-    combinations (e.g. One-MPI schemes beyond the socket count) render
-    as dashes, exactly like the paper's tables.  The cells are
-    independent, so they fan out over ``jobs`` worker processes (see
-    :mod:`repro.core.parallel`); results are identical to a serial run.
+    A paper-style numactl table for one workload on one system: rows
+    are task counts, columns the affinity schemes, dashes the
+    infeasible combinations.
     """
-    table = TableResult(
-        title=title or f"{system.name}: numactl scheme sweep",
-        headers=["MPI tasks"] + [str(s) for s in schemes],
-    )
-    requests = []
-    for ntasks in task_counts:
-        workload = workload_factory(ntasks)
-        for scheme in schemes:
-            requests.append(Experiment(system, workload, scheme, impl=impl,
-                                       lock=lock).request())
-    with span("sweep", kind="scheme_sweep", table=table.title,
-              cells=len(requests)):
-        results = run_requests(requests, jobs=jobs)
-    cells = iter(results)
-    for ntasks in task_counts:
-        row: List = [ntasks]
-        for _scheme in schemes:
-            result = next(cells)
-            row.append(None if result is None else value(result))
-        table.add_row(*row)
-    return table
+    _deprecated("repro.core.scheme_sweep()",
+                "repro.service.Session.scheme_sweep()")
+    return _session().scheme_sweep(
+        system, workload_factory, task_counts, schemes=schemes, impl=impl,
+        lock=lock, value=value, title=title, jobs=jobs)
 
 
 @dataclass
 class SchemeComparison:
-    """Outcome of :func:`compare_schemes` for one workload."""
+    """Outcome of :meth:`Session.compare_schemes` for one workload."""
 
     times: Dict[str, float]
     best: str
@@ -147,29 +157,17 @@ def compare_schemes(
     value: Callable[[JobResult], float] = lambda r: r.wall_time,
     jobs: Optional[int] = None,
 ) -> SchemeComparison:
-    """Run one workload under every feasible scheme and rank them.
+    """Deprecated shim for :meth:`repro.service.Session.compare_schemes`.
 
-    The programmatic form of the paper's headline question: *which
-    placement should this job use, and what is it worth?*  Infeasible
-    schemes (the tables' dashes) are skipped; the Default scheme must be
-    feasible (it always is).  Feasible cells fan out over ``jobs``
-    worker processes.
+    Run one workload under every feasible scheme and rank them; raises
+    :class:`~repro.errors.NoFeasibleSchemeError` (a ``ValueError``)
+    when every scheme is infeasible.
     """
-    workload = workload_factory()
-    requests = [Experiment(system, workload, scheme, impl=impl,
-                           lock=lock).request() for scheme in schemes]
-    with span("sweep", kind="compare_schemes", workload=workload.name,
-              cells=len(requests)):
-        results = run_requests(requests, jobs=jobs)
-    times: Dict[str, float] = {
-        str(scheme): value(result)
-        for scheme, result in zip(schemes, results)
-        if result is not None
-    }
-    if not times:
-        raise ValueError("no feasible scheme for this workload")
-    ordered = sorted(times, key=lambda k: times[k])
-    return SchemeComparison(times=times, best=ordered[0], worst=ordered[-1])
+    _deprecated("repro.core.compare_schemes()",
+                "repro.service.Session.compare_schemes()")
+    return _session().compare_schemes(
+        system, workload_factory, schemes=schemes, impl=impl, lock=lock,
+        value=value, jobs=jobs)
 
 
 def scaling_study(
@@ -183,48 +181,14 @@ def scaling_study(
     metric: str = "efficiency",
     jobs: Optional[int] = None,
 ) -> TableResult:
-    """Parallel-efficiency (or speedup) rows per system (Table 4 style).
+    """Deprecated shim for :meth:`repro.service.Session.scaling_study`.
 
-    The baseline is the single-task run of the same workload under the
-    Default scheme.  ``metric`` selects ``"efficiency"`` (t1/(n*tn)) or
-    ``"speedup"`` (t1/tn).  Task counts beyond a system's core count
-    render as dashes.  Baselines and scaling cells alike fan out over
-    ``jobs`` worker processes; the per-system baselines are shared with
-    any other sweep of the same configuration through the result cache.
+    Parallel-efficiency (or speedup) rows per system (Table 4 style);
+    raises :class:`~repro.errors.UnknownMetricError` (a ``ValueError``)
+    for metrics other than ``"efficiency"``/``"speedup"``.
     """
-    if metric not in ("efficiency", "speedup"):
-        raise ValueError(f"unknown metric {metric!r}")
-    table = TableResult(
-        title=title or f"multi-core {metric}",
-        headers=["System"] + [f"{n} cores" for n in task_counts],
-    )
-    requests = []
-    cells: List[Tuple] = []  # (system, n or None for the baseline)
-    for system in systems:
-        requests.append(Experiment(system, workload_factory(1),
-                                   AffinityScheme.DEFAULT,
-                                   impl=impl).request())
-        cells.append((system, None))
-        for n in task_counts:
-            if n > system.total_cores:
-                continue
-            requests.append(Experiment(system, workload_factory(n), scheme,
-                                       impl=impl).request())
-            cells.append((system, n))
-    with span("sweep", kind="scaling_study", table=table.title,
-              cells=len(requests)):
-        results = dict(zip(cells, run_requests(requests, jobs=jobs)))
-    for system in systems:
-        t1 = value(results[(system, None)])
-        row: List = [system.name]
-        for n in task_counts:
-            if n > system.total_cores:
-                row.append(None)
-                continue
-            tn = value(results[(system, n)])
-            if metric == "efficiency":
-                row.append(parallel_efficiency(t1, tn, n))
-            else:
-                row.append(t1 / tn)
-        table.add_row(*row)
-    return table
+    _deprecated("repro.core.scaling_study()",
+                "repro.service.Session.scaling_study()")
+    return _session().scaling_study(
+        systems, workload_factory, task_counts, scheme=scheme, impl=impl,
+        value=value, title=title, metric=metric, jobs=jobs)

@@ -1,0 +1,326 @@
+"""``repro-bench serve`` / ``submit``: the service over a Unix socket.
+
+The daemon wraps one :class:`~.session.Session` in a threaded
+``AF_UNIX`` accept loop speaking the NDJSON protocol of
+:mod:`~.protocol`.  Each connection gets a handler thread, so a slow
+sweep on one connection never blocks a ``stats`` probe on another;
+coalescing happens inside the shared session, which is exactly what
+makes concurrent identical submits from different clients collapse
+into one simulation.
+
+Shutdown is **graceful by construction**: a ``shutdown`` op (or
+SIGTERM/SIGINT) drains the session — every accepted job completes and
+answers its client — before the socket closes.  With ``--ledger`` the
+daemon appends a ``tool="serve"`` run record carrying the service
+counters and gauges, so ``repro-bench history``/``regress`` cover
+served traffic alongside batch runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import os
+import signal
+import socket
+import socketserver
+import sys
+import threading
+from typing import Any, Dict, List, Optional
+
+from ..errors import ReproError
+from .protocol import decode_line, encode_line, handle_request
+from .session import Session
+
+__all__ = ["ServiceServer", "main", "request_over_socket", "submit_main"]
+
+_LOG = logging.getLogger("repro.service.daemon")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "ServiceServer" = self.server  # type: ignore[assignment]
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            if not line.strip():
+                continue
+            try:
+                message = decode_line(line)
+            except ReproError as exc:
+                self.wfile.write(encode_line(exc.to_wire()))
+                continue
+            response = handle_request(server.session, message)
+            try:
+                self.wfile.write(encode_line(response))
+                self.wfile.flush()
+            except (BrokenPipeError, OSError):
+                return
+            if response.get("op") == "shutdown" \
+                    and response.get("status") == "ok":
+                server.initiate_shutdown()
+                return
+
+
+class ServiceServer(socketserver.ThreadingMixIn,
+                    socketserver.UnixStreamServer):
+    """Threaded Unix-socket server around one shared session."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, socket_path: str, session: Session):
+        self.session = session
+        self.socket_path = socket_path
+        self._shutdown_started = threading.Event()
+        if os.path.exists(socket_path):
+            os.unlink(socket_path)  # a previous daemon's stale socket
+        super().__init__(socket_path, _Handler)
+
+    def initiate_shutdown(self) -> None:
+        """Stop the accept loop from any thread (idempotent)."""
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        # shutdown() blocks until serve_forever exits, so hop threads
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        self.server_close()
+        try:
+            os.unlink(self.socket_path)
+        except OSError:
+            pass
+
+
+def request_over_socket(socket_path: str, message: Dict[str, Any],
+                        timeout: float = 600.0) -> Dict[str, Any]:
+    """Client side: send one request line, read one response line."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(socket_path)
+        sock.sendall(encode_line(message))
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+    if not buffer.strip():
+        raise ConnectionError("server closed the connection mid-request")
+    return json.loads(buffer.decode())
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-bench serve``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench serve",
+        description="Run the characterization service: an async batched "
+                    "job server with request coalescing, admission "
+                    "control, and graceful drain, over a Unix socket.",
+    )
+    parser.add_argument("--socket", metavar="PATH",
+                        default=".repro/service.sock",
+                        help="Unix socket path (default: "
+                             ".repro/service.sock)")
+    parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                        help="worker processes for batched cells")
+    parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                        help="admission bound on queued jobs "
+                             "(default: 64)")
+    parser.add_argument("--max-batch", type=int, default=64, metavar="N",
+                        help="max cells dispatched per pool batch")
+    parser.add_argument("--batch-window", type=float, default=0.005,
+                        metavar="S",
+                        help="seconds to accumulate near-simultaneous "
+                             "submits into one batch (default: 0.005)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stall watchdog for served batches")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="retry budget for crashed/stalled cells")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="serve from an isolated result cache "
+                             "directory instead of the process default")
+    parser.add_argument("--ledger", action="store_true",
+                        help="append a serve-run record to the ledger "
+                             "on shutdown")
+    parser.add_argument("--ledger-dir", metavar="DIR", default=None,
+                        help="ledger location (implies --ledger)")
+    parser.add_argument("-v", "--verbose", action="count", default=0)
+    parser.add_argument("-q", "--quiet", action="store_true")
+    args = parser.parse_args(argv)
+
+    from ..telemetry.log import configure_logging
+
+    configure_logging(-1 if args.quiet else args.verbose)
+
+    cache = None
+    if args.cache_dir:
+        from ..core.cache import ResultCache
+
+        cache = ResultCache(directory=args.cache_dir)
+    session = Session(cache=cache, jobs=args.jobs,
+                      max_pending=args.queue_depth,
+                      max_batch=args.max_batch,
+                      batch_window=args.batch_window,
+                      timeout=args.timeout, retries=args.retries,
+                      name="serve")
+
+    recorder = None
+    if args.ledger or args.ledger_dir:
+        from ..telemetry import ledger as run_ledger
+
+        recorder = run_ledger.RunRecorder(tool="serve", argv=argv).start()
+
+    socket_dir = os.path.dirname(args.socket)
+    if socket_dir:
+        os.makedirs(socket_dir, exist_ok=True)
+    server = ServiceServer(args.socket, session)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum,
+                          lambda *_: server.initiate_shutdown())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+    print(f"[repro service listening on {args.socket}]", file=sys.stderr)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        # drain before the socket goes away: accepted jobs all answer
+        session.close(drain=True)
+        server.close()
+        stats = session.stats
+        print(f"[drained: {stats.completed} completed, "
+              f"{stats.coalesced} coalesced, {stats.rejected} rejected, "
+              f"{stats.failed} failed]", file=sys.stderr)
+        if recorder is not None:
+            from ..core import parallel
+            from ..core.cache import default_cache
+            from ..telemetry import ledger as run_ledger
+
+            cache_obj = session.cache if cache is not None \
+                else default_cache()
+            record = recorder.finish(
+                config={"socket": args.socket, "jobs": args.jobs,
+                        "queue_depth": args.queue_depth,
+                        "batch_window": args.batch_window},
+                service=stats.as_dict(),
+                gauges=session.gauges(),
+                cache=cache_obj.stats.as_dict(),
+                pool=parallel.pool_stats().as_dict(),
+            )
+            path = run_ledger.append(record, args.ledger_dir)
+            print(f"[serve run {record['run_id']} recorded to {path}]",
+                  file=sys.stderr)
+        from ..core.parallel import shutdown_pool
+
+        shutdown_pool()
+    return 0
+
+
+def _print_result(wire: Dict[str, Any], as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(wire, sort_keys=True))
+        return
+    status = wire.get("status")
+    if status == "ok" and "result" in wire:
+        result = wire["result"]
+        print(f"{result.get('workload')} on {result.get('system')} "
+              f"[{result.get('scheme')}] x{result.get('ntasks')}: "
+              f"wall {result.get('wall_time'):.6g}s "
+              f"({wire.get('source')}, wait {wire.get('wait_s', 0):.3g}s)")
+    elif status == "ok":
+        print(json.dumps(wire, sort_keys=True))
+    else:
+        hint = f" (retry after {wire['retry_after']:.3g}s)" \
+            if "retry_after" in wire else ""
+        print(f"error [{wire.get('code')}]: {wire.get('message')}{hint}")
+
+
+def submit_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-bench submit`` (the client)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench submit",
+        description="Submit characterization cells to a running "
+                    "'repro-bench serve' daemon over its Unix socket.",
+    )
+    parser.add_argument("--socket", metavar="PATH",
+                        default=".repro/service.sock")
+    parser.add_argument("--system", default="longs",
+                        help="system preset (tiger/dmz/longs)")
+    parser.add_argument("--workload", default=None,
+                        help="registered workload name (e.g. stream, cg)")
+    parser.add_argument("--ntasks", type=int, default=4)
+    parser.add_argument("--scheme", default="default",
+                        help="Table 5 scheme spelling (e.g. interleave)")
+    parser.add_argument("--lock", default=None,
+                        help="LAM locking sub-layer (sysv/usysv)")
+    parser.add_argument("--parked", type=int, default=0)
+    parser.add_argument("--count", type=int, default=1, metavar="N",
+                        help="submit N copies of the cell in one batch "
+                             "(identical copies coalesce server-side)")
+    parser.add_argument("--tag", default=None)
+    parser.add_argument("--stats", action="store_true",
+                        help="fetch service counters/gauges")
+    parser.add_argument("--ping", action="store_true")
+    parser.add_argument("--shutdown", action="store_true",
+                        help="drain the server and stop it")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw response JSON lines")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="client-side response timeout (seconds)")
+    args = parser.parse_args(argv)
+
+    requests: List[Dict[str, Any]] = []
+    if args.ping:
+        requests.append({"op": "ping"})
+    if args.workload:
+        cell = {"system": args.system, "workload": args.workload,
+                "ntasks": args.ntasks, "scheme": args.scheme,
+                "parked": args.parked}
+        if args.lock:
+            cell["lock"] = args.lock
+        if args.tag:
+            cell["tag"] = args.tag
+        if args.count > 1:
+            requests.append({"op": "batch",
+                             "cells": [dict(cell) for _ in
+                                       range(args.count)]})
+        else:
+            requests.append({"op": "submit", "cell": cell})
+    if args.stats:
+        requests.append({"op": "stats"})
+    if args.shutdown:
+        requests.append({"op": "shutdown"})
+    if not requests:
+        parser.error("nothing to do: pass --workload, --stats, --ping "
+                     "and/or --shutdown")
+
+    exit_code = 0
+    for message in requests:
+        try:
+            response = request_over_socket(args.socket, message,
+                                           timeout=args.timeout)
+        except (OSError, ValueError) as exc:
+            print(f"cannot reach service at {args.socket}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if message["op"] == "batch" and response.get("status") == "ok" \
+                and not args.json:
+            for wire in response.get("results", []):
+                _print_result(wire, as_json=False)
+                if wire.get("status") == "error":
+                    exit_code = 1
+        else:
+            _print_result(response, as_json=args.json)
+        if response.get("status") != "ok":
+            exit_code = 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

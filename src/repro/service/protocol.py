@@ -1,0 +1,154 @@
+"""NDJSON wire protocol of the characterization service.
+
+One JSON object per line in both directions over a Unix domain socket.
+
+Requests::
+
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "submit", "cell": {...}}            # one cell, wait for it
+    {"op": "batch",  "cells": [{...}, ...]}    # many cells, wait for all
+    {"op": "drain"}                            # stop admitting, finish all
+    {"op": "shutdown"}                         # drain, then stop the server
+
+A **cell** names its inputs through :mod:`~repro.service.registry`::
+
+    {"system": "longs", "workload": "stream", "ntasks": 4,
+     "scheme": "interleave", "lock": null, "parked": 0, "tag": "t0",
+     "params": {...}}          # extra workload parameters (optional)
+
+Responses are ``{"status": "ok", ...}`` or the wire form of a
+:class:`~repro.errors.ReproError` (``{"status": "error", "code": ...,
+"message": ..., "retry_after": ...}``).  A ``submit`` answers with the
+:meth:`RunResult.to_wire` payload; ``batch`` answers with ``{"status":
+"ok", "results": [...]}`` where each element is a per-cell result or
+error object — queue-full rejections reject *that cell only*, they
+never poison the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import ProtocolError, ReproError, error_code
+from .api import RunRequest, RunResult
+from .registry import resolve_scheme_name, resolve_system, resolve_workload
+from .session import Session
+
+__all__ = ["cell_from_wire", "decode_line", "encode_line", "handle_request"]
+
+#: protocol revision, echoed by ping
+PROTOCOL_VERSION = 1
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    return (json.dumps(message, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode()
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one request line (raises :class:`ProtocolError`)."""
+    try:
+        message = json.loads(line.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+def cell_from_wire(cell: Any) -> RunRequest:
+    """Build a typed :class:`RunRequest` from a wire cell description."""
+    if not isinstance(cell, dict):
+        raise ProtocolError("cell must be a JSON object")
+    try:
+        system = resolve_system(str(cell.get("system", "longs")))
+        workload_name = cell.get("workload")
+        if not isinstance(workload_name, str):
+            raise ProtocolError("cell needs a 'workload' name")
+        ntasks = int(cell.get("ntasks", 4))
+        params = cell.get("params") or {}
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be an object")
+        workload = resolve_workload(workload_name, ntasks, **params)
+        scheme = resolve_scheme_name(str(cell.get("scheme", "default")))
+    except ReproError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed cell: {exc}") from exc
+    lock = cell.get("lock")
+    if lock is not None and not isinstance(lock, str):
+        raise ProtocolError("'lock' must be a string or null")
+    tag = cell.get("tag")
+    return RunRequest(system=system, workload=workload, scheme=scheme,
+                      lock=lock, parked=int(cell.get("parked", 0)),
+                      profile=bool(cell.get("profile", False)),
+                      tag=str(tag) if tag is not None else None)
+
+
+def _error_wire(exc: BaseException) -> Dict[str, Any]:
+    if isinstance(exc, ReproError):
+        return exc.to_wire()
+    return {"status": "error", "code": error_code(exc),
+            "message": f"{type(exc).__name__}: {exc}"}
+
+
+def handle_request(session: Session, message: Dict[str, Any]
+                   ) -> Dict[str, Any]:
+    """Serve one decoded request against a session (server side).
+
+    Returns the response object; never raises for client-caused
+    failures (they fold into error responses).  The ``drain`` and
+    ``shutdown`` ops mark their effect in the response; actually
+    stopping the accept loop is the daemon's job (it watches for
+    ``shutdown`` responses).
+    """
+    op = message.get("op")
+    try:
+        if op == "ping":
+            return {"status": "ok", "op": "ping",
+                    "protocol": PROTOCOL_VERSION,
+                    "session": session.name}
+        if op == "stats":
+            return {"status": "ok", "op": "stats",
+                    "stats": session.stats.as_dict(),
+                    "gauges": session.gauges()}
+        if op == "submit":
+            request = cell_from_wire(message.get("cell"))
+            result = session.submit(request).result()
+            wire = result.to_wire()
+            wire["op"] = "submit"
+            return wire
+        if op == "batch":
+            cells = message.get("cells")
+            if not isinstance(cells, list) or not cells:
+                raise ProtocolError("'cells' must be a non-empty list")
+            futures: List[Any] = []
+            for cell in cells:
+                try:
+                    futures.append(session.submit(cell_from_wire(cell)))
+                except Exception as exc:
+                    futures.append(exc)
+            results = []
+            for entry in futures:
+                if isinstance(entry, BaseException):
+                    results.append(_error_wire(entry))
+                else:
+                    results.append(entry.result().to_wire())
+            return {"status": "ok", "op": "batch", "results": results}
+        if op == "drain":
+            session.drain()
+            return {"status": "ok", "op": "drain",
+                    "stats": session.stats.as_dict()}
+        if op == "shutdown":
+            session.drain()
+            return {"status": "ok", "op": "shutdown",
+                    "stats": session.stats.as_dict(),
+                    "gauges": session.gauges()}
+        raise ProtocolError(f"unknown op {op!r}")
+    except BaseException as exc:  # fold everything into the wire form
+        wire = _error_wire(exc)
+        wire["op"] = op
+        return wire

@@ -1,0 +1,93 @@
+"""Name registries for the service wire protocol (and the prof CLI).
+
+The NDJSON protocol describes cells by *name* — a system from the
+paper's three evaluation machines, a workload from the characterization
+spectrum, a Table 5 scheme — and this module is the one place those
+names resolve.  ``repro-prof`` imports the same tables, so a cell that
+profiles from the command line is spelled identically over the socket.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..apps.md.amber import AmberSander
+from ..apps.md.lammps import LammpsBench
+from ..apps.pop import Pop
+from ..core.affinity import AffinityScheme
+from ..errors import UnknownNameError
+from ..machine import by_name
+from ..machine.topology import MachineSpec
+from ..workloads.blas_scaling import DgemmBench
+from ..workloads.hpcc import HpccStream
+from ..workloads.lmbench import StreamTriad
+from ..workloads.nas import NasCG, NasEP, NasFT, NasMG
+from ..workloads.synthetic import SyntheticWorkload
+
+__all__ = ["WORKLOADS", "SCHEME_ALIASES", "resolve_scheme_name",
+           "resolve_system", "resolve_workload"]
+
+#: name -> factory(ntasks); the paper's workload spectrum
+WORKLOADS: Dict[str, Callable[[int], object]] = {
+    "stream": StreamTriad,
+    "hpcc-stream": lambda n: HpccStream(ntasks=n),
+    "dgemm": lambda n: DgemmBench(n, 1000, vendor=True),
+    "cg": NasCG,
+    "ep": NasEP,
+    "ft": NasFT,
+    "mg": NasMG,
+    "jac": lambda n: AmberSander("jac", n),
+    "lj": lambda n: LammpsBench("lj", n),
+    "chain": lambda n: LammpsBench("chain", n),
+    "pop": Pop,
+}
+
+#: CLI/wire spellings of the Table 5 schemes (plus numactl aliases)
+SCHEME_ALIASES: Dict[str, AffinityScheme] = {
+    "default": AffinityScheme.DEFAULT,
+    "one-local": AffinityScheme.ONE_MPI_LOCAL,
+    "one-membind": AffinityScheme.ONE_MPI_MEMBIND,
+    "two-local": AffinityScheme.TWO_MPI_LOCAL,
+    "two-membind": AffinityScheme.TWO_MPI_MEMBIND,
+    "interleave": AffinityScheme.INTERLEAVE,
+    "localalloc": AffinityScheme.TWO_MPI_LOCAL,
+}
+
+
+def resolve_system(name: str) -> MachineSpec:
+    """A machine spec by paper name (tiger/dmz/longs)."""
+    try:
+        return by_name(name)
+    except (KeyError, ValueError) as exc:
+        raise UnknownNameError(f"unknown system {name!r}") from exc
+
+
+def resolve_workload(name: str, ntasks: int, **params) -> object:
+    """Instantiate a registered workload for ``ntasks`` MPI tasks.
+
+    ``synthetic`` additionally accepts a declarative spec dict (the
+    ``characterize_your_app`` path) via ``spec=``.
+    """
+    if name == "synthetic":
+        spec = params.get("spec")
+        if not isinstance(spec, dict):
+            raise UnknownNameError("workload 'synthetic' needs a "
+                                   "'spec' dict parameter")
+        return SyntheticWorkload.from_spec(spec)
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise UnknownNameError(
+            f"unknown workload {name!r}; choose from "
+            f"{', '.join(sorted(WORKLOADS))} or 'synthetic'") from None
+    return factory(ntasks)
+
+
+def resolve_scheme_name(name: str) -> AffinityScheme:
+    """An affinity scheme from its CLI/wire spelling."""
+    try:
+        return SCHEME_ALIASES[name.lower()]
+    except KeyError:
+        raise UnknownNameError(
+            f"unknown scheme {name!r}; choose from "
+            f"{', '.join(sorted(SCHEME_ALIASES))}") from None

@@ -1,0 +1,675 @@
+"""The :class:`Session` facade: characterization as a long-running service.
+
+A session owns everything the old free functions kept in module
+globals — the result cache, the ad-hoc memo table the bench generators
+use, and the executor configuration — plus an **async job queue**:
+
+* ``submit(request)`` returns a ``concurrent.futures.Future`` that
+  resolves to a :class:`~.api.RunResult`; a background dispatcher
+  drains the queue in **batches** through the crash-isolated worker
+  pool of :mod:`repro.core.parallel` (stall watchdog, bounded retry,
+  and worker-crash isolation all apply to served jobs).
+* concurrent submits of **identical cells coalesce**: the first keyed
+  submit owns the simulation, later twins attach as waiters and every
+  future resolves to the same (byte-identical) payload — one
+  simulation, N answers.
+* **admission control**: the queue depth is bounded; a submit beyond
+  it raises :class:`~repro.errors.QueueFullError` (the service's 429)
+  carrying a ``retry_after`` hint derived from observed service times.
+  Rejected jobs were never accepted, accepted jobs are never dropped.
+* **graceful drain**: ``drain()`` stops admitting and completes every
+  accepted job; ``close()`` drains and stops the dispatcher.  A
+  session is a context manager (``with Session() as s: ...``).
+
+``run(request)`` is the synchronous form: it executes in the calling
+thread (attaching to an in-flight twin when one exists) and returns the
+:class:`RunResult` directly.  The sweep methods (:meth:`scheme_sweep`,
+:meth:`compare_schemes`, :meth:`scaling_study`) are the typed,
+session-routed implementations behind the deprecated free functions of
+:mod:`repro.core.experiment`.
+
+Per-request telemetry: every batch is bracketed in a ``service_batch``
+span, and :meth:`gauges` exposes perfctr-style queue-depth /
+wait-time / coalesce counters that the ``serve`` daemon folds into its
+ledger record so ``repro-bench history``/``regress`` cover served
+traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..core.cache import ResultCache, default_cache
+from ..core.metrics import parallel_efficiency
+from ..core.parallel import run_requests, take_failures
+from ..core.report import TableResult
+from ..errors import (
+    NoFeasibleSchemeError,
+    QueueFullError,
+    SessionClosedError,
+    UnknownMetricError,
+)
+from ..telemetry.spans import span
+from .api import RunRequest, RunResult
+
+__all__ = ["ServiceStats", "Session", "default_session", "set_default_session"]
+
+#: default bound on queued-but-undispatched jobs (the admission limit)
+DEFAULT_MAX_PENDING = 256
+#: default cap on cells dispatched to the pool as one batch
+DEFAULT_MAX_BATCH = 64
+
+#: one executor flight at a time: `run_requests` + `take_failures` share
+#: process-wide state (pool, failure list), so concurrent sessions and
+#: sync runs serialize their batches around this lock
+_EXEC_LOCK = threading.Lock()
+
+
+@dataclass
+class ServiceStats:
+    """Perfctr-style service counters and gauges, all plain numbers.
+
+    Counter semantics: ``submitted`` counts every submit/run arrival,
+    split into ``accepted`` (queued), ``coalesced`` (attached to an
+    in-flight twin), ``cache_hits`` (answered at admission from the
+    result cache), and ``rejected`` (backpressure).  ``computed`` /
+    ``completed`` / ``infeasible`` / ``failed`` count *jobs* reaching a
+    terminal state; ``wait_s_*`` measure queue time from submit to
+    delivery; ``queue_depth`` / ``queue_depth_peak`` gauge the backlog.
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    coalesced: int = 0
+    cache_hits: int = 0
+    rejected: int = 0
+    computed: int = 0
+    completed: int = 0
+    infeasible: int = 0
+    failed: int = 0
+    batches: int = 0
+    queue_depth: int = 0
+    queue_depth_peak: int = 0
+    wait_s_total: float = 0.0
+    wait_s_max: float = 0.0
+    busy_s_total: float = 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "rejected": self.rejected,
+            "computed": self.computed,
+            "completed": self.completed,
+            "infeasible": self.infeasible,
+            "failed": self.failed,
+            "batches": self.batches,
+            "queue_depth": self.queue_depth,
+            "queue_depth_peak": self.queue_depth_peak,
+            "wait_s_total": round(self.wait_s_total, 6),
+            "wait_s_max": round(self.wait_s_max, 6),
+            "busy_s_total": round(self.busy_s_total, 6),
+        }
+
+
+class _Job:
+    """One accepted cell and the futures fanned out to its waiters."""
+
+    __slots__ = ("request", "job_request", "key", "futures",
+                 "submitted_at", "outcome")
+
+    def __init__(self, request: RunRequest, key: Optional[str]):
+        self.request = request
+        self.job_request = request.to_job()
+        self.key = key
+        self.futures: List[Future] = []
+        self.submitted_at = time.perf_counter()
+        #: terminal ("ok"|"infeasible"|"failed", payload) once delivered
+        self.outcome: Optional[Tuple[str, Any]] = None
+
+
+class Session:
+    """A characterization service instance (see module docstring).
+
+    ``cache=None`` shares the process-wide content-addressed cache;
+    pass an explicit :class:`~repro.core.cache.ResultCache` for an
+    isolated (e.g. per-tenant or per-test) session.  ``jobs``,
+    ``timeout`` and ``retries`` default to the executor's process-wide
+    resolution (CLI flags / environment).  ``paused=True`` holds the
+    dispatcher so tests and batch clients can stage submits — staging
+    is also what makes coalescing deterministic to observe.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None,
+                 jobs: Optional[int] = None,
+                 max_pending: int = DEFAULT_MAX_PENDING,
+                 max_batch: int = DEFAULT_MAX_BATCH,
+                 batch_window: float = 0.0,
+                 timeout: Optional[float] = None,
+                 retries: Optional[int] = None,
+                 name: str = "session",
+                 paused: bool = False):
+        self._cache = cache
+        self.jobs = jobs
+        self.max_pending = max(1, max_pending)
+        self.max_batch = max(1, max_batch)
+        self.batch_window = max(0.0, batch_window)
+        self.timeout = timeout
+        self.retries = retries
+        self.name = name
+        self.stats = ServiceStats()
+
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._queue: Deque[_Job] = deque()
+        self._inflight: Dict[str, _Job] = {}
+        self._outstanding = 0          # accepted jobs not yet delivered
+        self._memo: Dict[Any, Any] = {}
+        self._paused = paused
+        self._draining = False
+        self._closed = False
+        self._dispatcher: Optional[threading.Thread] = None
+        #: EWMA of per-cell service seconds, for retry-after hints
+        self._cell_s = 0.05
+
+    # -- plumbing --------------------------------------------------------
+
+    @property
+    def cache(self) -> ResultCache:
+        """This session's result cache (the process default if unset)."""
+        if self._cache is None:
+            return default_cache()
+        return self._cache
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(drain=exc_type is None)
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None or not self._dispatcher.is_alive():
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-session-{self.name}", daemon=True)
+            self._dispatcher.start()
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: when the backlog should have drained."""
+        from ..core.parallel import default_jobs
+
+        workers = self.jobs if self.jobs is not None else default_jobs()
+        backlog = len(self._queue) + 1
+        return max(0.05, self._cell_s * backlog / max(1, workers))
+
+    # -- the async plane -------------------------------------------------
+
+    def submit(self, request: RunRequest) -> "Future[RunResult]":
+        """Queue one cell; the future resolves to its :class:`RunResult`.
+
+        Admission order: coalesce onto an in-flight twin (free), answer
+        from the result cache (free), then admit against the queue
+        bound — or reject with :class:`QueueFullError`.  A returned
+        future is a promise: accepted jobs are never dropped, even by
+        :meth:`drain`/:meth:`close` or a worker crash (failures resolve
+        the future with a ``failed`` result, not silence).
+        """
+        future: "Future[RunResult]" = Future()
+        with self._cond:
+            if self._closed or self._draining:
+                self.stats.rejected += 1
+                raise SessionClosedError(
+                    f"session {self.name!r} is "
+                    f"{'closed' if self._closed else 'draining'}")
+            self.stats.submitted += 1
+            key = request.key()
+            if key is not None:
+                twin = self._inflight.get(key)
+                if twin is not None and twin.outcome is None:
+                    self.stats.coalesced += 1
+                    twin.futures.append(future)
+                    return future
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    self.stats.completed += 1
+                    future.set_result(RunResult(
+                        status="ok", job=hit, key=key, source="cache",
+                        tag=request.tag))
+                    return future
+            if len(self._queue) >= self.max_pending:
+                self.stats.rejected += 1
+                retry_after = self._retry_after()
+                raise QueueFullError(
+                    f"session {self.name!r} queue is full "
+                    f"({self.max_pending} pending)",
+                    retry_after=retry_after)
+            job = _Job(request, key)
+            job.futures.append(future)
+            if key is not None:
+                self._inflight[key] = job
+            self._queue.append(job)
+            self._outstanding += 1
+            self.stats.accepted += 1
+            self.stats.queue_depth = len(self._queue)
+            self.stats.queue_depth_peak = max(self.stats.queue_depth_peak,
+                                              self.stats.queue_depth)
+            self._ensure_dispatcher()
+            self._cond.notify_all()
+        return future
+
+    def pause(self) -> None:
+        """Hold the dispatcher (submits still accepted and coalesced)."""
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Release a paused dispatcher."""
+        with self._cond:
+            self._paused = False
+            if self._queue:
+                self._ensure_dispatcher()
+            self._cond.notify_all()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting; wait for every accepted job to complete.
+
+        Returns ``True`` when the queue drained (``False`` on timeout).
+        The session rejects new submits from the first ``drain`` call
+        on — this is the shutdown half of backpressure.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._draining = True
+            self._paused = False
+            self._cond.notify_all()
+            while self._outstanding > 0:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._cond.wait(timeout=remaining if remaining is not None
+                                else 0.1)
+        return True
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> None:
+        """Drain (by default) and stop the dispatcher thread."""
+        if drain:
+            self.drain(timeout=timeout)
+        dispatcher = None
+        with self._cond:
+            self._draining = True
+            self._closed = True
+            undelivered = []
+            while self._queue:
+                undelivered.append(self._queue.popleft())
+            self.stats.queue_depth = 0
+            for job in undelivered:
+                # only reachable on drain=False: surface, never drop
+                self._deliver_locked(job, ("failed", {
+                    "kind": "cancelled",
+                    "message": "session closed before the job ran"}))
+            dispatcher = self._dispatcher
+            self._dispatcher = None
+            self._cond.notify_all()
+        if dispatcher is not None and dispatcher.is_alive():
+            dispatcher.join(timeout=5.0)
+
+    # -- the sync plane ---------------------------------------------------
+
+    def run(self, request: RunRequest) -> RunResult:
+        """Execute one cell synchronously and return its result.
+
+        Attaches to an in-flight twin when the async plane is already
+        simulating the same cell (a coalesce hit); otherwise executes
+        in the calling thread through the same cache/executor path the
+        dispatcher uses, so sync and served results are byte-identical.
+        """
+        with self._cond:
+            if self._closed:
+                raise SessionClosedError(f"session {self.name!r} is closed")
+            self.stats.submitted += 1
+            key = request.key()
+            twin = self._inflight.get(key) if key is not None else None
+            if twin is not None and twin.outcome is None:
+                self.stats.coalesced += 1
+                future: "Future[RunResult]" = Future()
+                twin.futures.append(future)
+            else:
+                future = None
+        if future is not None:
+            return future.result()
+        job = _Job(request, key)
+        outcome = self._execute([job])[0]
+        with self._cond:
+            self._account(job, outcome)
+        return self._result_for(job, outcome, wait_s=0.0)
+
+    def run_many(self, requests: Sequence[RunRequest],
+                 jobs: Optional[int] = None) -> List[RunResult]:
+        """Execute a batch synchronously, in request order.
+
+        The sweep primitive: infeasible cells come back as
+        ``status="infeasible"`` results (the tables' dashes) rather
+        than raising.  Duplicate cells within the batch are computed
+        once by the executor.
+        """
+        batch = [_Job(request, request.key()) for request in requests]
+        outcomes = self._execute(batch, jobs=jobs)
+        results = []
+        with self._cond:
+            for job, outcome in zip(batch, outcomes):
+                self.stats.submitted += 1
+                self._account(job, outcome)
+        for job, outcome in zip(batch, outcomes):
+            results.append(self._result_for(job, outcome, wait_s=0.0))
+        return results
+
+    # -- execution core ---------------------------------------------------
+
+    def _execute(self, batch: List[_Job],
+                 jobs: Optional[int] = None) -> List[Tuple[str, Any]]:
+        """Run a batch through the executor; fold outcomes to data."""
+        t0 = time.perf_counter()
+        with _EXEC_LOCK:
+            take_failures()  # drop stale records from other flows
+            with span("service_batch", session=self.name,
+                      cells=len(batch)) as batch_span:
+                results = run_requests(
+                    [job.job_request for job in batch],
+                    jobs=jobs if jobs is not None else self.jobs,
+                    cache=self.cache, timeout=self.timeout,
+                    retries=self.retries)
+                failures = {f.index: f for f in take_failures()}
+                batch_span.note(failed=len(failures))
+        elapsed = time.perf_counter() - t0
+        with self._lock:
+            self.stats.busy_s_total += elapsed
+            # EWMA over per-cell service time feeds retry-after hints
+            per_cell = elapsed / max(1, len(batch))
+            self._cell_s = 0.7 * self._cell_s + 0.3 * per_cell
+        outcomes: List[Tuple[str, Any]] = []
+        for index, (job, result) in enumerate(zip(batch, results)):
+            if result is not None:
+                outcomes.append(("ok", result))
+            elif index in failures:
+                outcomes.append(("failed", failures[index].as_dict()))
+            else:
+                outcomes.append(("infeasible",
+                                 f"{job.request.label()}: scheme "
+                                 "infeasible for this cell"))
+        return outcomes
+
+    def _account(self, job: _Job, outcome: Tuple[str, Any]) -> None:
+        """Terminal-state statistics for one job (caller holds the lock)."""
+        status = outcome[0]
+        self.stats.computed += 1
+        if status == "ok":
+            self.stats.completed += 1
+        elif status == "infeasible":
+            self.stats.infeasible += 1
+        else:
+            self.stats.failed += 1
+
+    def _result_for(self, job: _Job, outcome: Tuple[str, Any],
+                    wait_s: float, source: str = "computed") -> RunResult:
+        status, payload = outcome
+        if status == "ok":
+            return RunResult(status="ok", job=payload, key=job.key,
+                             source=source, wait_s=wait_s,
+                             tag=job.request.tag)
+        if status == "infeasible":
+            return RunResult(status="infeasible", key=job.key,
+                             source=source, wait_s=wait_s,
+                             error=str(payload), code="infeasible_scheme",
+                             tag=job.request.tag)
+        detail = payload or {}
+        return RunResult(status="failed", key=job.key, source=source,
+                         wait_s=wait_s,
+                         error=detail.get("message", "job failed"),
+                         code="job_failed",
+                         kind=detail.get("kind", "error"),
+                         tag=job.request.tag)
+
+    def _deliver_locked(self, job: _Job, outcome: Tuple[str, Any]) -> None:
+        """Resolve one job's waiters (caller holds the lock)."""
+        job.outcome = outcome
+        if job.key is not None and self._inflight.get(job.key) is job:
+            del self._inflight[job.key]
+        wait_s = time.perf_counter() - job.submitted_at
+        self._account(job, outcome)
+        self.stats.wait_s_total += wait_s
+        self.stats.wait_s_max = max(self.stats.wait_s_max, wait_s)
+        self._outstanding -= 1
+        for i, future in enumerate(job.futures):
+            source = "computed" if i == 0 else "coalesced"
+            result = self._result_for(job, outcome, wait_s=wait_s,
+                                      source=source)
+            if not future.set_running_or_notify_cancel():
+                continue  # a waiter cancelled; the job itself never is
+            future.set_result(result)
+        self._cond.notify_all()
+
+    def _dispatch_loop(self) -> None:
+        """Background dispatcher: drain the queue in batches."""
+        while True:
+            with self._cond:
+                while not self._queue or self._paused:
+                    if self._closed or (self._draining and not self._queue):
+                        return
+                    self._cond.wait(timeout=0.1)
+                batch = []
+                while self._queue and len(batch) < self.max_batch:
+                    batch.append(self._queue.popleft())
+                self.stats.queue_depth = len(self._queue)
+            if self.batch_window > 0 and len(batch) < self.max_batch:
+                # brief accumulation window: let near-simultaneous
+                # submits ride the same pool batch
+                time.sleep(self.batch_window)
+                with self._cond:
+                    while self._queue and len(batch) < self.max_batch:
+                        batch.append(self._queue.popleft())
+                    self.stats.queue_depth = len(self._queue)
+            with self._lock:
+                self.stats.batches += 1
+            try:
+                outcomes = self._execute(batch)
+            except BaseException as exc:  # deliver, never lose a promise
+                outcomes = [("failed", {"kind": "error",
+                                        "message": f"dispatcher error: "
+                                                   f"{type(exc).__name__}: "
+                                                   f"{exc}"})
+                            for _ in batch]
+            with self._cond:
+                for job, outcome in zip(batch, outcomes):
+                    self._deliver_locked(job, outcome)
+
+    # -- session-scoped bench memo ----------------------------------------
+
+    def memo(self, key: Any, factory: Callable[[], Any]) -> Any:
+        """Memoize ``factory()`` under an explicit hashable key.
+
+        The session-scoped replacement for the old module-global
+        ``bench.common.run_cached``: several paper tables are different
+        projections of the same sweep, and this keeps them sharing runs
+        without any cross-session leakage.
+        """
+        with self._lock:
+            if key in self._memo:
+                return self._memo[key]
+        value = factory()
+        with self._lock:
+            return self._memo.setdefault(key, value)
+
+    def clear(self) -> None:
+        """Drop session-scoped memoized state (memo + cache memory tier).
+
+        On-disk cache entries are untouched; they are content-addressed
+        and remain valid.
+        """
+        with self._lock:
+            self._memo.clear()
+        self.cache.clear_memory()
+
+    # -- telemetry ---------------------------------------------------------
+
+    def gauges(self) -> Dict[str, float]:
+        """Perfctr-style gauge snapshot for dashboards and the ledger."""
+        stats = self.stats
+        lookups = stats.coalesced + stats.cache_hits + stats.accepted
+        return {
+            "service_queue_depth": stats.queue_depth,
+            "service_queue_depth_peak": stats.queue_depth_peak,
+            "service_outstanding": self._outstanding,
+            "service_coalesce_hits": stats.coalesced,
+            "service_cache_hits": stats.cache_hits,
+            "service_rejected": stats.rejected,
+            "service_wait_seconds_max": round(stats.wait_s_max, 6),
+            "service_wait_seconds_mean": round(
+                stats.wait_s_total / stats.computed, 6)
+                if stats.computed else 0.0,
+            "service_coalesce_rate": round(stats.coalesced / lookups, 6)
+                if lookups else 0.0,
+        }
+
+    # -- typed sweep API ----------------------------------------------------
+
+    def scheme_sweep(self, system, workload_factory, task_counts,
+                     schemes=None, impl=None, lock=None,
+                     value=None, title="", jobs=None) -> TableResult:
+        """A paper-style numactl table for one workload on one system.
+
+        Rows are task counts, columns the affinity schemes; infeasible
+        combinations render as dashes, exactly like the paper's tables.
+        """
+        from ..core.experiment import ALL_SCHEMES
+
+        schemes = tuple(ALL_SCHEMES) if schemes is None else tuple(schemes)
+        value = value if value is not None else (lambda r: r.wall_time)
+        table = TableResult(
+            title=title or f"{system.name}: numactl scheme sweep",
+            headers=["MPI tasks"] + [str(s) for s in schemes],
+        )
+        requests = []
+        for ntasks in task_counts:
+            workload = workload_factory(ntasks)
+            for scheme in schemes:
+                requests.append(RunRequest(system=system, workload=workload,
+                                           scheme=scheme, impl=impl,
+                                           lock=lock))
+        with span("sweep", kind="scheme_sweep", table=table.title,
+                  cells=len(requests)):
+            results = self.run_many(requests, jobs=jobs)
+        cells = iter(results)
+        for ntasks in task_counts:
+            row: List[Any] = [ntasks]
+            for _scheme in schemes:
+                result = next(cells)
+                row.append(value(result.job) if result.ok else None)
+            table.add_row(*row)
+        return table
+
+    def compare_schemes(self, system, workload_factory, schemes=None,
+                        impl=None, lock=None, value=None, jobs=None):
+        """Run one workload under every feasible scheme and rank them."""
+        from ..core.experiment import ALL_SCHEMES, SchemeComparison
+
+        schemes = tuple(ALL_SCHEMES) if schemes is None else tuple(schemes)
+        value = value if value is not None else (lambda r: r.wall_time)
+        workload = workload_factory()
+        requests = [RunRequest(system=system, workload=workload,
+                               scheme=scheme, impl=impl, lock=lock)
+                    for scheme in schemes]
+        with span("sweep", kind="compare_schemes", workload=workload.name,
+                  cells=len(requests)):
+            results = self.run_many(requests, jobs=jobs)
+        times = {str(scheme): value(result.job)
+                 for scheme, result in zip(schemes, results) if result.ok}
+        if not times:
+            raise NoFeasibleSchemeError("no feasible scheme for this "
+                                        "workload")
+        ordered = sorted(times, key=lambda k: times[k])
+        return SchemeComparison(times=times, best=ordered[0],
+                                worst=ordered[-1])
+
+    def scaling_study(self, systems, workload_factory, task_counts,
+                      scheme=None, impl=None, value=None, title="",
+                      metric="efficiency", jobs=None) -> TableResult:
+        """Parallel-efficiency (or speedup) rows per system (Table 4)."""
+        from ..core.affinity import AffinityScheme
+
+        scheme = scheme if scheme is not None else AffinityScheme.DEFAULT
+        value = value if value is not None else (lambda r: r.wall_time)
+        if metric not in ("efficiency", "speedup"):
+            raise UnknownMetricError(f"unknown metric {metric!r}")
+        table = TableResult(
+            title=title or f"multi-core {metric}",
+            headers=["System"] + [f"{n} cores" for n in task_counts],
+        )
+        requests = []
+        cells: List[Tuple[Any, Optional[int]]] = []
+        for system in systems:
+            requests.append(RunRequest(system=system,
+                                       workload=workload_factory(1),
+                                       scheme=AffinityScheme.DEFAULT,
+                                       impl=impl))
+            cells.append((system, None))
+            for n in task_counts:
+                if n > system.total_cores:
+                    continue
+                requests.append(RunRequest(system=system,
+                                           workload=workload_factory(n),
+                                           scheme=scheme, impl=impl))
+                cells.append((system, n))
+        with span("sweep", kind="scaling_study", table=table.title,
+                  cells=len(requests)):
+            results = dict(zip(cells, self.run_many(requests, jobs=jobs)))
+        for system in systems:
+            t1 = value(results[(system, None)].require())
+            row: List[Any] = [system.name]
+            for n in task_counts:
+                if n > system.total_cores:
+                    row.append(None)
+                    continue
+                tn = value(results[(system, n)].require())
+                if metric == "efficiency":
+                    row.append(parallel_efficiency(t1, tn, n))
+                else:
+                    row.append(t1 / tn)
+            table.add_row(*row)
+        return table
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+_DEFAULT_SESSION_LOCK = threading.Lock()
+
+
+def default_session() -> Session:
+    """The process-wide session (shares the default result cache).
+
+    The compatibility shims in :mod:`repro.core.experiment` and
+    :mod:`repro.bench.common` delegate here, so legacy callers and new
+    session-based code share one memo table and one cache.
+    """
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        if _DEFAULT_SESSION is None:
+            _DEFAULT_SESSION = Session(name="default")
+        return _DEFAULT_SESSION
+
+
+def set_default_session(session: Optional[Session]) -> Optional[Session]:
+    """Replace the process-wide session (tests); returns the old one."""
+    global _DEFAULT_SESSION
+    with _DEFAULT_SESSION_LOCK:
+        old, _DEFAULT_SESSION = _DEFAULT_SESSION, session
+        return old

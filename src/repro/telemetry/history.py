@@ -29,12 +29,21 @@ def _mean_rho(record: Dict[str, Any]) -> Optional[float]:
     return sum(rhos) / len(rhos) if rhos else None
 
 
+def _gauge(name: str) -> Callable[[Dict[str, Any]], Optional[float]]:
+    return lambda r: (r.get("gauges") or {}).get(name)
+
+
 #: metric name -> extractor over one ledger record
 METRICS: Dict[str, Callable[[Dict[str, Any]], Optional[float]]] = {
     "elapsed": lambda r: r.get("elapsed_s"),
     "hit-rate": ledger.hit_rate,
     "fidelity": _mean_rho,
     "trace-dropped": lambda r: r.get("trace_dropped"),
+    # service gauges (None on plain bench runs, so sparklines skip them)
+    "queue-depth-peak": _gauge("service_queue_depth_peak"),
+    "coalesce-rate": _gauge("service_coalesce_rate"),
+    "wait-max": _gauge("service_wait_seconds_max"),
+    "rejected": _gauge("service_rejected"),
 }
 
 
@@ -68,6 +77,13 @@ def render_history(records: List[Dict[str, Any]], width: int = 40) -> str:
     lines = []
     for metric in ("elapsed", "hit-rate", "fidelity", "trace-dropped"):
         lines.append(_line(metric, metric_series(records, metric), width))
+    service_metrics = ("queue-depth-peak", "coalesce-rate", "wait-max",
+                      "rejected")
+    if any(r.get("gauges") for r in records):
+        lines.append("  served traffic:")
+        for metric in service_metrics:
+            lines.append(_line(f"  {metric}",
+                               metric_series(records, metric), width))
     tables = sorted({name for r in records
                      for name in (r.get("fidelity") or {})})
     if tables:
@@ -100,9 +116,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     records = [r for r in ledger.read_records(args.ledger_dir)
-               if r.get("tool") == "bench"]
+               if r.get("tool") in ("bench", "serve")]
     if not records:
-        print(f"no bench runs recorded under "
+        print(f"no bench or serve runs recorded under "
               f"{ledger.ledger_dir(args.ledger_dir)} "
               "(run repro-bench with --ledger first)", file=sys.stderr)
         return 1

@@ -115,9 +115,9 @@ def evaluate(records: List[Dict[str, Any]],
     means the gate passes.  Raises :class:`ValueError` when the ledger
     holds no bench records at all.
     """
-    bench = [r for r in records if r.get("tool") == "bench"]
+    bench = [r for r in records if r.get("tool") in ("bench", "serve")]
     if not bench:
-        raise ValueError("ledger holds no bench records")
+        raise ValueError("ledger holds no bench or serve records")
     candidate = copy.deepcopy(bench[-1])
     previous = [r for r in bench[:-1] if excluded_from_baseline(r) is None]
     failures: List[str] = []

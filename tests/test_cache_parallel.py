@@ -14,7 +14,6 @@ from repro.core import (
     InfeasibleSchemeError,
     Workload,
     resolve_scheme,
-    scheme_sweep,
 )
 from repro.core.cache import (
     ResultCache,
@@ -131,22 +130,12 @@ def test_disabled_cache_recomputes(tmp_path):
 # -- the executor ------------------------------------------------------------
 
 def _sweep_csv(jobs, cache):
-    from repro.core import experiment
-    from repro.core import parallel
+    from repro.service import Session
 
-    # Route the library helpers through an isolated cache for the test.
-    original = parallel.run_requests
-
-    def patched(requests, jobs_inner=None, **kwargs):
-        return original(requests, jobs=jobs if jobs_inner is None else jobs_inner,
-                        cache=cache)
-
-    experiment.run_requests = patched
-    try:
-        table = scheme_sweep(longs(), TinyCompute, (2, 4, 8),
-                             title="executor test")
-    finally:
-        experiment.run_requests = original
+    # An isolated session routes the sweep through its own cache.
+    with Session(cache=cache) as session:
+        table = session.scheme_sweep(longs(), TinyCompute, (2, 4, 8),
+                                     title="executor test", jobs=jobs)
     return table.to_csv()
 
 

@@ -1,17 +1,22 @@
-"""Tests for the compare_schemes convenience and sweep helpers."""
+"""Tests for the scheme-comparison and sweep methods of the Session."""
 
 import pytest
 
-from repro.core import (
-    AffinityScheme,
-    Compute,
-    SchemeComparison,
-    Workload,
-    compare_schemes,
-    scaling_study,
-    scheme_sweep,
-)
+from repro.core import AffinityScheme, Compute, SchemeComparison, Workload
 from repro.machine import GB, MB, dmz, longs, tiger
+from repro.service import default_session
+
+
+def compare_schemes(*args, **kwargs):
+    return default_session().compare_schemes(*args, **kwargs)
+
+
+def scheme_sweep(*args, **kwargs):
+    return default_session().scheme_sweep(*args, **kwargs)
+
+
+def scaling_study(*args, **kwargs):
+    return default_session().scaling_study(*args, **kwargs)
 
 
 class MemoryBound(Workload):

@@ -1,0 +1,127 @@
+"""The deprecated shims: warn with the repro category, delegate intact.
+
+This is the ONLY place the legacy free-function spellings are exercised
+on purpose; internal code and the examples run warning-free (enforced
+by ``-W error::DeprecationWarning`` in the examples smoke test).
+"""
+
+import warnings
+
+import pytest
+
+from repro.bench.common import clear_cache, run_cached
+from repro.core import (
+    AffinityScheme,
+    Compute,
+    Workload,
+    compare_schemes,
+    scaling_study,
+    scheme_sweep,
+)
+from repro.errors import (
+    NoFeasibleSchemeError,
+    ReproDeprecationWarning,
+    UnknownMetricError,
+)
+from repro.machine import dmz, longs
+from repro.service import Session, default_session
+
+
+class TinyCompute(Workload):
+    name = "tiny-deprecation"
+
+    def __init__(self, ntasks=2, flops=1e7):
+        self.ntasks = ntasks
+        self.flops = flops
+
+    def program(self, rank):
+        yield Compute(flops=self.flops, flop_efficiency=0.5)
+
+
+def test_scheme_sweep_shim_warns_and_delegates():
+    with pytest.warns(ReproDeprecationWarning, match="scheme_sweep"):
+        shimmed = scheme_sweep(dmz(), lambda n: TinyCompute(n),
+                               task_counts=(2, 4))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        direct = default_session().scheme_sweep(
+            dmz(), lambda n: TinyCompute(n), task_counts=(2, 4))
+    assert shimmed.headers == direct.headers
+    assert shimmed.rows == direct.rows
+
+
+def test_compare_schemes_shim_warns_and_delegates():
+    with pytest.warns(ReproDeprecationWarning, match="compare_schemes"):
+        shimmed = compare_schemes(longs(), lambda: TinyCompute(4))
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        direct = default_session().compare_schemes(longs(),
+                                                   lambda: TinyCompute(4))
+    assert shimmed.times == direct.times
+    assert (shimmed.best, shimmed.worst) == (direct.best, direct.worst)
+
+
+def test_compare_schemes_shim_raises_typed_valueerror():
+    with pytest.warns(ReproDeprecationWarning):
+        with pytest.raises(NoFeasibleSchemeError):
+            compare_schemes(dmz(), lambda: TinyCompute(64))
+    # the typed error still satisfies legacy except ValueError blocks
+    with pytest.warns(ReproDeprecationWarning):
+        with pytest.raises(ValueError):
+            compare_schemes(dmz(), lambda: TinyCompute(64))
+
+
+def test_scaling_study_shim_warns_and_raises_typed_metric_error():
+    with pytest.warns(ReproDeprecationWarning, match="scaling_study"):
+        table = scaling_study([dmz()], lambda n: TinyCompute(n),
+                              task_counts=(2,), metric="speedup")
+    assert table.rows[0][0] == "DMZ"
+    with pytest.warns(ReproDeprecationWarning):
+        with pytest.raises(UnknownMetricError):
+            scaling_study([dmz()], lambda n: TinyCompute(n), (2,),
+                          metric="bogus")
+
+
+def test_run_cached_shim_warns_and_shares_session_memo():
+    with pytest.warns(ReproDeprecationWarning, match="run_cached"):
+        assert run_cached(("dep-test",), lambda: "value") == "value"
+    # the shim and the session share one memo table
+    assert default_session().memo(("dep-test",),
+                                  lambda: "other") == "value"
+    with pytest.warns(ReproDeprecationWarning, match="clear_cache"):
+        clear_cache()
+    assert default_session().memo(("dep-test",),
+                                  lambda: "fresh") == "fresh"
+    with pytest.warns(ReproDeprecationWarning):
+        clear_cache()
+
+
+def test_deprecation_category_is_a_deprecation_warning():
+    # -W error::DeprecationWarning (as used on the examples) catches it
+    assert issubclass(ReproDeprecationWarning, DeprecationWarning)
+
+
+def test_session_api_is_warning_free(tmp_path):
+    from repro.core.cache import ResultCache
+    from repro.service import RunRequest
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with Session(cache=ResultCache(directory=tmp_path)) as session:
+            result = session.run(RunRequest(system=longs(),
+                                            workload=TinyCompute(4)))
+            session.scheme_sweep(dmz(), lambda n: TinyCompute(n), (2,))
+    assert result.ok
+
+
+def test_experiment_routes_through_session():
+    from repro.core import Experiment
+
+    experiment = Experiment(longs(), TinyCompute(4),
+                            AffinityScheme.INTERLEAVE)
+    request = experiment.to_request()
+    assert request.key() == experiment.request().key()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        result = experiment.run()  # non-deprecated, session-routed
+    assert result.wall_time > 0

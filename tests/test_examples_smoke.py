@@ -18,8 +18,12 @@ FAST_EXAMPLES = ["quickstart.py", "mpi_comparison.py",
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs(script):
+    # -W error::DeprecationWarning: examples must use the Session API,
+    # never the deprecated shims (those are exercised only in
+    # tests/test_deprecations.py)
     result = subprocess.run(
-        [sys.executable, str(EXAMPLES / script)],
+        [sys.executable, "-W", "error::DeprecationWarning",
+         str(EXAMPLES / script)],
         capture_output=True, text=True, timeout=600,
     )
     assert result.returncode == 0, result.stderr[-2000:]

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.core import AffinityScheme, compare_schemes, run_workload
+from repro.core import AffinityScheme, run_workload
+from repro.service import default_session
 from repro.core.ops import Allreduce, Barrier, Compute, SendRecv
 from repro.machine import GB, longs
 from repro.workloads import SyntheticWorkload
@@ -97,6 +98,6 @@ def test_synthetic_workload_in_scheme_comparison():
         "ops": [{"kind": "compute", "dram_bytes": 0.2 * GB,
                  "working_set": 1 * GB}],
     }
-    cmp = compare_schemes(
+    cmp = default_session().compare_schemes(
         longs(), lambda: SyntheticWorkload.from_spec(memory_bound))
     assert "Membind" in cmp.worst

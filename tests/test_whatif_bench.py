@@ -3,9 +3,9 @@
 import networkx as nx
 import pytest
 
-from repro.bench import clear_cache
 from repro.bench.cli import TARGETS, main
-from repro.bench.common import RUNTIME_CONFIGS, bound_spread_affinity, run_cached
+from repro.bench.common import RUNTIME_CONFIGS, bound_spread_affinity, memo
+from repro.service import default_session
 from repro.machine import GB, Machine, MachineSpec, hypothetical
 from repro.machine.topology import CoreSpec, SocketSpec, build_socket_graph
 
@@ -99,18 +99,18 @@ def test_bound_spread_affinity_fills_sockets_first():
 
 
 def test_run_cache_memoizes():
-    clear_cache()
+    default_session().clear()
     calls = []
 
     def factory():
         calls.append(1)
         return "result"
 
-    assert run_cached(("k",), factory) == "result"
-    assert run_cached(("k",), factory) == "result"
+    assert memo(("k",), factory) == "result"
+    assert memo(("k",), factory) == "result"
     assert len(calls) == 1
-    clear_cache()
-    run_cached(("k",), factory)
+    default_session().clear()
+    memo(("k",), factory)
     assert len(calls) == 2
 
 
