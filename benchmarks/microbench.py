@@ -1,0 +1,26 @@
+#!/usr/bin/env python
+"""Standalone entry point for the executor microbenchmarks.
+
+Thin wrapper around :mod:`repro.bench.micro` (also reachable as
+``repro-bench micro``) so the suite can be run straight from a
+checkout without installing the package::
+
+    python benchmarks/microbench.py
+    python benchmarks/microbench.py --only engine-event-loop --repeat 9
+    python benchmarks/microbench.py --ledger   # append to the run ledger
+
+See ``repro.bench.micro`` for what each benchmark isolates.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.micro import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""CI gate for the fast tier: speed *and* fidelity, or fail.
+
+Runs the pinned calibration sweep (:mod:`repro.surrogate.calibration`)
+in both execution tiers against a throwaway cold cache and asserts the
+two promises the fast tier makes:
+
+* **speed** — the fast pass must beat the exact pass by at least
+  ``--min-speedup`` (default 5x; a generous floor under the locally
+  measured ~13x so CI machine jitter does not flap the job, while the
+  10x product target is tracked by the serial numbers in the artifact);
+* **fidelity** — every table's fast-vs-exact Spearman rank correlation,
+  and the mean, must stay at or above ``--min-rho`` (default
+  ``1 - RANK_CORRELATION_DROP`` = 0.95, the same tolerance
+  ``repro-bench regress`` applies).
+
+The full comparison table is written to ``--artifact`` (default
+``surrogate_gate.txt``) for upload, so a failing run shows *which*
+table drifted, not just that one did.
+
+Usage::
+
+    python benchmarks/surrogate_gate.py
+    python benchmarks/surrogate_gate.py --min-speedup 8 --artifact out.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.core.cache import ResultCache  # noqa: E402
+from repro.surrogate.calibration import compare, format_report  # noqa: E402
+from repro.telemetry.regress import RANK_CORRELATION_DROP  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required exact/fast wall-clock ratio "
+                             "(default 5)")
+    parser.add_argument("--min-rho", type=float,
+                        default=1.0 - RANK_CORRELATION_DROP,
+                        help="required per-table and mean rank "
+                             "correlation (default %(default)s)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes per tier sweep (default: "
+                             "serial, which keeps the speedup ratio "
+                             "honest — parallelism hides exact cost)")
+    parser.add_argument("--artifact", default="surrogate_gate.txt",
+                        help="where to write the comparison table")
+    args = parser.parse_args(argv)
+
+    # A scratch cache keeps both passes cold: a warm exact pass would
+    # fake the speedup, a warm fast pass would fake it the other way.
+    with tempfile.TemporaryDirectory(prefix="surrogate-gate-") as scratch:
+        cache = ResultCache(directory=scratch)
+        report = compare(jobs=args.jobs, cache=cache)
+
+    table = format_report(report)
+    print(table)
+    Path(args.artifact).write_text(table + "\n")
+    print(f"[comparison table written to {args.artifact}]")
+
+    failures = []
+    speedup = report["speedup"]
+    if speedup is None or speedup < args.min_speedup:
+        measured = "n/a" if speedup is None else f"{speedup:.1f}x"
+        failures.append(f"cold fast-tier speedup {measured} "
+                        f"< required {args.min_speedup:g}x")
+    for name, scores in sorted(report["tables"].items()):
+        rho = scores["rank_correlation"]
+        if rho is not None and rho < args.min_rho:
+            failures.append(f"table {name}: rank correlation {rho:.3f} "
+                            f"< required {args.min_rho:g}")
+    mean = report["mean_rank_correlation"]
+    if mean is None:
+        failures.append("no scorable tables in the calibration sweep")
+    elif mean < args.min_rho:
+        failures.append(f"mean rank correlation {mean:.3f} "
+                        f"< required {args.min_rho:g}")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print(f"ok: speedup {speedup:.1f}x >= {args.min_speedup:g}x, "
+              f"min rho {report['min_rank_correlation']:.4f} >= "
+              f"{args.min_rho:g}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

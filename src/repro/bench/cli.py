@@ -13,6 +13,8 @@ Usage::
     repro-bench doctor --fix         # scan/repair cache + ledger stores
     repro-bench chaos                # self-test crash/corruption recovery
     repro-bench all --faults p.json  # degrade the modeled machine per plan
+    repro-bench all --tier fast      # analytic surrogate instead of the engine
+    repro-bench micro                # engine/surrogate microbenchmarks
     repro-bench serve                # characterization service daemon
     repro-bench submit --workload stream   # submit a cell to the daemon
 
@@ -129,7 +131,7 @@ def _fidelity_scores(results: Dict) -> Dict:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("history", "regress", "doctor", "chaos",
-                            "serve", "submit"):
+                            "serve", "submit", "micro"):
         # maintenance/service subcommands own their argument parsing
         if argv[0] == "history":
             from ..telemetry.history import main as sub_main
@@ -137,6 +139,8 @@ def main(argv=None) -> int:
             from ..telemetry.regress import main as sub_main
         elif argv[0] == "doctor":
             from ..telemetry.doctor import main as sub_main
+        elif argv[0] == "micro":
+            from .micro import main as sub_main
         elif argv[0] == "serve":
             from ..service.daemon import main as sub_main
         elif argv[0] == "submit":
@@ -184,6 +188,13 @@ def main(argv=None) -> int:
                              "plan into every simulated cell (results "
                              "get distinct cache keys and are excluded "
                              "from regression baselines)")
+    parser.add_argument("--tier", choices=("fast", "exact", "auto"),
+                        default=None,
+                        help="execution tier for every simulated cell: "
+                             "'exact' steps the discrete-event engine "
+                             "(default), 'fast' the analytic surrogate, "
+                             "'auto' picks fast where supported (fast "
+                             "results live under distinct cache keys)")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the content-addressed result cache")
     parser.add_argument("--cache-stats", action="store_true",
@@ -231,6 +242,8 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         parallel.set_default_faults(fault_plan)
+    if args.tier is not None:
+        parallel.set_default_tier(args.tier)
 
     if not args.targets or "list" in args.targets:
         print("available targets:")
@@ -283,7 +296,8 @@ def main(argv=None) -> int:
         print("\ninterrupted; aborting the run", file=sys.stderr)
         if recorder is not None:
             record = recorder.finish(
-                config={"targets": names, "jobs": jobs},
+                config={"targets": names, "jobs": jobs,
+                        "tier": args.tier or "exact"},
                 status="aborted",
                 targets=_timings_payload(timings)["targets"],
             )
@@ -297,6 +311,8 @@ def main(argv=None) -> int:
         parallel.shutdown_pool()
         if fault_plan is not None:
             parallel.set_default_faults(None)
+        if args.tier is not None:
+            parallel.set_default_tier(None)
         if recorder is not None:
             recorder.stop()
 
@@ -349,6 +365,7 @@ def main(argv=None) -> int:
         pool["jobs"] = jobs
         record = recorder.finish(
             config={"targets": names, "jobs": jobs,
+                    "tier": args.tier or "exact",
                     "cache_enabled": cache.enabled,
                     "csv": bool(args.csv), "plot": bool(args.plot)},
             targets=_timings_payload(timings)["targets"],

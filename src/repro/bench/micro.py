@@ -1,0 +1,161 @@
+"""``repro-bench micro`` — timeit microbenchmarks of the two executors.
+
+The macro sweeps answer "is the pipeline fast enough"; this module
+answers "which core got slower".  It times the primitives the two
+execution tiers are built from:
+
+* ``engine-event-loop`` — the discrete-event engine's schedule/step
+  hot loop, isolated from any workload model (pure timeout churn).
+* ``engine-cell`` — one exact-tier cell end to end (STREAM on longs),
+  i.e. the event loop plus the machine/MPI model on top.
+* ``surrogate-batch`` — the same cell through the fast tier's batch
+  evaluator, which is the number the ≥10× speedup claim rests on.
+* ``surrogate-build`` — :class:`~repro.surrogate.SurrogateEvaluator`
+  construction (topology/coefficient precompute), the fixed cost paid
+  once per (spec, affinity) pair.
+
+Each benchmark reports best-of-``--repeat`` seconds per iteration
+(minimum over repeats is the standard noise floor for timeit).  With
+``--ledger`` the results are appended to the run ledger as a
+``tool="micro"`` record so regressions in either tier's core show up
+in history alongside the macro runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import timeit
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["main", "run_benchmarks"]
+
+
+def _bench_engine_event_loop() -> Callable[[], None]:
+    """Pure schedule/step churn: 64 processes x 64 timeouts."""
+    from ..sim import Engine
+
+    def body() -> None:
+        eng = Engine()
+
+        def program(eng):
+            for _ in range(64):
+                yield eng.timeout(1.0)
+
+        for _ in range(64):
+            eng.process(program(eng))
+        eng.run()
+
+    return body
+
+
+def _cell_request(tier: str):
+    from ..core.parallel import JobRequest
+    from ..machine import longs
+    from ..workloads.hpcc import HpccStream
+
+    return JobRequest(spec=longs(), workload=HpccStream(4), tier=tier)
+
+
+def _bench_engine_cell() -> Callable[[], None]:
+    request = _cell_request("exact")
+    return lambda: request.execute()
+
+
+def _bench_surrogate_batch() -> Callable[[], None]:
+    request = _cell_request("fast")
+    return lambda: request.execute()
+
+
+def _bench_surrogate_build() -> Callable[[], None]:
+    from ..core.affinity import AffinityScheme, resolve_scheme
+    from ..machine import longs
+    from ..surrogate import SurrogateEvaluator
+    from ..workloads.hpcc import HpccStream
+
+    spec = longs()
+    workload = HpccStream(4)
+    affinity = resolve_scheme(AffinityScheme.DEFAULT, spec, workload.ntasks)
+    return lambda: SurrogateEvaluator(spec, affinity)
+
+
+BENCHMARKS: List[Tuple[str, Callable[[], Callable[[], None]], int]] = [
+    ("engine-event-loop", _bench_engine_event_loop, 5),
+    ("engine-cell", _bench_engine_cell, 1),
+    ("surrogate-batch", _bench_surrogate_batch, 5),
+    ("surrogate-build", _bench_surrogate_build, 20),
+]
+
+
+def run_benchmarks(repeat: int = 5,
+                   number: Optional[int] = None,
+                   only: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the suite; returns ``{name: {seconds, number, repeat}}``."""
+    results: Dict[str, Any] = {}
+    for name, setup, default_number in BENCHMARKS:
+        if only and name not in only:
+            continue
+        body = setup()
+        body()  # warm up imports/caches outside the timed region
+        n = number if number is not None else default_number
+        timer = timeit.Timer(body)
+        best = min(timer.repeat(repeat=repeat, number=n)) / n
+        results[name] = {"seconds": best, "number": n, "repeat": repeat}
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from ..telemetry import ledger as run_ledger
+
+    parser = argparse.ArgumentParser(
+        prog="repro-bench micro",
+        description="microbenchmark the engine event loop and the "
+                    "surrogate batch evaluator")
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="timeit repeats per benchmark (default 5; "
+                             "best repeat is reported)")
+    parser.add_argument("--number", type=int, default=None,
+                        help="iterations per repeat (default: "
+                             "per-benchmark)")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        choices=[name for name, _s, _n in BENCHMARKS],
+                        help="run only the named benchmark (repeatable)")
+    parser.add_argument("--ledger", action="store_true",
+                        help="append the results to the run ledger")
+    parser.add_argument("--ledger-dir", default=None,
+                        help="ledger directory (default: "
+                             "REPRO_LEDGER_DIR or .repro-ledger)")
+    args = parser.parse_args(argv)
+
+    recorder = None
+    if args.ledger or args.ledger_dir or run_ledger.env_configured():
+        recorder = run_ledger.RunRecorder(tool="micro", argv=argv).start()
+
+    results = run_benchmarks(repeat=max(1, args.repeat),
+                             number=args.number, only=args.only)
+
+    width = max(len(name) for name in results) if results else 0
+    for name, scores in results.items():
+        print(f"{name:{width}s}  {scores['seconds'] * 1e3:10.3f} ms/iter  "
+              f"(best of {scores['repeat']} x {scores['number']})")
+    engine = results.get("engine-cell")
+    fast = results.get("surrogate-batch")
+    if engine and fast and fast["seconds"] > 0:
+        print(f"{'cell speedup':{width}s}  "
+              f"{engine['seconds'] / fast['seconds']:10.1f} x  "
+              "(exact engine-cell / surrogate-batch)")
+
+    if recorder is not None:
+        record = recorder.finish(
+            config={"repeat": args.repeat, "number": args.number,
+                    "only": args.only},
+            micro=results,
+        )
+        path = run_ledger.append(record, args.ledger_dir)
+        print(f"[micro run {record['run_id']} recorded to {path}]",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -144,9 +144,9 @@ def prof_payload(result: JobResult, cell: Dict) -> Dict:
 
 def _profile_cell(spec: MachineSpec, workload, scheme: AffinityScheme,
                   lock: Optional[str], use_cache: bool,
-                  faults=None) -> JobResult:
+                  faults=None, tier: Optional[str] = None) -> JobResult:
     request = JobRequest(spec=spec, workload=workload, scheme=scheme,
-                         lock=lock, profile=True, faults=faults)
+                         lock=lock, profile=True, faults=faults, tier=tier)
     if not use_cache:
         return request.execute()
     return run_request(request)
@@ -200,9 +200,18 @@ def _run(args) -> int:
                 f"{name} {format_ratio(util)}"
                 for name, util in busiest.items()), file=sys.stderr)
     else:
-        result = _profile_cell(spec, workload, scheme, args.lock,
-                               use_cache=not args.no_cache,
-                               faults=fault_plan)
+        from ..errors import SurrogateUnsupportedError
+
+        try:
+            result = _profile_cell(spec, workload, scheme, args.lock,
+                                   use_cache=not args.no_cache,
+                                   faults=fault_plan,
+                                   tier=getattr(args, "tier", None))
+        except SurrogateUnsupportedError as exc:
+            # --tier fast on a profiling run: counters need the engine
+            print(f"--tier fast: {exc} (use --tier auto or exact)",
+                  file=sys.stderr)
+            return 2
 
     from ..telemetry.spans import active_recorder
 
@@ -394,6 +403,12 @@ def main(argv=None) -> int:
                                  "plan (profiled under a distinct cache "
                                  "key; counters gain mpi_retries/dropped/"
                                  "duplicated and numa_fallback_pages)")
+    run_parser.add_argument("--tier", choices=("fast", "exact", "auto"),
+                            default=None,
+                            help="execution tier; profiling needs the "
+                                 "engine, so 'fast' fails with a clear "
+                                 "error and 'auto' falls back to exact "
+                                 "(--trace always runs exact)")
     run_parser.set_defaults(func=_run)
 
     validate_parser = sub.add_parser(
@@ -427,6 +442,7 @@ def main(argv=None) -> int:
     if recorder is not None and status == 0:
         record = recorder.finish(
             config={"command": args.command,
+                    "tier": getattr(args, "tier", None) or "exact",
                     "cell": recorder.extra.get("cell")})
         path = run_ledger.append(record, args.ledger_dir)
         print(f"[run {record['run_id']} recorded to {path}]",

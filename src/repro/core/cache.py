@@ -130,7 +130,8 @@ def model_fingerprint() -> str:
 
 def job_key(spec, workload, scheme=None, affinity=None, impl=None,
             lock: Optional[str] = None, parked: int = 0,
-            profile: bool = False, faults=None) -> str:
+            profile: bool = False, faults=None,
+            tier: Optional[str] = None) -> str:
     """The content address of one experiment cell.
 
     Exactly one of ``scheme`` / ``affinity`` describes the placement;
@@ -142,7 +143,11 @@ def job_key(spec, workload, scheme=None, affinity=None, impl=None,
     profiled results carry counter payloads and fault-injected results
     describe a degraded machine, so both must live under distinct
     addresses, while the disabled path keeps the exact key layout (and
-    therefore warm disk-cache hits) of plain runs.
+    therefore warm disk-cache hits) of plain runs.  ``tier`` follows the
+    same pattern: only the resolved ``"fast"`` tier marks the key —
+    analytic answers must never collide with exact ones — while
+    ``"exact"`` (and ``auto`` cells that fell back to exact) keeps the
+    plain-run address byte-identical.
     """
     payload = {
         "schema": CACHE_SCHEMA,
@@ -159,6 +164,10 @@ def job_key(spec, workload, scheme=None, affinity=None, impl=None,
         payload["profile"] = True
     if faults:
         payload["faults"] = canonical_token(faults)
+    if tier == "fast":
+        payload["tier"] = "fast"
+    elif tier not in (None, "exact"):
+        raise Uncacheable(f"tier must be resolved to fast/exact, got {tier!r}")
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
 

@@ -20,8 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..errors import ReproDeprecationWarning
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
-from .affinity import AffinityScheme, resolve_scheme
-from .execution import JobResult, JobRunner
+from .affinity import AffinityScheme
+from .execution import JobResult
 from .parallel import JobRequest
 from .report import TableResult
 from .workload import Workload
@@ -64,6 +64,9 @@ class Experiment:
     impl: MpiImplementation = OPENMPI
     lock: Optional[str] = None
     parked: int = 0
+    #: ``"exact"``/``None`` steps the engine, ``"fast"`` the analytic
+    #: surrogate, ``"auto"`` picks fast where supported
+    tier: Optional[str] = None
 
     def to_request(self) -> "RunRequest":
         """This cell as a typed service :class:`RunRequest`."""
@@ -71,13 +74,15 @@ class Experiment:
 
         return RunRequest(system=self.system, workload=self.workload,
                           scheme=self.scheme, impl=self.impl,
-                          lock=self.lock, parked=self.parked)
+                          lock=self.lock, parked=self.parked,
+                          tier=self.tier)
 
     def request(self) -> JobRequest:
         """This cell as a value for the cache / parallel executor."""
         return JobRequest(spec=self.system, workload=self.workload,
                           scheme=self.scheme, impl=self.impl,
-                          lock=self.lock, parked=self.parked)
+                          lock=self.lock, parked=self.parked,
+                          tier=self.tier)
 
     def run(self) -> JobResult:
         """Resolve the scheme and simulate the workload.
@@ -93,11 +98,7 @@ class Experiment:
 
     def run_uncached(self) -> JobResult:
         """Simulate the workload, bypassing the result cache."""
-        affinity = resolve_scheme(self.scheme, self.system,
-                                  self.workload.ntasks, parked=self.parked)
-        runner = JobRunner(self.system, affinity, impl=self.impl,
-                           lock=self.lock)
-        return runner.run(self.workload)
+        return self.request().execute()
 
 
 def scheme_sweep(

@@ -64,6 +64,7 @@ __all__ = [
     "default_faults",
     "default_jobs",
     "default_retries",
+    "default_tier",
     "default_timeout",
     "pool_stats",
     "prefetch",
@@ -73,6 +74,7 @@ __all__ = [
     "set_default_faults",
     "set_default_jobs",
     "set_default_retries",
+    "set_default_tier",
     "set_default_timeout",
     "shutdown_pool",
     "take_failures",
@@ -103,13 +105,37 @@ class JobRequest:
     profile: bool = False
     #: degrade the modeled machine per this plan (distinct cache keys)
     faults: Optional[FaultPlan] = None
+    #: execution tier: ``"exact"`` (or ``None``) steps the discrete-event
+    #: engine, ``"fast"`` uses the analytic surrogate, ``"auto"`` picks
+    #: fast where supported and falls back to exact otherwise
+    tier: Optional[str] = None
+
+    def effective_tier(self) -> str:
+        """Resolve ``tier`` to the tier that will actually run.
+
+        ``auto`` resolves *before* cache keying, so an auto cell that
+        falls back to exact shares the exact tier's content address
+        (byte-identical results, byte-identical key).
+        """
+        if self.tier in (None, "exact"):
+            return "exact"
+        if self.tier == "fast":
+            return "fast"
+        if self.tier == "auto":
+            from ..surrogate import unsupported_reason
+            reason = unsupported_reason(self.workload, self.profile,
+                                        self.faults)
+            return "exact" if reason else "fast"
+        raise ValueError(
+            f"tier must be 'fast', 'exact' or 'auto', got {self.tier!r}")
 
     def key(self) -> str:
         """Content address of this cell (raises :class:`Uncacheable`)."""
         return job_key(self.spec, self.workload, scheme=self.scheme,
                        affinity=self.affinity, impl=self.impl or OPENMPI,
                        lock=self.lock, parked=self.parked,
-                       profile=self.profile, faults=self.faults)
+                       profile=self.profile, faults=self.faults,
+                       tier=self.effective_tier())
 
     def execute(self) -> JobResult:
         """Run the cell; raises :class:`InfeasibleSchemeError` for dashes."""
@@ -118,6 +144,17 @@ class JobRequest:
             affinity = resolve_scheme(self.scheme, self.spec,
                                       self.workload.ntasks,
                                       parked=self.parked)
+        if self.effective_tier() == "fast":
+            from ..surrogate import (SurrogateUnsupportedError,
+                                     evaluate_request, unsupported_reason)
+            reason = unsupported_reason(self.workload, self.profile,
+                                        self.faults)
+            if reason:  # explicit tier="fast" on an unsupported cell
+                raise SurrogateUnsupportedError(
+                    f"{self.label()}: {reason}")
+            return evaluate_request(self.spec, self.workload, affinity,
+                                    impl=self.impl or OPENMPI,
+                                    lock=self.lock)
         runner = JobRunner(self.spec, affinity, impl=self.impl or OPENMPI,
                            lock=self.lock, profile=self.profile,
                            faults=self.faults)
@@ -307,6 +344,29 @@ def set_default_faults(plan: Optional[FaultPlan]) -> None:
 def default_faults() -> Optional[FaultPlan]:
     """The process-wide fault plan, or ``None``."""
     return _DEFAULT_FAULTS
+
+
+_DEFAULT_TIER: Optional[str] = None
+
+
+def set_default_tier(tier: Optional[str]) -> None:
+    """Install an execution tier for every request without its own.
+
+    The CLIs' ``--tier``.  Like :func:`set_default_faults`, the tier is
+    materialized *into* each request at batch entry — before keying, and
+    by value, because worker processes do not share this module's
+    globals.
+    """
+    global _DEFAULT_TIER
+    if tier not in (None, "fast", "exact", "auto"):
+        raise ValueError(
+            f"tier must be 'fast', 'exact' or 'auto', got {tier!r}")
+    _DEFAULT_TIER = tier
+
+
+def default_tier() -> Optional[str]:
+    """The process-wide execution tier, or ``None`` (exact)."""
+    return _DEFAULT_TIER
 
 
 _POOL: Optional[ProcessPoolExecutor] = None
@@ -530,6 +590,8 @@ def run_request(request: JobRequest,
     cache = cache if cache is not None else default_cache()
     if _DEFAULT_FAULTS is not None and request.faults is None:
         request = replace(request, faults=_DEFAULT_FAULTS)
+    if _DEFAULT_TIER is not None and request.tier is None:
+        request = replace(request, tier=_DEFAULT_TIER)
     stats = _POOL_STATS
     stats.cells += 1
     try:
@@ -573,6 +635,9 @@ def run_requests(requests: Sequence[JobRequest],
     if _DEFAULT_FAULTS is not None:
         requests = [replace(r, faults=_DEFAULT_FAULTS)
                     if r.faults is None else r for r in requests]
+    if _DEFAULT_TIER is not None:
+        requests = [replace(r, tier=_DEFAULT_TIER)
+                    if r.tier is None else r for r in requests]
     stats = _POOL_STATS
     stats.batches += 1
     stats.cells += len(requests)

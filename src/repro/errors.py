@@ -32,6 +32,7 @@ __all__ = [
     "ProtocolError",
     "QueueFullError",
     "SessionClosedError",
+    "SurrogateUnsupportedError",
     "JobFailedError",
     "error_code",
     "from_wire",
@@ -128,6 +129,20 @@ class SessionClosedError(ReproError):
     code = "session_closed"
 
 
+class SurrogateUnsupportedError(ReproError):
+    """The analytic fast tier cannot evaluate this cell.
+
+    Raised by :mod:`repro.surrogate` for cells whose semantics only the
+    discrete-event engine can honour — marker profiling, fault plans,
+    wildcard receives.  ``tier="auto"`` callers never see it (the
+    executor falls back to the exact tier); explicit ``tier="fast"``
+    callers do, because silently answering with a different model than
+    the one requested would be worse than failing.
+    """
+
+    code = "surrogate_unsupported"
+
+
 class JobFailedError(ReproError):
     """An accepted job ran and failed (crash, stall, exhausted faults).
 
@@ -150,7 +165,8 @@ _BY_CODE: Dict[str, Type[ReproError]] = {
     cls.code: cls
     for cls in (ReproError, InfeasibleSchemeError, NoFeasibleSchemeError,
                 UnknownMetricError, UnknownNameError, ProtocolError,
-                QueueFullError, SessionClosedError, JobFailedError)
+                QueueFullError, SessionClosedError,
+                SurrogateUnsupportedError, JobFailedError)
 }
 
 

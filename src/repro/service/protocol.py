@@ -15,6 +15,7 @@ A **cell** names its inputs through :mod:`~repro.service.registry`::
 
     {"system": "longs", "workload": "stream", "ntasks": 4,
      "scheme": "interleave", "lock": null, "parked": 0, "tag": "t0",
+     "tier": "fast",           # "fast" | "exact" | "auto" (optional)
      "params": {...}}          # extra workload parameters (optional)
 
 Responses are ``{"status": "ok", ...}`` or the wire form of a
@@ -81,10 +82,15 @@ def cell_from_wire(cell: Any) -> RunRequest:
     lock = cell.get("lock")
     if lock is not None and not isinstance(lock, str):
         raise ProtocolError("'lock' must be a string or null")
+    tier = cell.get("tier")
+    if tier is not None and tier not in ("fast", "exact", "auto"):
+        raise ProtocolError(
+            "'tier' must be 'fast', 'exact', 'auto' or null")
     tag = cell.get("tag")
     return RunRequest(system=system, workload=workload, scheme=scheme,
                       lock=lock, parked=int(cell.get("parked", 0)),
                       profile=bool(cell.get("profile", False)),
+                      tier=tier,
                       tag=str(tag) if tag is not None else None)
 
 

@@ -545,7 +545,8 @@ class Session:
 
     def scheme_sweep(self, system, workload_factory, task_counts,
                      schemes=None, impl=None, lock=None,
-                     value=None, title="", jobs=None) -> TableResult:
+                     value=None, title="", jobs=None,
+                     tier=None) -> TableResult:
         """A paper-style numactl table for one workload on one system.
 
         Rows are task counts, columns the affinity schemes; infeasible
@@ -565,7 +566,7 @@ class Session:
             for scheme in schemes:
                 requests.append(RunRequest(system=system, workload=workload,
                                            scheme=scheme, impl=impl,
-                                           lock=lock))
+                                           lock=lock, tier=tier))
         with span("sweep", kind="scheme_sweep", table=table.title,
                   cells=len(requests)):
             results = self.run_many(requests, jobs=jobs)
@@ -579,7 +580,8 @@ class Session:
         return table
 
     def compare_schemes(self, system, workload_factory, schemes=None,
-                        impl=None, lock=None, value=None, jobs=None):
+                        impl=None, lock=None, value=None, jobs=None,
+                        tier=None):
         """Run one workload under every feasible scheme and rank them."""
         from ..core.experiment import ALL_SCHEMES, SchemeComparison
 
@@ -587,7 +589,8 @@ class Session:
         value = value if value is not None else (lambda r: r.wall_time)
         workload = workload_factory()
         requests = [RunRequest(system=system, workload=workload,
-                               scheme=scheme, impl=impl, lock=lock)
+                               scheme=scheme, impl=impl, lock=lock,
+                               tier=tier)
                     for scheme in schemes]
         with span("sweep", kind="compare_schemes", workload=workload.name,
                   cells=len(requests)):
@@ -603,7 +606,8 @@ class Session:
 
     def scaling_study(self, systems, workload_factory, task_counts,
                       scheme=None, impl=None, value=None, title="",
-                      metric="efficiency", jobs=None) -> TableResult:
+                      metric="efficiency", jobs=None,
+                      tier=None) -> TableResult:
         """Parallel-efficiency (or speedup) rows per system (Table 4)."""
         from ..core.affinity import AffinityScheme
 
@@ -621,14 +625,15 @@ class Session:
             requests.append(RunRequest(system=system,
                                        workload=workload_factory(1),
                                        scheme=AffinityScheme.DEFAULT,
-                                       impl=impl))
+                                       impl=impl, tier=tier))
             cells.append((system, None))
             for n in task_counts:
                 if n > system.total_cores:
                     continue
                 requests.append(RunRequest(system=system,
                                            workload=workload_factory(n),
-                                           scheme=scheme, impl=impl))
+                                           scheme=scheme, impl=impl,
+                                           tier=tier))
                 cells.append((system, n))
         with span("sweep", kind="scaling_study", table=table.title,
                   cells=len(requests)):

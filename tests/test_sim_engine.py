@@ -291,3 +291,46 @@ def test_determinism_same_program_same_trace():
         return log
 
     assert build() == build()
+
+
+def test_urgent_callback_preempts_normal_at_equal_time():
+    # The hot loop orders the schedule by (time, priority, seq): an
+    # urgent callback scheduled *after* a normal one for the same
+    # instant must still run first.
+    eng = Engine()
+    order = []
+    eng.schedule_callback(1.0, lambda ev: order.append("normal"))
+    eng.schedule_callback(1.0, lambda ev: order.append("urgent"), urgent=True)
+    eng.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_equal_time_urgent_callbacks_keep_schedule_order():
+    # Among equal (time, priority) entries the sequence number breaks
+    # the tie, so same-priority callbacks fire in scheduling order.
+    eng = Engine()
+    order = []
+    for tag in ("a", "b", "c"):
+        eng.schedule_callback(2.0, lambda ev, t=tag: order.append(t),
+                              urgent=True)
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_urgent_priority_constants_are_ordered():
+    assert Engine.PRIORITY_URGENT < Engine.PRIORITY_NORMAL
+
+
+def test_drained_engine_step_raises_empty_schedule():
+    # run() must leave the schedule truly empty -- no dead entries left
+    # behind by the urgent path's pre-triggered events.
+    eng = Engine()
+    eng.schedule_callback(0.5, lambda ev: None, urgent=True)
+
+    def program(eng):
+        yield eng.timeout(1.0)
+
+    eng.process(program(eng))
+    eng.run()
+    with pytest.raises(EmptySchedule):
+        eng.step()

@@ -18,7 +18,7 @@ from repro.sim.trace import Tracer, reset_dropped, total_dropped
 from repro.telemetry import ledger
 from repro.telemetry.history import metric_series, render_history
 from repro.telemetry.ledger import RunRecorder
-from repro.telemetry.regress import evaluate
+from repro.telemetry.regress import evaluate, run_class
 from repro.telemetry.spans import active_recorder, set_recorder, span
 
 
@@ -119,7 +119,7 @@ def _record(run_id, elapsed=10.0, hits=90, misses=10, rho=0.95,
     return {
         "schema": 1, "tool": "bench", "run_id": run_id,
         "elapsed_s": elapsed, "config_hash": config_hash,
-        "cache": {"memory_hits": hits, "disk_hits": 0, "misses": misses},
+        "cache": {"memory_hits": 0, "disk_hits": hits, "misses": misses},
         "targets": [{"name": n, "seconds": s, "cache_hits": 0,
                      "cache_misses": 0} for n, s in targets],
         "fidelity": {"Table 2": {"cells": 44, "rank_correlation": rho,
@@ -161,11 +161,11 @@ def test_regress_trips_on_per_target_slowdown():
 
 
 def test_regress_trips_on_cache_collapse():
-    collapsed = _record("r3", hits=20, misses=15)  # warm but rate 0.57->fail?
+    collapsed = _record("r3", hits=20, misses=15)  # warm (disk >= misses)
     # baseline hit rate 0.9; candidate 20/35 = 0.57 is above 0.45 -> pass
     _s, failures, _n = evaluate([_record("r1"), _record("r2"), collapsed])
     assert failures == []
-    collapsed = _record("r3", hits=40, misses=39)  # rate 0.506 > 0.5: warm
+    collapsed = _record("r3", hits=40, misses=39)  # still warm: 40 >= 39
     # 0.506 is above half the 0.9 baseline -> still fine
     _s, failures, _n = evaluate([_record("r1"), _record("r2"), collapsed])
     assert failures == []
@@ -179,6 +179,26 @@ def test_regress_does_not_compare_across_cache_classes():
                                                              elapsed=2.1)])
     assert failures == []
     assert summary["baseline_runs"] == ["warm1"]
+
+
+def test_run_class_coalesced_cold_run_is_cold():
+    # The seed-cold failure mode: duplicate sweep cells coalesce into
+    # *memory* hits (rate 0.54), but every unique cell missed on disk —
+    # that run simulated everything and must classify cold.
+    record = {"cache": {"memory_hits": 76, "disk_hits": 0, "misses": 64}}
+    assert run_class(record) == "cold"
+
+
+def test_run_class_disk_replay_is_warm():
+    record = {"cache": {"memory_hits": 3, "disk_hits": 80, "misses": 2}}
+    assert run_class(record) == "warm"
+
+
+def test_run_class_partial_records_fall_back_to_hit_rate():
+    # Without a miss counter only the aggregate rate is recoverable.
+    assert run_class({"cache": {"memory_hits": 9, "disk_hits": 0}}) == "warm"
+    assert run_class({"cache": {"hits": 9, "misses": 1}}) == "cold"
+    assert run_class({}) == "cold"
 
 
 def test_regress_no_bench_records_raises():
