@@ -198,6 +198,140 @@ def scenario_killed_service_worker() -> Tuple[bool, List[str]]:
     return ok, notes
 
 
+def scenario_killed_shard() -> Tuple[bool, List[str]]:
+    """A shard dying mid-replay costs capacity, never accepted jobs.
+
+    Brings up a 3-shard in-process cluster (TCP shards over one shared
+    content-addressed store, rendezvous-hashing router), replays a
+    trace with duplicate cells through the router, and kills the home
+    shard of the hottest cell mid-replay.  The promises under test:
+    every request still answers (zero accepted jobs lost — rerouted
+    cells recompute or hit the shared store on a fallback shard), and
+    the honest cells stay byte-identical to a serial baseline.
+    """
+    import threading
+
+    from ..cluster.replay import run_replay
+    from ..cluster.router import Router, shard_for_key
+    from ..service.daemon import TcpServiceServer
+    from ..service.protocol import cell_from_wire
+    from ..service.session import Session
+    from ..service.transport import serve_in_thread
+
+    notes: List[str] = []
+    ok = True
+    cells = [
+        {"system": "tiger", "workload": "stream", "ntasks": 2,
+         "tier": "fast"},
+        {"system": "tiger", "workload": "cg", "ntasks": 2, "tier": "fast"},
+        {"system": "dmz", "workload": "stream", "ntasks": 4,
+         "scheme": "interleave", "tier": "fast"},
+        {"system": "dmz", "workload": "dgemm", "ntasks": 2,
+         "tier": "fast"},
+    ]
+    # duplicates across "clients": every cell appears 4 times
+    trace = [{"t": 0.0, "cell": dict(cell)} for cell in cells * 4]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        shared = os.path.join(tmp, "store")
+        servers = []
+        shard_list = []
+        for i in range(3):
+            session = Session(cache=ResultCache(directory=shared),
+                              jobs=1, name=f"chaos-shard-{i}")
+            server = TcpServiceServer(("127.0.0.1", 0), session)
+            serve_in_thread(server, name=f"chaos-shard-{i}")
+            servers.append(server)
+            shard_list.append((f"shard-{i}", server.address))
+        router = Router(shard_list, retries=2, backoff_s=0.02,
+                        health_interval_s=0.1)
+        from ..service.transport import make_server
+
+        front = make_server(("127.0.0.1", 0), router.handle_message)
+        serve_in_thread(front, name="chaos-router")
+        router.start_health_checks()
+
+        victim = shard_for_key(router._cell_key(cells[0]),
+                               [name for name, _ in shard_list])
+        victim_index = int(victim.rsplit("-", 1)[1])
+        killed = threading.Event()
+
+        def maybe_kill(index: int, outcome) -> None:
+            # hard-stop the victim once a third of the trace answered,
+            # with most of the replay still ahead of it
+            if index >= len(trace) // 3 and not killed.is_set():
+                killed.set()
+                servers[victim_index].initiate_shutdown()
+                servers[victim_index].close()
+
+        try:
+            report = run_replay(front.address, trace, rate=0.0,
+                                clients=4, timeout=60.0,
+                                on_result=maybe_kill)
+        finally:
+            router.stop()
+            for i, server in enumerate(servers):
+                if i != victim_index:
+                    server.initiate_shutdown()
+                    server.close()
+            front.initiate_shutdown()
+            front.close()
+
+        if not killed.is_set():
+            ok = False
+            notes.append("the kill never fired; replay finished too fast")
+        if report["errors"]:
+            ok = False
+            notes.append(f"{report['errors']} request(s) failed "
+                         f"({report['error_codes']}); every accepted "
+                         "job must answer")
+        else:
+            notes.append(f"all {report['requests']} requests answered "
+                         f"through the shard kill "
+                         f"(p99 {report['latency_p99_ms']:.1f} ms)")
+        survivors = {shard for shard in
+                     report["per_shard_utilization"] if shard != victim}
+        if not survivors:
+            ok = False
+            notes.append("no surviving shard served any traffic")
+        coalesce_sources = (report["sources"].get("coalesced", 0)
+                            + report["sources"].get("cache", 0))
+        if not coalesce_sources:
+            ok = False
+            notes.append("duplicate cells neither coalesced nor hit "
+                         "the shared store")
+        else:
+            notes.append(f"duplicates collapsed: {coalesce_sources} of "
+                         f"{report['requests']} served without "
+                         f"recomputing (coalesce rate "
+                         f"{report['coalesce_rate']:.2f})")
+
+        # byte-identity of honest cells vs a serial baseline
+        with Session(cache=ResultCache(
+                directory=os.path.join(tmp, "serial")),
+                jobs=1, name="chaos-serial") as baseline_session, \
+                Session(cache=ResultCache(directory=shared),
+                        jobs=1, name="chaos-check") as check_session:
+            for cell in cells:
+                request = cell_from_wire(cell)
+                baseline = baseline_session.run(request)
+                # the shared store holds what the cluster computed
+                replayed = check_session.run(request)
+                if not baseline.ok or not replayed.ok \
+                        or baseline.job.to_dict() != replayed.job.to_dict():
+                    ok = False
+                    notes.append(f"cell {cell['workload']} on "
+                                 f"{cell['system']} diverged from the "
+                                 "serial baseline")
+        from ..core import parallel
+
+        parallel.shutdown_pool()
+    if ok:
+        notes.append(f"shard {victim} killed mid-replay; router "
+                     "rerouted with zero accepted-job loss")
+    return ok, notes
+
+
 def scenario_hung_worker() -> Tuple[bool, List[str]]:
     """A wedged worker trips the stall watchdog; the batch completes."""
     from ..core import parallel
@@ -394,6 +528,7 @@ def scenario_sim_faults() -> Tuple[bool, List[str]]:
 SCENARIOS: Dict[str, Callable[[], Tuple[bool, List[str]]]] = {
     "killed-worker": scenario_killed_worker,
     "killed-service-worker": scenario_killed_service_worker,
+    "killed-shard": scenario_killed_shard,
     "hung-worker": scenario_hung_worker,
     "corrupted-cache": scenario_corrupted_cache,
     "torn-ledger": scenario_torn_ledger,

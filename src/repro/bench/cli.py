@@ -17,6 +17,8 @@ Usage::
     repro-bench micro                # engine/surrogate microbenchmarks
     repro-bench serve                # characterization service daemon
     repro-bench submit --workload stream   # submit a cell to the daemon
+    repro-bench cluster up --shards 3      # sharded cluster + TCP router
+    repro-bench replay --trace t.jsonl     # replay traffic, report p50/p99
 
 Tables and CSVs always go to stdout byte-identically regardless of
 ``--jobs``/caching/telemetry; diagnostics (``--timings``,
@@ -131,7 +133,8 @@ def _fidelity_scores(results: Dict) -> Dict:
 def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("history", "regress", "doctor", "chaos",
-                            "serve", "submit", "micro"):
+                            "serve", "submit", "micro", "cluster",
+                            "replay"):
         # maintenance/service subcommands own their argument parsing
         if argv[0] == "history":
             from ..telemetry.history import main as sub_main
@@ -145,6 +148,10 @@ def main(argv=None) -> int:
             from ..service.daemon import main as sub_main
         elif argv[0] == "submit":
             from ..service.daemon import submit_main as sub_main
+        elif argv[0] == "cluster":
+            from ..cluster.manager import main as sub_main
+        elif argv[0] == "replay":
+            from ..cluster.replay import main as sub_main
         else:
             from .chaos import main as sub_main
         return sub_main(argv[1:])
@@ -159,7 +166,10 @@ def main(argv=None) -> int:
                "scans/repairs the cache and ledger stores, 'repro-bench "
                "chaos' self-tests crash and corruption recovery, "
                "'repro-bench serve' runs the characterization service "
-               "daemon and 'repro-bench submit' sends cells to it.",
+               "daemon, 'repro-bench submit' sends cells to it, "
+               "'repro-bench cluster' manages a sharded multi-daemon "
+               "cluster and 'repro-bench replay' replays recorded "
+               "traffic against it.",
     )
     parser.add_argument("targets", nargs="*",
                         help="targets like tab02, fig08, or 'all' / 'list'")

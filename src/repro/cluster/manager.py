@@ -1,0 +1,360 @@
+"""``repro-bench cluster``: bring up / inspect / tear down a cluster.
+
+``up`` launches N shard daemons as subprocesses (each a plain
+``repro-bench serve`` on a TCP port, all sharing one content-addressed
+cache directory) and then serves the :class:`~.router.Router` on the
+front-door address **in the foreground** — exactly like ``serve``, so
+shells, CI jobs, and process supervisors manage a cluster the same way
+they manage a single daemon.  A state file (``.repro/cluster.json`` by
+default) records the topology for the other verbs and for
+``repro-bench replay``:
+
+* ``status`` — ping the router, print per-shard health/counters and
+  the cluster-wide coalesce ratio;
+* ``route``  — ask where a cell would land (key + fallback order),
+  with no simulation side effects;
+* ``down``   — graceful shutdown: drain every shard, stop the router.
+
+Shutting down writes a ``tool="cluster"`` ledger record (with
+``--ledger``) carrying router counters and cluster gauges, so
+``history``/``regress`` see cluster traffic alongside everything else.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.transport import format_address, make_server, \
+    parse_address, request, serve_in_thread
+from .router import Router
+
+__all__ = ["main", "launch_shard", "read_state", "wait_for_ping"]
+
+DEFAULT_STATE_PATH = ".repro/cluster.json"
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_BASE_PORT = 7070
+
+
+def launch_shard(name: str, address: Tuple[str, int],
+                 cache_dir: Optional[str], jobs: Optional[int] = None,
+                 queue_depth: int = 64,
+                 log_dir: Optional[str] = None) -> subprocess.Popen:
+    """Start one shard daemon subprocess (does not wait for readiness)."""
+    argv = [sys.executable, "-m", "repro.service.daemon",
+            "--tcp", format_address(address), "--name", name,
+            "--queue-depth", str(queue_depth), "-q"]
+    if cache_dir:
+        argv += ["--cache-dir", cache_dir]
+    if jobs is not None:
+        argv += ["--jobs", str(jobs)]
+    stderr = None
+    if log_dir:
+        os.makedirs(log_dir, exist_ok=True)
+        stderr = open(os.path.join(log_dir, f"{name}.log"), "ab")
+    env = dict(os.environ)
+    src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.Popen(argv, stdin=subprocess.DEVNULL,
+                            stdout=stderr, stderr=stderr, env=env)
+    if stderr is not None:
+        stderr.close()  # the child holds its own descriptor now
+    return proc
+
+
+def wait_for_ping(address, deadline_s: float = 15.0,
+                  interval_s: float = 0.05) -> bool:
+    """Poll an endpoint with pings until it answers or time runs out."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        try:
+            if request(address, {"op": "ping"},
+                       timeout=2.0).get("status") == "ok":
+                return True
+        except (OSError, ValueError):
+            pass
+        time.sleep(interval_s)
+    return False
+
+
+def write_state(path: str, state: Dict[str, Any]) -> None:
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(state, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def read_state(path: str = DEFAULT_STATE_PATH) -> Dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _cmd_up(args: argparse.Namespace) -> int:
+    host = args.host
+    router_address = parse_address(args.router) if args.router \
+        else (host, args.base_port - 1)
+    shard_addresses = [(f"shard-{i}", (host, args.base_port + i))
+                       for i in range(args.shards)]
+    cache_dir = args.cache_dir or os.path.join(".repro", "cluster-cache")
+
+    recorder = None
+    if args.ledger or args.ledger_dir:
+        from ..telemetry import ledger as run_ledger
+
+        recorder = run_ledger.RunRecorder(
+            tool="cluster", argv=args.raw_argv).start()
+
+    procs: List[subprocess.Popen] = []
+    try:
+        for name, address in shard_addresses:
+            procs.append(launch_shard(
+                name, address, cache_dir, jobs=args.jobs,
+                queue_depth=args.queue_depth, log_dir=args.log_dir))
+        for name, address in shard_addresses:
+            if not wait_for_ping(address, deadline_s=args.start_timeout):
+                print(f"shard {name} did not come up on "
+                      f"{format_address(address)}", file=sys.stderr)
+                raise SystemExit(2)
+        router = Router(shard_addresses, retries=args.retries,
+                        backoff_s=args.backoff,
+                        health_interval_s=args.health_interval)
+        server = make_server(router_address, router.handle_message)
+        router.start_health_checks()
+    except BaseException:
+        for proc in procs:
+            proc.terminate()
+        raise
+
+    state = {
+        "router": format_address(server.address),
+        "shards": {name: format_address(address)
+                   for name, address in shard_addresses},
+        "pids": {name: procs[i].pid
+                 for i, (name, _) in enumerate(shard_addresses)},
+        "cache_dir": cache_dir,
+        "router_pid": os.getpid(),
+    }
+    write_state(args.state, state)
+    print(f"[cluster router on {state['router']}; "
+          f"{len(procs)} shards: "
+          f"{', '.join(state['shards'].values())}; "
+          f"state in {args.state}]", file=sys.stderr)
+
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, server.initiate_shutdown)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    thread = serve_in_thread(server, name="cluster-router")
+    try:
+        while thread.is_alive():
+            thread.join(timeout=0.2)
+    finally:
+        router.stop()
+        # the router's shutdown op already fanned out to the shards on
+        # a protocol-initiated shutdown; cover the signal path too
+        for (name, address), proc in zip(shard_addresses, procs):
+            if proc.poll() is None:
+                try:
+                    request(address, {"op": "shutdown"}, timeout=30.0)
+                except (OSError, ValueError):
+                    proc.terminate()
+        deadline = time.monotonic() + 30.0
+        for proc in procs:
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        server.close()
+        snapshot = router.snapshot()
+        print(f"[cluster down: routed {snapshot['routed']}, "
+              f"rerouted {snapshot['rerouted']}, "
+              f"forward failures {snapshot['forward_failures']}]",
+              file=sys.stderr)
+        if recorder is not None:
+            from ..telemetry import ledger as run_ledger
+
+            record = recorder.finish(
+                config={"shards": args.shards,
+                        "router": state["router"],
+                        "cache_dir": cache_dir},
+                cluster=snapshot,
+                gauges=router.cluster_gauges({}),
+            )
+            path = run_ledger.append(record, args.ledger_dir)
+            print(f"[cluster run {record['run_id']} recorded to {path}]",
+                  file=sys.stderr)
+        try:
+            os.unlink(args.state)
+        except OSError:
+            pass
+    return 0
+
+
+def _router_address(args: argparse.Namespace):
+    if args.connect:
+        return parse_address(args.connect)
+    try:
+        state = read_state(args.state)
+    except (OSError, ValueError):
+        print(f"no cluster state at {args.state} (is the cluster up? "
+              f"or pass --connect host:port)", file=sys.stderr)
+        raise SystemExit(2)
+    return parse_address(state["router"])
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    address = _router_address(args)
+    try:
+        response = request(address, {"op": "stats"}, timeout=30.0)
+    except (OSError, ValueError) as exc:
+        print(f"router unreachable at {format_address(address)}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(response, sort_keys=True))
+        return 0 if response.get("status") == "ok" else 1
+    cluster = response.get("cluster", {})
+    shards = cluster.get("shards", {})
+    alive = sum(1 for entry in shards.values() if entry.get("alive"))
+    print(f"cluster @ {format_address(address)}: "
+          f"{alive}/{len(shards)} shards alive, "
+          f"coalesce rate {cluster.get('coalesce_rate', 0.0):.3f}, "
+          f"routed {cluster.get('routed', 0)} "
+          f"(rerouted {cluster.get('rerouted', 0)}, "
+          f"unroutable {cluster.get('unroutable', 0)})")
+    for name in sorted(shards):
+        entry = shards[name]
+        stats = entry.get("stats", {})
+        state_word = "up" if entry.get("alive") else "DOWN"
+        print(f"  {name:<10} {entry.get('address', '?'):<21} "
+              f"{state_word:<5} forwarded {entry.get('forwarded', 0):>5} "
+              f"completed {stats.get('completed', 0):>5} "
+              f"coalesced {stats.get('coalesced', 0):>5} "
+              f"cache hits {stats.get('cache_hits', 0):>5}")
+    return 0
+
+
+def _cmd_route(args: argparse.Namespace) -> int:
+    address = _router_address(args)
+    cell = {"system": args.system, "workload": args.workload,
+            "ntasks": args.ntasks, "scheme": args.scheme,
+            "parked": args.parked}
+    try:
+        response = request(address, {"op": "route", "cell": cell},
+                           timeout=30.0)
+    except (OSError, ValueError) as exc:
+        print(f"router unreachable at {format_address(address)}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json or response.get("status") != "ok":
+        print(json.dumps(response, sort_keys=True))
+        return 0 if response.get("status") == "ok" else 1
+    print(f"key {response['key'][:16]}… -> {response['shard']} "
+          f"(fallbacks: {', '.join(response['fallbacks']) or 'none'})")
+    return 0
+
+
+def _cmd_down(args: argparse.Namespace) -> int:
+    address = _router_address(args)
+    try:
+        response = request(address, {"op": "shutdown"}, timeout=60.0)
+    except (OSError, ValueError) as exc:
+        print(f"router unreachable at {format_address(address)}: {exc} "
+              f"(already down?)", file=sys.stderr)
+        return 2
+    print(json.dumps(response.get("shards", {}), sort_keys=True))
+    # wait for the router endpoint to actually stop answering
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            request(address, {"op": "ping"}, timeout=1.0)
+        except (OSError, ValueError):
+            return 0 if response.get("status") == "ok" else 1
+        time.sleep(0.1)
+    print("router still answering after shutdown", file=sys.stderr)
+    return 1
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-bench cluster``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench cluster",
+        description="Manage a sharded characterization cluster: N serve "
+                    "daemons sharded by cache content address behind a "
+                    "TCP router.",
+    )
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    up = sub.add_parser("up", help="launch shards + serve the router "
+                                   "(foreground)")
+    up.add_argument("--shards", type=int, default=3, metavar="N")
+    up.add_argument("--host", default=DEFAULT_HOST)
+    up.add_argument("--base-port", type=int, default=DEFAULT_BASE_PORT,
+                    metavar="PORT",
+                    help="shard i listens on PORT+i; the router takes "
+                         "PORT-1 unless --router is given")
+    up.add_argument("--router", metavar="HOST:PORT", default=None)
+    up.add_argument("--cache-dir", metavar="DIR", default=None,
+                    help="shared content-addressed store for all shards "
+                         "(default: .repro/cluster-cache)")
+    up.add_argument("--jobs", type=int, default=None, metavar="N",
+                    help="worker processes per shard")
+    up.add_argument("--queue-depth", type=int, default=64, metavar="N")
+    up.add_argument("--retries", type=int, default=2, metavar="N",
+                    help="extra reroute passes over the shard set")
+    up.add_argument("--backoff", type=float, default=0.05, metavar="S")
+    up.add_argument("--health-interval", type=float, default=0.5,
+                    metavar="S")
+    up.add_argument("--start-timeout", type=float, default=20.0,
+                    metavar="S")
+    up.add_argument("--log-dir", metavar="DIR", default=None,
+                    help="per-shard daemon logs (default: discard)")
+    up.add_argument("--ledger", action="store_true")
+    up.add_argument("--ledger-dir", metavar="DIR", default=None)
+
+    status = sub.add_parser("status", help="per-shard health + counters")
+    route = sub.add_parser("route", help="where would this cell land?")
+    down = sub.add_parser("down", help="drain every shard, stop the "
+                                       "router")
+    for verb in (up, status, route, down):
+        verb.add_argument("--state", metavar="PATH",
+                          default=DEFAULT_STATE_PATH,
+                          help=f"cluster state file (default: "
+                               f"{DEFAULT_STATE_PATH})")
+    for verb in (status, route, down):
+        verb.add_argument("--connect", metavar="HOST:PORT", default=None,
+                          help="router address (overrides the state "
+                               "file)")
+    for verb in (status, route):
+        verb.add_argument("--json", action="store_true")
+    route.add_argument("--system", default="longs")
+    route.add_argument("--workload", required=True)
+    route.add_argument("--ntasks", type=int, default=4)
+    route.add_argument("--scheme", default="default")
+    route.add_argument("--parked", type=int, default=0)
+
+    args = parser.parse_args(argv)
+    args.raw_argv = argv
+    if args.verb == "up":
+        return _cmd_up(args)
+    if args.verb == "status":
+        return _cmd_status(args)
+    if args.verb == "route":
+        return _cmd_route(args)
+    return _cmd_down(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

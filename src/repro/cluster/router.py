@@ -1,0 +1,437 @@
+"""The cluster router: content-address sharding over N serve daemons.
+
+The router speaks the same NDJSON protocol as a single daemon — clients
+cannot tell the difference — and forwards every cell to one of N shards
+picked by **rendezvous (highest-random-weight) hashing of the cell's
+cache content address** (:meth:`RunRequest.key`).  That choice is what
+keeps the PR-5 coalescing guarantee cluster-wide: identical cells from
+any client hash to the same shard, whose session collapses them onto
+one in-flight simulation, while the shards' shared content-addressed
+disk store (``--cache-dir``) is the second cache tier under each
+shard's session memo.
+
+Rendezvous hashing also gives every key a *stable fallback order* over
+the shard set: when the preferred shard is dead the router forwards to
+the next shard in that key's order (retry with backoff), so a killed
+shard degrades capacity instead of availability.  Simulation cells are
+deterministic and content-addressed, which makes re-forwarding safe:
+a job lost with a dying shard is simply recomputed by the fallback
+shard, so **no accepted job is ever lost** — at worst one is computed
+twice.  Only when every shard is unreachable does a request fail, with
+the typed :class:`~repro.errors.ShardUnavailableError` wire code.
+
+A background health prober pings shards on an interval and after
+forwarding failures, so routing tables recover automatically when a
+shard comes back.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ProtocolError, ReproError, ShardUnavailableError, \
+    error_code
+from ..service.protocol import PROTOCOL_VERSION, cell_from_wire
+from ..service.transport import Address, format_address, parse_address, \
+    request
+
+__all__ = ["Router", "ShardState", "rendezvous_order", "shard_for_key"]
+
+
+def _weight(shard_name: str, key: str) -> int:
+    digest = hashlib.sha256(f"{shard_name}|{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rendezvous_order(key: str, shard_names: Sequence[str]) -> List[str]:
+    """All shards ordered by highest-random-weight for ``key``.
+
+    The first entry is the home shard; the rest are the stable fallback
+    order used when shards die.  Removing one shard from the set never
+    reshuffles keys between the surviving shards — only the dead
+    shard's keys move (to their next-ranked shard), which preserves
+    both cache locality and in-flight coalescing on the survivors.
+    """
+    return sorted(shard_names, key=lambda name: _weight(name, key),
+                  reverse=True)
+
+
+def shard_for_key(key: str, shard_names: Sequence[str]) -> str:
+    """The home shard of a content address."""
+    return rendezvous_order(key, shard_names)[0]
+
+
+@dataclass
+class ShardState:
+    """Router-side view of one shard."""
+
+    name: str
+    address: Address
+    alive: bool = True
+    forwarded: int = 0
+    failures: int = 0
+    last_error: Optional[str] = None
+    last_seen: float = field(default_factory=time.monotonic)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "address": format_address(self.address),
+                "alive": self.alive,
+                "forwarded": self.forwarded,
+                "failures": self.failures,
+                "last_error": self.last_error}
+
+
+class Router:
+    """Shard-picking request forwarder behind one NDJSON endpoint.
+
+    ``handle_message`` is the transport hook — plug it into
+    :func:`~repro.service.transport.make_server` and the router serves
+    the full daemon protocol, plus the router-only ``route`` op (where
+    would this cell go?) with no simulation side effects.
+    """
+
+    def __init__(self, shards: Sequence[Tuple[str, Union[str, Address]]],
+                 retries: int = 2, backoff_s: float = 0.05,
+                 health_interval_s: float = 0.5,
+                 request_timeout_s: float = 600.0,
+                 name: str = "router"):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard")
+        self.name = name
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.request_timeout_s = request_timeout_s
+        self._shards: Dict[str, ShardState] = {}
+        for shard_name, address in shards:
+            self._shards[shard_name] = ShardState(
+                name=shard_name, address=parse_address(address))
+        self._lock = threading.Lock()
+        self.routed = 0
+        self.rerouted = 0
+        self.forward_failures = 0
+        self.unroutable = 0
+        self._health_interval_s = health_interval_s
+        self._stop = threading.Event()
+        self._prober: Optional[threading.Thread] = None
+
+    # -- health ------------------------------------------------------------
+
+    def start_health_checks(self) -> None:
+        """Run the background prober (idempotent)."""
+        if self._prober is not None:
+            return
+        self._prober = threading.Thread(target=self._probe_loop,
+                                        name=f"{self.name}-health",
+                                        daemon=True)
+        self._prober.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def _probe_loop(self) -> None:
+        while not self._stop.wait(self._health_interval_s):
+            self.check_health()
+
+    def check_health(self) -> Dict[str, bool]:
+        """Ping every shard once; returns name -> alive."""
+        results: Dict[str, bool] = {}
+        for shard in list(self._shards.values()):
+            try:
+                response = request(shard.address, {"op": "ping"},
+                                   timeout=2.0)
+                ok = response.get("status") == "ok"
+            except (OSError, ValueError):
+                ok = False
+            with self._lock:
+                shard.alive = ok
+                if ok:
+                    shard.last_seen = time.monotonic()
+            results[shard.name] = ok
+        return results
+
+    # -- routing -----------------------------------------------------------
+
+    def shard_names(self) -> List[str]:
+        return list(self._shards)
+
+    def _cell_key(self, cell: Any) -> str:
+        """The routing key of a wire cell.
+
+        The cache content address when the cell has one — that is what
+        makes coalescing and the per-shard memo line up cluster-wide.
+        Uncacheable cells fall back to a hash of their canonical wire
+        form: stable, but private to the router.
+        """
+        key = cell_from_wire(cell).key()
+        if key is not None:
+            return key
+        canonical = json.dumps(cell, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def _order_for_key(self, key: str) -> List[ShardState]:
+        """Rendezvous order for ``key``, known-dead shards demoted.
+
+        Dead shards stay in the order (a stale health verdict must not
+        make a key unroutable) but are tried last.
+        """
+        ranked = [self._shards[name]
+                  for name in rendezvous_order(key, list(self._shards))]
+        return sorted(ranked, key=lambda s: 0 if s.alive else 1)
+
+    def _forward(self, key: str, message: Dict[str, Any]
+                 ) -> Dict[str, Any]:
+        """Send one message to the key's shard, rerouting on failure.
+
+        Tries the full fallback order, then backs off and repeats, up
+        to ``retries`` extra passes; only when every pass exhausts
+        every shard does the request fail (and then with a typed
+        *pre-acceptance* error: nothing was lost).
+        """
+        last_error: Optional[BaseException] = None
+        home = rendezvous_order(key, list(self._shards))[0]
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            for shard in self._order_for_key(key):
+                try:
+                    response = request(shard.address, message,
+                                       timeout=self.request_timeout_s)
+                except (OSError, ValueError) as exc:
+                    last_error = exc
+                    with self._lock:
+                        self.forward_failures += 1
+                        shard.alive = False
+                        shard.failures += 1
+                        shard.last_error = f"{type(exc).__name__}: {exc}"
+                    continue
+                with self._lock:
+                    shard.alive = True
+                    shard.last_seen = time.monotonic()
+                    shard.forwarded += 1
+                    self.routed += 1
+                    if shard.name != home:
+                        self.rerouted += 1
+                response.setdefault("shard", shard.name)
+                return response
+        with self._lock:
+            self.unroutable += 1
+        raise ShardUnavailableError(
+            f"no live shard for key {key[:12]}… after "
+            f"{self.retries + 1} passes over {len(self._shards)} shards "
+            f"(last error: {last_error})")
+
+    # -- protocol ----------------------------------------------------------
+
+    def handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one decoded request (the transport hook)."""
+        op = message.get("op")
+        try:
+            if op == "ping":
+                return {"status": "ok", "op": "ping",
+                        "protocol": PROTOCOL_VERSION,
+                        "session": self.name, "router": True,
+                        "shards": len(self._shards)}
+            if op == "stats":
+                return self._stats_response()
+            if op == "route":
+                return self._route_response(message)
+            if op == "submit":
+                cell = message.get("cell")
+                key = self._cell_key(cell)
+                return self._forward(key, {"op": "submit", "cell": cell})
+            if op == "batch":
+                return self._batch_response(message)
+            if op in ("drain", "shutdown"):
+                return self._fanout_response(op)
+            raise ProtocolError(f"unknown op {op!r}")
+        except BaseException as exc:
+            if isinstance(exc, ReproError):
+                wire = exc.to_wire()
+            else:
+                wire = {"status": "error", "code": error_code(exc),
+                        "message": f"{type(exc).__name__}: {exc}"}
+            wire["op"] = op
+            return wire
+
+    def _route_response(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        key = self._cell_key(message.get("cell"))
+        order = rendezvous_order(key, list(self._shards))
+        return {"status": "ok", "op": "route", "key": key,
+                "shard": order[0],
+                "fallbacks": order[1:],
+                "alive": {name: self._shards[name].alive
+                          for name in order}}
+
+    def _batch_response(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        cells = message.get("cells")
+        if not isinstance(cells, list) or not cells:
+            raise ProtocolError("'cells' must be a non-empty list")
+        # group by home shard so per-shard sub-batches keep the
+        # session-side batching/coalescing win, then forward the
+        # sub-batches concurrently and reassemble in request order
+        groups: Dict[str, List[int]] = {}
+        keys: List[str] = []
+        for index, cell in enumerate(cells):
+            try:
+                key = self._cell_key(cell)
+            except ReproError as exc:
+                keys.append("")
+                groups.setdefault("", []).append(index)
+                cells[index] = exc  # malformed: answer without routing
+                continue
+            keys.append(key)
+            home = shard_for_key(key, list(self._shards))
+            groups.setdefault(home, []).append(index)
+        results: List[Optional[Dict[str, Any]]] = [None] * len(cells)
+
+        def forward_group(indices: List[int]) -> None:
+            bad = [i for i in indices if isinstance(cells[i], ReproError)]
+            for i in bad:
+                wire = cells[i].to_wire()
+                wire["op"] = "submit"
+                results[i] = wire
+            good = [i for i in indices if i not in bad]
+            if not good:
+                return
+            sub = {"op": "batch", "cells": [cells[i] for i in good]}
+            try:
+                response = self._forward(keys[good[0]], sub)
+            except ReproError as exc:
+                for i in good:
+                    results[i] = exc.to_wire()
+                return
+            answers = response.get("results", [])
+            shard = response.get("shard")
+            for slot, i in enumerate(good):
+                if slot < len(answers):
+                    answer = dict(answers[slot])
+                    if shard is not None:
+                        answer.setdefault("shard", shard)
+                    results[i] = answer
+                else:  # a short reply is a shard bug; keep it visible
+                    results[i] = {"status": "error", "code": "internal",
+                                  "message": "shard returned a short "
+                                             "batch reply"}
+
+        threads = [threading.Thread(target=forward_group, args=(idx,),
+                                    daemon=True)
+                   for idx in groups.values()]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return {"status": "ok", "op": "batch", "results": results}
+
+    def _stats_response(self) -> Dict[str, Any]:
+        per_shard: Dict[str, Any] = {}
+        totals: Dict[str, float] = {}
+        gauges_by_shard: Dict[str, Dict[str, Any]] = {}
+        for shard in self._shards.values():
+            entry = shard.as_dict()
+            try:
+                response = request(shard.address, {"op": "stats"},
+                                   timeout=5.0)
+            except (OSError, ValueError) as exc:
+                entry["error"] = f"{type(exc).__name__}: {exc}"
+                with self._lock:
+                    shard.alive = False
+                per_shard[shard.name] = entry
+                continue
+            with self._lock:
+                shard.alive = True
+            entry["stats"] = response.get("stats", {})
+            entry["gauges"] = response.get("gauges", {})
+            gauges_by_shard[shard.name] = entry["gauges"]
+            for field_name, value in entry["stats"].items():
+                if isinstance(value, (int, float)):
+                    totals[field_name] = totals.get(field_name, 0) + value
+            per_shard[shard.name] = entry
+        lookups = (totals.get("coalesced", 0) + totals.get("cache_hits", 0)
+                   + totals.get("accepted", 0))
+        coalesce_rate = round(totals.get("coalesced", 0) / lookups, 6) \
+            if lookups else 0.0
+        return {"status": "ok", "op": "stats", "router": True,
+                "stats": totals,
+                "gauges": self.cluster_gauges(totals),
+                "cluster": {"shards": per_shard,
+                            "coalesce_rate": coalesce_rate,
+                            "routed": self.routed,
+                            "rerouted": self.rerouted,
+                            "forward_failures": self.forward_failures,
+                            "unroutable": self.unroutable}}
+
+    def cluster_gauges(self, totals: Optional[Dict[str, float]] = None
+                       ) -> Dict[str, float]:
+        """Cluster-wide gauges in the ledger's ``service_*`` shape."""
+        if totals is None:
+            totals = {}
+            for shard in self._shards.values():
+                try:
+                    response = request(shard.address, {"op": "stats"},
+                                       timeout=5.0)
+                except (OSError, ValueError):
+                    continue
+                for field_name, value in response.get("stats",
+                                                      {}).items():
+                    if isinstance(value, (int, float)):
+                        totals[field_name] = \
+                            totals.get(field_name, 0) + value
+        lookups = (totals.get("coalesced", 0) + totals.get("cache_hits", 0)
+                   + totals.get("accepted", 0))
+        return {
+            "service_coalesce_hits": totals.get("coalesced", 0),
+            "service_cache_hits": totals.get("cache_hits", 0),
+            "service_rejected": totals.get("rejected", 0),
+            "service_coalesce_rate":
+                round(totals.get("coalesced", 0) / lookups, 6)
+                if lookups else 0.0,
+            "cluster_shards": len(self._shards),
+            "cluster_shards_alive": sum(
+                1 for s in self._shards.values() if s.alive),
+            "cluster_routed": self.routed,
+            "cluster_rerouted": self.rerouted,
+            "cluster_forward_failures": self.forward_failures,
+        }
+
+    def _fanout_response(self, op: str) -> Dict[str, Any]:
+        """Forward drain/shutdown to every shard; never partial-fail."""
+        shards: Dict[str, Any] = {}
+        ok = True
+        for shard in self._shards.values():
+            try:
+                response = request(shard.address, {"op": op},
+                                   timeout=self.request_timeout_s)
+                shards[shard.name] = response.get("status")
+            except (OSError, ValueError) as exc:
+                shards[shard.name] = f"unreachable: {exc}"
+                # an unreachable shard fails a drain (work may be lost
+                # from the caller's view) but not a shutdown — "down"
+                # is already that shard's goal state
+                if op == "drain":
+                    ok = False
+                with self._lock:
+                    shard.alive = False
+        if op == "shutdown":
+            self.stop()
+        return {"status": "ok" if ok else "error", "op": op,
+                "shards": shards,
+                "gauges": self.cluster_gauges() if op == "drain" else
+                {"cluster_routed": self.routed,
+                 "cluster_rerouted": self.rerouted}}
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Router-local state (no shard round-trips) for status/ledger."""
+        with self._lock:
+            return {"name": self.name,
+                    "routed": self.routed,
+                    "rerouted": self.rerouted,
+                    "forward_failures": self.forward_failures,
+                    "unroutable": self.unroutable,
+                    "shards": [s.as_dict()
+                               for s in self._shards.values()]}

@@ -32,6 +32,7 @@ __all__ = [
     "ProtocolError",
     "QueueFullError",
     "SessionClosedError",
+    "ShardUnavailableError",
     "SurrogateUnsupportedError",
     "JobFailedError",
     "error_code",
@@ -129,6 +130,24 @@ class SessionClosedError(ReproError):
     code = "session_closed"
 
 
+class ShardUnavailableError(ReproError):
+    """The cluster router could not reach any shard for a request.
+
+    Raised (and sent over the wire) by :mod:`repro.cluster` only after
+    the retry/backoff schedule exhausted every live shard in the
+    rendezvous fallback order — a single dead shard never surfaces this,
+    because the router reroutes to the next shard for the key.  Like
+    :class:`QueueFullError` this is a *pre-acceptance* failure: no shard
+    accepted the job, so nothing was lost and the client may retry.
+    """
+
+    code = "shard_unavailable"
+
+    def __init__(self, message: str, retry_after: float = 0.5):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
 class SurrogateUnsupportedError(ReproError):
     """The analytic fast tier cannot evaluate this cell.
 
@@ -165,7 +184,7 @@ _BY_CODE: Dict[str, Type[ReproError]] = {
     cls.code: cls
     for cls in (ReproError, InfeasibleSchemeError, NoFeasibleSchemeError,
                 UnknownMetricError, UnknownNameError, ProtocolError,
-                QueueFullError, SessionClosedError,
+                QueueFullError, SessionClosedError, ShardUnavailableError,
                 SurrogateUnsupportedError, JobFailedError)
 }
 

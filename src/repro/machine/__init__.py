@@ -12,7 +12,8 @@ from .machine import Machine
 from .memory import MemorySystem
 from .params import DEFAULT_PARAMS, GB, KB, MB, PerfParams
 from .render import describe, distance_table
-from .systems import SYSTEM_TABLE, all_systems, by_name, dmz, longs, tiger
+from .systems import SYSTEM_TABLE, all_systems, by_name, chiplet, dmz, \
+    longs, tiger
 from .whatif import hypothetical
 from .topology import (
     Core,
@@ -45,6 +46,7 @@ __all__ = [
     "tiger",
     "dmz",
     "longs",
+    "chiplet",
     "by_name",
     "all_systems",
     "SYSTEM_TABLE",

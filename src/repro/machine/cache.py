@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .topology import CoreSpec
+from .topology import CoreSpec, SocketSpec
 
 __all__ = ["CacheModel", "traffic_factor"]
 
@@ -54,11 +54,28 @@ class CacheModel:
     #: fault injection: fraction of the cache left enabled (way disable);
     #: 1.0 is the healthy default and multiplies capacity exactly
     capacity_factor: float = 1.0
+    #: per-core share of a socket-shared L3 (0 on the paper's K8 parts);
+    #: chiplet presets set this to l3_bytes / cores_per_socket
+    l3_share_bytes: float = 0.0
+
+    @classmethod
+    def for_socket(cls, socket: SocketSpec,
+                   traffic_floor: float = 0.02) -> "CacheModel":
+        """The per-core model of a socket, L3 share folded in.
+
+        Both the discrete-event engine and the analytic surrogate build
+        their cache model through here, so the two execution tiers stay
+        in capacity agreement by construction.
+        """
+        return cls(socket.core, traffic_floor=traffic_floor,
+                   l3_share_bytes=socket.l3_share_bytes)
 
     @property
     def capacity(self) -> float:
-        """Effective per-core capacity (L2 dominates on K8; L1 folded in)."""
-        return (self.core.l2_bytes + self.core.l1d_bytes) * self.capacity_factor
+        """Effective per-core capacity (L2 dominates on K8; L1 folded
+        in; chiplet parts add their split-L3 per-core share)."""
+        return (self.core.l2_bytes + self.core.l1d_bytes
+                + self.l3_share_bytes) * self.capacity_factor
 
     def dram_traffic_factor(self, working_set: float, reuse: float) -> float:
         """Multiplier applied to a phase's natural DRAM traffic."""

@@ -54,8 +54,8 @@ class Machine:
             perf.bind(self.engine, len(self.cores))
         self.net = Interconnect(self.engine, spec, perf=perf)
         self.mem = MemorySystem(self.engine, spec, self.net, perf=perf)
-        self.cache = CacheModel(spec.socket.core,
-                                traffic_floor=spec.params.compulsory_traffic_floor)
+        self.cache = CacheModel.for_socket(
+            spec.socket, traffic_floor=spec.params.compulsory_traffic_floor)
         if fault_plan is not None and fault_plan:
             # Lazy import: the faults package is only loaded (and the
             # scheduler's arm/disarm events only scheduled) when a run

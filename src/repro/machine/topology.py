@@ -52,12 +52,28 @@ class CoreSpec:
 
 @dataclass(frozen=True)
 class SocketSpec:
-    """Static description of one socket: cores plus the memory link."""
+    """Static description of one socket: cores plus the memory link.
+
+    ``l3_bytes`` is a socket-shared last-level cache, ``0`` on the
+    paper's K8 Opterons (private L2 only).  Chiplet-era presets model
+    each CCX/CCD as one "socket" whose split L3 slice is private to its
+    cores — the defining feature of the hierarchy — so the analytic
+    cache model folds a per-core share (``l3_bytes /
+    cores_per_socket``) into effective capacity.
+    """
 
     cores_per_socket: int
     core: CoreSpec
     dram_peak_bandwidth: float = 6.4 * GB  # DDR-400 dual channel
     dram_bytes: int = 4 * 1024 ** 3
+    l3_bytes: int = 0
+
+    @property
+    def l3_share_bytes(self) -> float:
+        """Per-core share of the socket's L3 (0 when there is no L3)."""
+        if not self.l3_bytes:
+            return 0.0
+        return self.l3_bytes / self.cores_per_socket
 
 
 @dataclass(frozen=True)

@@ -1,19 +1,22 @@
-"""``repro-bench serve`` / ``submit``: the service over a Unix socket.
+"""``repro-bench serve`` / ``submit``: the service over a stream socket.
 
-The daemon wraps one :class:`~.session.Session` in a threaded
-``AF_UNIX`` accept loop speaking the NDJSON protocol of
-:mod:`~.protocol`.  Each connection gets a handler thread, so a slow
-sweep on one connection never blocks a ``stats`` probe on another;
-coalescing happens inside the shared session, which is exactly what
-makes concurrent identical submits from different clients collapse
-into one simulation.
+The daemon wraps one :class:`~.session.Session` behind the shared
+NDJSON transport of :mod:`~.transport` — a Unix socket by default, a
+TCP endpoint with ``--tcp host:port``, or both at once.  Each
+connection gets a handler thread, so a slow sweep on one connection
+never blocks a ``stats`` probe on another; coalescing happens inside
+the shared session, which is exactly what makes concurrent identical
+submits from different clients collapse into one simulation.  The same
+daemon is what :mod:`repro.cluster` launches N times as the shards of
+a sharded cluster.
 
 Shutdown is **graceful by construction**: a ``shutdown`` op (or
 SIGTERM/SIGINT) drains the session — every accepted job completes and
-answers its client — before the socket closes.  With ``--ledger`` the
+answers its client — before the sockets close.  With ``--ledger`` the
 daemon appends a ``tool="serve"`` run record carrying the service
-counters and gauges, so ``repro-bench history``/``regress`` cover
-served traffic alongside batch runs.
+counters, gauges, and a bounded **traffic log** of the cells it served
+(what ``repro-bench replay`` replays), so ``repro-bench history``/
+``regress`` cover served traffic alongside batch runs.
 """
 
 from __future__ import annotations
@@ -21,96 +24,124 @@ from __future__ import annotations
 import argparse
 import json
 import logging
-import os
 import signal
-import socket
-import socketserver
 import sys
 import threading
-from typing import Any, Dict, List, Optional
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
 
-from ..errors import ReproError
-from .protocol import decode_line, encode_line, handle_request
+from .protocol import handle_request
 from .session import Session
+from .transport import (
+    TcpNdjsonServer,
+    UnixNdjsonServer,
+    format_address,
+    parse_address,
+    request,
+    serve_in_thread,
+)
 
-__all__ = ["ServiceServer", "main", "request_over_socket", "submit_main"]
+__all__ = ["ServiceFrontend", "ServiceServer", "TcpServiceServer",
+           "main", "request_over_socket", "submit_main"]
 
 _LOG = logging.getLogger("repro.service.daemon")
 
-
-class _Handler(socketserver.StreamRequestHandler):
-    def handle(self) -> None:
-        server: "ServiceServer" = self.server  # type: ignore[assignment]
-        while True:
-            line = self.rfile.readline()
-            if not line:
-                return
-            if not line.strip():
-                continue
-            try:
-                message = decode_line(line)
-            except ReproError as exc:
-                self.wfile.write(encode_line(exc.to_wire()))
-                continue
-            response = handle_request(server.session, message)
-            try:
-                self.wfile.write(encode_line(response))
-                self.wfile.flush()
-            except (BrokenPipeError, OSError):
-                return
-            if response.get("op") == "shutdown" \
-                    and response.get("status") == "ok":
-                server.initiate_shutdown()
-                return
+#: bounded traffic-log length folded into the serve ledger record
+TRAFFIC_LOG_LIMIT = 512
 
 
-class ServiceServer(socketserver.ThreadingMixIn,
-                    socketserver.UnixStreamServer):
-    """Threaded Unix-socket server around one shared session."""
+class ServiceFrontend:
+    """The transport-independent half of the daemon: one shared session.
 
-    daemon_threads = True
-    allow_reuse_address = True
+    ``handle_message`` is what both socket servers call per request
+    line; it additionally keeps a bounded **traffic log** — arrival
+    offset plus wire cell for every submit/batch cell — which the
+    ledger record carries so recorded traffic can be replayed later by
+    ``repro-bench replay``.
+    """
 
-    def __init__(self, socket_path: str, session: Session):
+    def __init__(self, session: Session,
+                 traffic_limit: int = TRAFFIC_LOG_LIMIT):
         self.session = session
-        self.socket_path = socket_path
-        self._shutdown_started = threading.Event()
-        if os.path.exists(socket_path):
-            os.unlink(socket_path)  # a previous daemon's stale socket
-        super().__init__(socket_path, _Handler)
+        self._t0 = time.perf_counter()
+        self._traffic: Deque[Dict[str, Any]] = deque(maxlen=traffic_limit)
+        self._requests_seen = 0
+        self._lock = threading.Lock()
 
-    def initiate_shutdown(self) -> None:
-        """Stop the accept loop from any thread (idempotent)."""
-        if self._shutdown_started.is_set():
-            return
-        self._shutdown_started.set()
-        # shutdown() blocks until serve_forever exits, so hop threads
-        threading.Thread(target=self.shutdown, daemon=True).start()
+    def handle_message(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        op = message.get("op")
+        if op == "submit":
+            self._observe([message.get("cell")])
+        elif op == "batch":
+            cells = message.get("cells")
+            if isinstance(cells, list):
+                self._observe(cells)
+        return handle_request(self.session, message)
 
-    def close(self) -> None:
-        self.server_close()
-        try:
-            os.unlink(self.socket_path)
-        except OSError:
-            pass
+    def _observe(self, cells: List[Any]) -> None:
+        now = round(time.perf_counter() - self._t0, 6)
+        with self._lock:
+            for cell in cells:
+                if isinstance(cell, dict):
+                    self._requests_seen += 1
+                    self._traffic.append({"t": now, "cell": cell})
+
+    def traffic(self) -> Dict[str, Any]:
+        """The traffic log in its ledger/replay form."""
+        with self._lock:
+            return {"requests": self._requests_seen,
+                    "recorded": list(self._traffic)}
 
 
-def request_over_socket(socket_path: str, message: Dict[str, Any],
+class ServiceServer(UnixNdjsonServer):
+    """Threaded Unix-socket server around one shared session.
+
+    Binding a path with a leftover socket file from a crashed daemon
+    reclaims it after a connect-probe; a live daemon on the same path
+    fails the bind instead of being clobbered
+    (:func:`~.transport.prepare_unix_socket`).
+    """
+
+    def __init__(self, socket_path: str, session: Session,
+                 frontend: Optional[ServiceFrontend] = None):
+        self.session = session
+        self.frontend = frontend or ServiceFrontend(session)
+        super().__init__(socket_path, self.frontend.handle_message)
+
+    @property
+    def socket_path(self) -> str:
+        return self.address
+
+
+class TcpServiceServer(TcpNdjsonServer):
+    """Threaded TCP server around one shared session (the shard form)."""
+
+    def __init__(self, address, session: Session,
+                 frontend: Optional[ServiceFrontend] = None):
+        self.session = session
+        self.frontend = frontend or ServiceFrontend(session)
+        super().__init__(address, self.frontend.handle_message)
+
+
+def request_over_socket(socket_path, message: Dict[str, Any],
                         timeout: float = 600.0) -> Dict[str, Any]:
-    """Client side: send one request line, read one response line."""
-    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
-        sock.settimeout(timeout)
-        sock.connect(socket_path)
-        sock.sendall(encode_line(message))
-        buffer = b""
-        while not buffer.endswith(b"\n"):
-            chunk = sock.recv(65536)
-            if not chunk:
-                break
-            buffer += chunk
-    if not buffer.strip():
-        raise ConnectionError("server closed the connection mid-request")
-    return json.loads(buffer.decode())
+    """Client side: one request line out, one response line back.
+
+    Accepts a Unix socket path or a TCP ``host:port`` spelling — the
+    transport is chosen by the address form.
+    """
+    return request(socket_path, message, timeout=timeout)
+
+
+def _link_shutdown(servers: List[Any]) -> None:
+    """Make a shutdown arriving on any listener stop every listener."""
+    def stop_all(*_args) -> None:
+        for server in servers:
+            type(server).initiate_shutdown(server)
+
+    for server in servers:
+        server.initiate_shutdown = stop_all  # type: ignore[assignment]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -119,12 +150,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="repro-bench serve",
         description="Run the characterization service: an async batched "
                     "job server with request coalescing, admission "
-                    "control, and graceful drain, over a Unix socket.",
+                    "control, and graceful drain, over a Unix socket "
+                    "and/or TCP.",
     )
-    parser.add_argument("--socket", metavar="PATH",
-                        default=".repro/service.sock",
+    parser.add_argument("--socket", metavar="PATH", default=None,
                         help="Unix socket path (default: "
-                             ".repro/service.sock)")
+                             ".repro/service.sock unless --tcp is given)")
+    parser.add_argument("--tcp", metavar="HOST:PORT", default=None,
+                        help="also (or instead) listen on a TCP endpoint; "
+                             "port 0 picks a free port")
     parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                         help="worker processes for batched cells")
     parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
@@ -143,7 +177,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="retry budget for crashed/stalled cells")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="serve from an isolated result cache "
-                             "directory instead of the process default")
+                             "directory instead of the process default "
+                             "(cluster shards share one via this flag)")
+    parser.add_argument("--name", default="serve",
+                        help="session name (shards use shard-N)")
     parser.add_argument("--ledger", action="store_true",
                         help="append a serve-run record to the ledger "
                              "on shutdown")
@@ -167,7 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       max_batch=args.max_batch,
                       batch_window=args.batch_window,
                       timeout=args.timeout, retries=args.retries,
-                      name="serve")
+                      name=args.name)
+    frontend = ServiceFrontend(session)
 
     recorder = None
     if args.ledger or args.ledger_dir:
@@ -175,24 +213,40 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         recorder = run_ledger.RunRecorder(tool="serve", argv=argv).start()
 
-    socket_dir = os.path.dirname(args.socket)
-    if socket_dir:
-        os.makedirs(socket_dir, exist_ok=True)
-    server = ServiceServer(args.socket, session)
+    servers: List[Any] = []
+    try:
+        if args.socket or not args.tcp:
+            servers.append(ServiceServer(
+                args.socket or ".repro/service.sock", session, frontend))
+        if args.tcp:
+            servers.append(TcpServiceServer(
+                parse_address(args.tcp), session, frontend))
+    except OSError as exc:
+        print(f"cannot listen: {exc}", file=sys.stderr)
+        for server in servers:
+            server.close()
+        return 2
+    _link_shutdown(servers)
     for signum in (signal.SIGTERM, signal.SIGINT):
         try:
-            signal.signal(signum,
-                          lambda *_: server.initiate_shutdown())
+            signal.signal(signum, servers[0].initiate_shutdown)
         except ValueError:  # pragma: no cover - non-main thread
             pass
 
-    print(f"[repro service listening on {args.socket}]", file=sys.stderr)
+    for server in servers:
+        print(f"[repro service listening on "
+              f"{format_address(server.address)}]", file=sys.stderr)
+    threads = [serve_in_thread(server, name=f"serve-{i}")
+               for i, server in enumerate(servers)]
     try:
-        server.serve_forever(poll_interval=0.1)
+        while any(thread.is_alive() for thread in threads):
+            for thread in threads:
+                thread.join(timeout=0.2)
     finally:
-        # drain before the socket goes away: accepted jobs all answer
+        # drain before the sockets go away: accepted jobs all answer
         session.close(drain=True)
-        server.close()
+        for server in servers:
+            server.close()
         stats = session.stats
         print(f"[drained: {stats.completed} completed, "
               f"{stats.coalesced} coalesced, {stats.rejected} rejected, "
@@ -205,11 +259,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             cache_obj = session.cache if cache is not None \
                 else default_cache()
             record = recorder.finish(
-                config={"socket": args.socket, "jobs": args.jobs,
+                config={"socket": args.socket, "tcp": args.tcp,
+                        "jobs": args.jobs,
                         "queue_depth": args.queue_depth,
                         "batch_window": args.batch_window},
                 service=stats.as_dict(),
                 gauges=session.gauges(),
+                traffic=frontend.traffic(),
                 cache=cache_obj.stats.as_dict(),
                 pool=parallel.pool_stats().as_dict(),
             )
@@ -229,10 +285,12 @@ def _print_result(wire: Dict[str, Any], as_json: bool) -> None:
     status = wire.get("status")
     if status == "ok" and "result" in wire:
         result = wire["result"]
+        shard = f" shard {wire['shard']}" if "shard" in wire else ""
         print(f"{result.get('workload')} on {result.get('system')} "
               f"[{result.get('scheme')}] x{result.get('ntasks')}: "
               f"wall {result.get('wall_time'):.6g}s "
-              f"({wire.get('source')}, wait {wire.get('wait_s', 0):.3g}s)")
+              f"({wire.get('source')}, wait {wire.get('wait_s', 0):.3g}s"
+              f"{shard})")
     elif status == "ok":
         print(json.dumps(wire, sort_keys=True))
     else:
@@ -246,12 +304,16 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench submit",
         description="Submit characterization cells to a running "
-                    "'repro-bench serve' daemon over its Unix socket.",
+                    "'repro-bench serve' daemon or cluster router over "
+                    "its Unix socket or TCP endpoint.",
     )
     parser.add_argument("--socket", metavar="PATH",
                         default=".repro/service.sock")
+    parser.add_argument("--connect", metavar="ADDR", default=None,
+                        help="service address (host:port or socket "
+                             "path; overrides --socket)")
     parser.add_argument("--system", default="longs",
-                        help="system preset (tiger/dmz/longs)")
+                        help="system preset (tiger/dmz/longs/chiplet)")
     parser.add_argument("--workload", default=None,
                         help="registered workload name (e.g. stream, cg)")
     parser.add_argument("--ntasks", type=int, default=4)
@@ -274,6 +336,7 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="client-side response timeout (seconds)")
     args = parser.parse_args(argv)
+    address = args.connect or args.socket
 
     requests: List[Dict[str, Any]] = []
     if args.ping:
@@ -303,10 +366,10 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     for message in requests:
         try:
-            response = request_over_socket(args.socket, message,
+            response = request_over_socket(address, message,
                                            timeout=args.timeout)
         except (OSError, ValueError) as exc:
-            print(f"cannot reach service at {args.socket}: {exc}",
+            print(f"cannot reach service at {address}: {exc}",
                   file=sys.stderr)
             return 2
         if message["op"] == "batch" and response.get("status") == "ok" \

@@ -1,0 +1,286 @@
+"""Shared NDJSON transport: Unix-socket and TCP servers plus clients.
+
+Every service endpoint — the single-session ``repro-bench serve``
+daemon and the :mod:`repro.cluster` router — speaks the same
+newline-delimited-JSON protocol (:mod:`~.protocol`) over a stream
+socket.  This module owns everything transport-shaped so the daemon and
+the router only implement ``handle_message``:
+
+* **address parsing**: ``"host:port"`` (or ``tcp://host:port``) is TCP,
+  anything else (or ``unix://path``) is a Unix socket path, so one
+  ``--connect`` flag reaches either transport;
+* **server plumbing**: threaded accept loops (one handler thread per
+  connection), a bounded request-line size, typed error replies for
+  undecodable or oversized lines, and resilience to clients that
+  disconnect mid-stream;
+* **stale-socket recovery**: binding a Unix path that already exists
+  probes it first — a live daemon is never clobbered (the bind fails
+  with a clear error), a leftover socket from a crashed daemon is
+  removed and reclaimed;
+* **client side**: one-shot ``request()`` (connect, one line out, one
+  line in) used by the CLI clients, the router's forwarding path, and
+  the replay load generator.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import socketserver
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from ..errors import ProtocolError, ReproError
+from .protocol import decode_line, encode_line
+
+__all__ = [
+    "Address",
+    "MAX_LINE_BYTES",
+    "format_address",
+    "make_server",
+    "parse_address",
+    "prepare_unix_socket",
+    "request",
+    "serve_in_thread",
+]
+
+_LOG = logging.getLogger("repro.service.transport")
+
+#: hard bound on one NDJSON request line; longer lines are rejected with
+#: a typed ``protocol_error`` and the connection dropped (the stream
+#: cannot be re-framed past an unterminated line)
+MAX_LINE_BYTES = 1 << 20
+
+#: a Unix socket path, or a (host, port) TCP endpoint
+Address = Union[str, Tuple[str, int]]
+
+
+def parse_address(text: Union[str, Address]) -> Address:
+    """Resolve one CLI spelling into a transport address.
+
+    ``tcp://host:port`` and ``host:port`` become a TCP endpoint;
+    ``unix://path`` and everything else stay a Unix socket path.  A
+    bare ``:port`` binds/connects on localhost.
+    """
+    if isinstance(text, tuple):
+        return (str(text[0]), int(text[1]))
+    if text.startswith("unix://"):
+        return text[len("unix://"):]
+    if text.startswith("tcp://"):
+        text = text[len("tcp://"):]
+    elif "/" in text or ":" not in text:
+        return text
+    host, _, port = text.rpartition(":")
+    if not port.isdigit():
+        return text
+    return (host or "127.0.0.1", int(port))
+
+
+def format_address(address: Address) -> str:
+    """The canonical printable form of an address."""
+    if isinstance(address, tuple):
+        return f"{address[0]}:{address[1]}"
+    return address
+
+
+def prepare_unix_socket(path: str) -> None:
+    """Make ``path`` bindable, without ever clobbering a live daemon.
+
+    A leftover socket file from a crashed daemon would otherwise fail
+    the bind with ``Address already in use``.  Probe it: when a connect
+    succeeds something is still accepting there and binding must fail
+    loudly; when the connect is refused (or the file is not a socket at
+    all, which unlink surfaces) the file is stale and is removed.
+    """
+    if not os.path.exists(path):
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(path)
+    except OSError:
+        # nothing accepting: a crashed daemon's leftover — reclaim it
+        _LOG.warning("removing stale service socket %s", path)
+        os.unlink(path)
+    else:
+        raise OSError(
+            f"socket {path} is in use by a live daemon; "
+            f"shut it down first or serve on a different path")
+    finally:
+        probe.close()
+
+
+class _NdjsonHandler(socketserver.StreamRequestHandler):
+    """One connection: read request lines, write response lines.
+
+    Client-caused failures (garbage lines, oversized lines, mid-stream
+    disconnects) never take the server down — they answer with a typed
+    error or end this connection only.
+    """
+
+    def handle(self) -> None:  # noqa: C901 - one loop, explicit cases
+        server = self.server  # type: ignore[assignment]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except OSError:
+                return  # client vanished mid-line
+            if not line:
+                return  # clean disconnect
+            if len(line) > MAX_LINE_BYTES:
+                # the rest of the stream is unframeable: answer, drop
+                error = ProtocolError(
+                    f"request line exceeds {MAX_LINE_BYTES} bytes")
+                self._reply(error.to_wire())
+                return
+            if not line.strip():
+                continue
+            try:
+                message = decode_line(line)
+            except ReproError as exc:
+                if not self._reply(exc.to_wire()):
+                    return
+                continue
+            try:
+                response = server.handle_message(message)
+            except BaseException as exc:  # a handler bug, not a protocol
+                _LOG.exception("handler error for op %r",
+                               message.get("op"))
+                response = {"status": "error", "code": "internal",
+                            "message": f"{type(exc).__name__}: {exc}"}
+            if not self._reply(response):
+                return
+            if server.is_shutdown_response(response):
+                server.initiate_shutdown()
+                return
+
+    def _reply(self, response: Dict[str, Any]) -> bool:
+        """Write one response line; False when the client went away."""
+        try:
+            self.wfile.write(encode_line(response))
+            self.wfile.flush()
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
+
+
+class _NdjsonServerCore:
+    """Behaviour shared by the Unix and TCP NDJSON servers."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def _init_core(self,
+                   handle_message: Callable[[Dict[str, Any]],
+                                            Dict[str, Any]]) -> None:
+        self.handle_message = handle_message
+        self._shutdown_started = threading.Event()
+
+    def is_shutdown_response(self, response: Dict[str, Any]) -> bool:
+        return (response.get("op") == "shutdown"
+                and response.get("status") == "ok")
+
+    def initiate_shutdown(self) -> None:
+        """Stop the accept loop from any thread (idempotent)."""
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        # shutdown() blocks until serve_forever exits, so hop threads
+        threading.Thread(target=self.shutdown, daemon=True).start()
+
+
+class UnixNdjsonServer(_NdjsonServerCore, socketserver.ThreadingMixIn,
+                       socketserver.UnixStreamServer):
+    """Threaded NDJSON server on a Unix socket path."""
+
+    def __init__(self, path: str,
+                 handle_message: Callable[[Dict[str, Any]],
+                                          Dict[str, Any]]):
+        self._init_core(handle_message)
+        self.address = path
+        prepare_unix_socket(path)
+        super().__init__(path, _NdjsonHandler)
+
+    def close(self) -> None:
+        self.server_close()
+        try:
+            os.unlink(self.address)
+        except OSError:
+            pass
+
+
+class TcpNdjsonServer(_NdjsonServerCore, socketserver.ThreadingMixIn,
+                      socketserver.TCPServer):
+    """Threaded NDJSON server on a TCP host:port."""
+
+    def __init__(self, address: Tuple[str, int],
+                 handle_message: Callable[[Dict[str, Any]],
+                                          Dict[str, Any]]):
+        self._init_core(handle_message)
+        super().__init__(address, _NdjsonHandler)
+        #: the bound endpoint (resolves port 0 to the kernel's choice)
+        self.address: Tuple[str, int] = self.server_address[:2]
+
+    def close(self) -> None:
+        self.server_close()
+
+
+def make_server(address: Union[str, Address],
+                handle_message: Callable[[Dict[str, Any]], Dict[str, Any]],
+                ) -> Union[UnixNdjsonServer, TcpNdjsonServer]:
+    """An NDJSON server for ``address``, transport chosen by its form."""
+    resolved = parse_address(address)
+    if isinstance(resolved, tuple):
+        return TcpNdjsonServer(resolved, handle_message)
+    return UnixNdjsonServer(resolved, handle_message)
+
+
+def serve_in_thread(server: Union[UnixNdjsonServer, TcpNdjsonServer],
+                    name: str = "ndjson-server") -> threading.Thread:
+    """Run ``serve_forever`` on a daemon thread (tests, in-process shards)."""
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              name=name, daemon=True)
+    thread.start()
+    return thread
+
+
+def _connect(address: Address, timeout: float) -> socket.socket:
+    if isinstance(address, tuple):
+        return socket.create_connection(address, timeout=timeout)
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(address)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def request(address: Union[str, Address], message: Dict[str, Any],
+            timeout: float = 600.0) -> Dict[str, Any]:
+    """Client side: send one request line, read one response line.
+
+    Raises :class:`ConnectionError`/:class:`OSError` when the endpoint
+    is unreachable or closes mid-request — the router's health tracking
+    and the CLI clients both key off those.
+    """
+    resolved = parse_address(address)
+    with _connect(resolved, timeout) as sock:
+        sock.sendall(encode_line(message))
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+    if not buffer.strip():
+        raise ConnectionError(
+            f"{format_address(resolved)} closed the connection mid-request")
+    return json.loads(buffer.decode())

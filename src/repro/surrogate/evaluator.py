@@ -223,8 +223,8 @@ class SurrogateEvaluator:
             1.0 + params.coherence_probe_cost * (spec.sockets - 1))
         self.ctrl_capacity = (spec.socket.dram_peak_bandwidth
                               * params.dram_achievable_fraction * coherence)
-        self.cache = CacheModel(spec.socket.core,
-                                traffic_floor=params.compulsory_traffic_floor)
+        self.cache = CacheModel.for_socket(
+            spec.socket, traffic_floor=params.compulsory_traffic_floor)
         self.sharers = affinity.controller_sharers()
         self.buffer_nodes = affinity.buffer_nodes()
         n = affinity.ntasks

@@ -33,6 +33,24 @@ def _gauge(name: str) -> Callable[[Dict[str, Any]], Optional[float]]:
     return lambda r: (r.get("gauges") or {}).get(name)
 
 
+def _replay(name: str) -> Callable[[Dict[str, Any]], Optional[float]]:
+    return lambda r: (r.get("replay") or {}).get(name)
+
+
+def _cluster_coalesce(record: Dict[str, Any]) -> Optional[float]:
+    """Cluster-wide coalesce ratio, wherever the record carries it."""
+    replay = record.get("replay") or {}
+    if replay.get("coalesce_rate") is not None:
+        return replay["coalesce_rate"]
+    cluster = record.get("cluster") or {}
+    if cluster.get("coalesce_rate") is not None:
+        return cluster["coalesce_rate"]
+    gauges = record.get("gauges") or {}
+    if gauges.get("cluster_shards") is not None:
+        return gauges.get("service_coalesce_rate")
+    return None
+
+
 #: metric name -> extractor over one ledger record
 METRICS: Dict[str, Callable[[Dict[str, Any]], Optional[float]]] = {
     "elapsed": lambda r: r.get("elapsed_s"),
@@ -44,7 +62,51 @@ METRICS: Dict[str, Callable[[Dict[str, Any]], Optional[float]]] = {
     "coalesce-rate": _gauge("service_coalesce_rate"),
     "wait-max": _gauge("service_wait_seconds_max"),
     "rejected": _gauge("service_rejected"),
+    # cluster / replay metrics (None outside cluster and replay runs)
+    "cluster-coalesce": _cluster_coalesce,
+    "shards-alive": _gauge("cluster_shards_alive"),
+    "rerouted": _gauge("cluster_rerouted"),
+    "replay-p50-ms": _replay("latency_p50_ms"),
+    "replay-p99-ms": _replay("latency_p99_ms"),
+    "replay-rps": _replay("throughput_rps"),
+    "replay-errors": _replay("errors"),
 }
+
+
+def _shard_utilization(records: List[Dict[str, Any]]
+                       ) -> Dict[str, Series]:
+    """Per-shard utilization series across replay/cluster records.
+
+    Replay records carry the share of requests each shard answered;
+    cluster records carry per-shard forwarded counts (normalized here),
+    so both surface in the same per-shard block.
+    """
+    names = sorted({name for r in records
+                    for name in ((r.get("replay") or {})
+                                 .get("per_shard_utilization") or {})}
+                   | {shard.get("name") for r in records
+                      for shard in ((r.get("cluster") or {})
+                                    .get("shards") or [])
+                      if shard.get("name")})
+    series: Dict[str, Series] = {name: [] for name in names}
+    for record in records:
+        replay_util = (record.get("replay") or {}) \
+            .get("per_shard_utilization") or {}
+        cluster_shards = {shard.get("name"): shard for shard in
+                          ((record.get("cluster") or {})
+                           .get("shards") or [])}
+        total_forwarded = sum(s.get("forwarded", 0)
+                              for s in cluster_shards.values()) or None
+        for name in names:
+            if name in replay_util:
+                series[name].append(replay_util[name])
+            elif name in cluster_shards and total_forwarded:
+                series[name].append(round(
+                    cluster_shards[name].get("forwarded", 0)
+                    / total_forwarded, 6))
+            else:
+                series[name].append(None)
+    return series
 
 
 def metric_series(records: List[Dict[str, Any]], metric: str) -> Series:
@@ -84,6 +146,19 @@ def render_history(records: List[Dict[str, Any]], width: int = 40) -> str:
         for metric in service_metrics:
             lines.append(_line(f"  {metric}",
                                metric_series(records, metric), width))
+        cluster_metrics = ("cluster-coalesce", "shards-alive", "rerouted",
+                           "replay-p50-ms", "replay-p99-ms", "replay-rps",
+                           "replay-errors")
+        if any(metric_series(records, m).count(None) < len(records)
+               for m in cluster_metrics):
+            for metric in cluster_metrics:
+                lines.append(_line(f"  {metric}",
+                                   metric_series(records, metric), width))
+        shard_series = _shard_utilization(records)
+        if shard_series:
+            lines.append("  per-shard utilization:")
+            for name, values in shard_series.items():
+                lines.append(_line(f"  {name}", values, width))
     tables = sorted({name for r in records
                      for name in (r.get("fidelity") or {})})
     if tables:
@@ -116,9 +191,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     records = [r for r in ledger.read_records(args.ledger_dir)
-               if r.get("tool") in ("bench", "serve")]
+               if r.get("tool") in ("bench", "serve", "cluster", "replay")]
     if not records:
-        print(f"no bench or serve runs recorded under "
+        print(f"no bench, serve, cluster or replay runs recorded under "
               f"{ledger.ledger_dir(args.ledger_dir)} "
               "(run repro-bench with --ledger first)", file=sys.stderr)
         return 1

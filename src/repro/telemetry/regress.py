@@ -42,6 +42,8 @@ __all__ = [
     "RANK_CORRELATION_DROP",
     "SLOWDOWN_FACTOR",
     "HIT_RATE_COLLAPSE",
+    "REPLAY_P99_FACTOR",
+    "REPLAY_P99_FLOOR_MS",
     "evaluate",
     "excluded_from_baseline",
     "export_history",
@@ -59,6 +61,10 @@ SLOWDOWN_FLOOR_S = 0.2
 TARGET_FLOOR_S = 0.5
 #: fail when a warm run's hit rate falls below baseline * this
 HIT_RATE_COLLAPSE = 0.5
+#: fail when a replay run's p99 latency exceeds baseline * factor ...
+REPLAY_P99_FACTOR = 2.0
+#: ... and by at least this many absolute milliseconds (noise floor)
+REPLAY_P99_FLOOR_MS = 10.0
 #: rolling-baseline width
 DEFAULT_WINDOW = 5
 
@@ -131,9 +137,11 @@ def evaluate(records: List[Dict[str, Any]],
     means the gate passes.  Raises :class:`ValueError` when the ledger
     holds no bench records at all.
     """
-    bench = [r for r in records if r.get("tool") in ("bench", "serve")]
+    bench = [r for r in records
+             if r.get("tool") in ("bench", "serve", "cluster", "replay")]
     if not bench:
-        raise ValueError("ledger holds no bench or serve records")
+        raise ValueError(
+            "ledger holds no bench, serve, cluster or replay records")
     candidate = copy.deepcopy(bench[-1])
     previous = [r for r in bench[:-1] if excluded_from_baseline(r) is None]
     failures: List[str] = []
@@ -211,6 +219,29 @@ def evaluate(records: List[Dict[str, Any]],
                     f"{base_rate:.2f} baseline "
                     f"(< x{HIT_RATE_COLLAPSE:g})")
 
+    # -- replay latency / zero-loss ---------------------------------------
+    replay = candidate.get("replay") or {}
+    if replay:
+        if replay.get("errors"):
+            failures.append(
+                f"replay: {replay['errors']} request(s) failed — the "
+                "cluster's zero-accepted-job-loss guarantee did not hold")
+        base_p99 = [b["replay"]["latency_p99_ms"] for b in baseline
+                    if (b.get("replay") or {}).get("latency_p99_ms")
+                    is not None]
+        p99 = replay.get("latency_p99_ms")
+        if base_p99 and p99 is not None:
+            base = _median(base_p99)
+            if (p99 > base * REPLAY_P99_FACTOR
+                    and p99 - base > REPLAY_P99_FLOOR_MS):
+                failures.append(
+                    f"replay: p99 latency {p99:.1f}ms vs {base:.1f}ms "
+                    f"baseline (> x{REPLAY_P99_FACTOR:g} + "
+                    f"{REPLAY_P99_FLOOR_MS:g}ms)")
+        elif p99 is not None and not base_p99:
+            notes.append("no comparable replay baseline; "
+                         "p99 latency gate skipped")
+
     # -- fidelity ----------------------------------------------------------
     scored = [r for r in previous if _fidelity_rhos(r)][-window:]
     cand_rhos = _fidelity_rhos(candidate)
@@ -277,6 +308,8 @@ def export_history(records: List[Dict[str, Any]],
             "slowdown_factor": SLOWDOWN_FACTOR,
             "slowdown_floor_s": SLOWDOWN_FLOOR_S,
             "hit_rate_collapse": HIT_RATE_COLLAPSE,
+            "replay_p99_factor": REPLAY_P99_FACTOR,
+            "replay_p99_floor_ms": REPLAY_P99_FLOOR_MS,
             "window": DEFAULT_WINDOW,
         },
         "runs": [_run_summary(r) for r in records],

@@ -133,3 +133,77 @@ def test_routing_hops_symmetric():
             assert m.net.hops(s, d) == m.net.hops(d, s)
             if s == d:
                 assert m.net.hops(s, d) == 0
+
+
+# -- chiplet preset (first post-paper system) --------------------------------
+
+
+def test_chiplet_topology():
+    from repro.machine import chiplet
+
+    spec = chiplet()
+    assert spec.sockets == 4  # CCDs
+    assert spec.socket.cores_per_socket == 4
+    assert spec.total_cores == 16
+    assert spec.topology == "crossbar"  # IO-die hub: uniform CCD hops
+    assert spec.socket.l3_bytes == 16 * 1024 ** 2
+    g = build_socket_graph(spec)
+    assert g.number_of_edges() == 6  # every CCD pair directly linked
+    assert nx.diameter(g) == 1
+
+
+def test_chiplet_split_l3_folds_into_cache_capacity():
+    from repro.machine import CacheModel, chiplet
+
+    spec = chiplet()
+    model = CacheModel.for_socket(spec.socket)
+    # per-core share of the 16 MB CCX slice on top of L1D + L2
+    share = 16 * 1024 ** 2 / 4
+    assert model.l3_share_bytes == pytest.approx(share)
+    assert model.capacity == pytest.approx(
+        spec.socket.core.l2_bytes + spec.socket.core.l1d_bytes + share)
+    # the paper's K8 parts have no L3: capacity is unchanged by the fold
+    k8 = CacheModel.for_socket(tiger().socket)
+    assert k8.l3_share_bytes == 0.0
+    assert k8.capacity == pytest.approx(
+        tiger().socket.core.l2_bytes + tiger().socket.core.l1d_bytes)
+
+
+def test_chiplet_machine_and_engine_surrogate_capacity_parity():
+    from repro.machine import chiplet
+
+    spec = chiplet()
+    machine = Machine(spec)
+    from repro.core.affinity import AffinityScheme, resolve_scheme
+    from repro.surrogate.evaluator import SurrogateEvaluator
+
+    affinity = resolve_scheme(AffinityScheme.DEFAULT, spec, ntasks=4)
+    surrogate = SurrogateEvaluator(spec, affinity)
+    assert machine.cache.capacity == pytest.approx(
+        surrogate.cache.capacity)
+
+
+def test_chiplet_registered_but_not_in_paper_set():
+    from repro.machine import chiplet
+
+    assert by_name("chiplet").name == "Chiplet"
+    assert by_name("CHIPLET").total_cores == 16
+    # the bench tables iterate all_systems(): paper set only
+    assert [s.name for s in all_systems()] == ["Tiger", "DMZ", "Longs"]
+
+
+def test_chiplet_cache_keys_distinct():
+    import dataclasses
+
+    from repro.machine import chiplet
+
+    spec = chiplet()
+    tokens = {tiger().cache_token(), dmz().cache_token(),
+              longs().cache_token(), spec.cache_token()}
+    assert len(tokens) == 4
+    # the L3 field itself is key-bearing: a same-shape no-L3 twin must
+    # not collide with the chiplet spec in the result cache
+    twin = dataclasses.replace(
+        spec, socket=dataclasses.replace(spec.socket, l3_bytes=0))
+    assert twin.cache_token() != spec.cache_token()
+    assert chiplet().cache_token() == spec.cache_token()  # deterministic
