@@ -19,6 +19,8 @@ Usage::
     repro-bench submit --workload stream   # submit a cell to the daemon
     repro-bench cluster up --shards 3      # sharded cluster + TCP router
     repro-bench replay --trace t.jsonl     # replay traffic, report p50/p99
+    repro-bench top                        # live metrics dashboard
+    repro-bench trace export <trace_id>    # merged Chrome trace of one request
 
 Tables and CSVs always go to stdout byte-identically regardless of
 ``--jobs``/caching/telemetry; diagnostics (``--timings``,
@@ -134,7 +136,7 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] in ("history", "regress", "doctor", "chaos",
                             "serve", "submit", "micro", "cluster",
-                            "replay"):
+                            "replay", "top", "trace"):
         # maintenance/service subcommands own their argument parsing
         if argv[0] == "history":
             from ..telemetry.history import main as sub_main
@@ -152,6 +154,10 @@ def main(argv=None) -> int:
             from ..cluster.manager import main as sub_main
         elif argv[0] == "replay":
             from ..cluster.replay import main as sub_main
+        elif argv[0] == "top":
+            from ..telemetry.top import main as sub_main
+        elif argv[0] == "trace":
+            from ..telemetry.tracecmd import main as sub_main
         else:
             from .chaos import main as sub_main
         return sub_main(argv[1:])
@@ -168,8 +174,11 @@ def main(argv=None) -> int:
                "'repro-bench serve' runs the characterization service "
                "daemon, 'repro-bench submit' sends cells to it, "
                "'repro-bench cluster' manages a sharded multi-daemon "
-               "cluster and 'repro-bench replay' replays recorded "
-               "traffic against it.",
+               "cluster, 'repro-bench replay' replays recorded "
+               "traffic against it, 'repro-bench top' renders a live "
+               "metrics dashboard over running daemons and 'repro-bench "
+               "trace' exports distributed request traces from the "
+               "ledger.",
     )
     parser.add_argument("targets", nargs="*",
                         help="targets like tab02, fig08, or 'all' / 'list'")

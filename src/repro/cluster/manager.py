@@ -45,8 +45,15 @@ DEFAULT_BASE_PORT = 7070
 def launch_shard(name: str, address: Tuple[str, int],
                  cache_dir: Optional[str], jobs: Optional[int] = None,
                  queue_depth: int = 64,
-                 log_dir: Optional[str] = None) -> subprocess.Popen:
-    """Start one shard daemon subprocess (does not wait for readiness)."""
+                 log_dir: Optional[str] = None,
+                 ledger_dir: Optional[str] = None) -> subprocess.Popen:
+    """Start one shard daemon subprocess (does not wait for readiness).
+
+    ``ledger_dir`` opts the shard into writing its own ``tool="serve"``
+    ledger record at shutdown — that is where each shard's trace spans
+    land, and what makes a cluster-wide ``repro-bench trace export``
+    possible.
+    """
     argv = [sys.executable, "-m", "repro.service.daemon",
             "--tcp", format_address(address), "--name", name,
             "--queue-depth", str(queue_depth), "-q"]
@@ -54,6 +61,8 @@ def launch_shard(name: str, address: Tuple[str, int],
         argv += ["--cache-dir", cache_dir]
     if jobs is not None:
         argv += ["--jobs", str(jobs)]
+    if ledger_dir:
+        argv += ["--ledger-dir", ledger_dir]
     stderr = None
     if log_dir:
         os.makedirs(log_dir, exist_ok=True)
@@ -107,19 +116,27 @@ def _cmd_up(args: argparse.Namespace) -> int:
                        for i in range(args.shards)]
     cache_dir = args.cache_dir or os.path.join(".repro", "cluster-cache")
 
+    from ..telemetry import metrics as metrics_mod
+
+    metrics_mod.enable()
     recorder = None
+    shard_ledger_dir = None
     if args.ledger or args.ledger_dir:
         from ..telemetry import ledger as run_ledger
 
         recorder = run_ledger.RunRecorder(
             tool="cluster", argv=args.raw_argv).start()
+        # shards record to the same ledger so trace export can stitch
+        # router and shard spans back together
+        shard_ledger_dir = str(run_ledger.ledger_dir(args.ledger_dir))
 
     procs: List[subprocess.Popen] = []
     try:
         for name, address in shard_addresses:
             procs.append(launch_shard(
                 name, address, cache_dir, jobs=args.jobs,
-                queue_depth=args.queue_depth, log_dir=args.log_dir))
+                queue_depth=args.queue_depth, log_dir=args.log_dir,
+                ledger_dir=shard_ledger_dir))
         for name, address in shard_addresses:
             if not wait_for_ping(address, deadline_s=args.start_timeout):
                 print(f"shard {name} did not come up on "
@@ -191,6 +208,7 @@ def _cmd_up(args: argparse.Namespace) -> int:
                         "cache_dir": cache_dir},
                 cluster=snapshot,
                 gauges=router.cluster_gauges({}),
+                metrics=metrics_mod.snapshot(),
             )
             path = run_ledger.append(record, args.ledger_dir)
             print(f"[cluster run {record['run_id']} recorded to {path}]",

@@ -31,6 +31,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from ..service.transport import format_address, parse_address, request
+from ..telemetry import tracing
 
 __all__ = ["load_trace", "main", "percentile", "run_replay",
            "trace_from_ledger"]
@@ -103,12 +104,15 @@ def percentile(sorted_values: List[float], fraction: float) -> float:
 def run_replay(address, trace: List[Dict[str, Any]],
                rate: float = 50.0, clients: int = 8,
                timeout: float = 600.0,
-               on_result=None) -> Dict[str, Any]:
+               on_result=None,
+               trace_requests: bool = False) -> Dict[str, Any]:
     """Replay ``trace`` against ``address``; returns the report dict.
 
     ``on_result(index, outcome)`` (optional) is called per finished
     request — the chaos killed-shard scenario uses it to time the kill
-    against replay progress.
+    against replay progress.  ``trace_requests=True`` mints a fresh
+    distributed-trace id per replayed request (the report carries a
+    ``trace_ids`` sample for ``repro-bench trace export``).
     """
     resolved = parse_address(address)
     lock = threading.Lock()
@@ -116,6 +120,7 @@ def run_replay(address, trace: List[Dict[str, Any]],
     sources: Dict[str, int] = {}
     shard_hits: Dict[str, int] = {}
     errors: Dict[str, int] = {}
+    trace_ids: List[str] = []
     rerouted_hint = 0
     next_index = [0]
     start = time.perf_counter()
@@ -133,6 +138,13 @@ def run_replay(address, trace: List[Dict[str, Any]],
             if delay > 0:
                 time.sleep(delay)
             cell = trace[index]["cell"]
+            if trace_requests:
+                # copy before stamping: --repeat reuses the same dicts
+                trace_id = tracing.new_trace_id()
+                cell = dict(cell)
+                cell["trace"] = tracing.wire_trace(trace_id)
+                with lock:
+                    trace_ids.append(trace_id)
             sent = time.perf_counter()
             outcome: Dict[str, Any]
             try:
@@ -215,6 +227,9 @@ def run_replay(address, trace: List[Dict[str, Any]],
             if entry.get("alive")) if cluster else None,
         "gauges": stats_wire.get("gauges") or {},
     }
+    if trace_requests:
+        report["traced"] = len(trace_ids)
+        report["trace_ids"] = trace_ids[:16]
     return report
 
 
@@ -241,6 +256,11 @@ def _print_report(report: Dict[str, Any]) -> None:
         share = ", ".join(f"{name} {frac:.0%}" for name, frac in
                           report["per_shard_utilization"].items())
         print(f"  per-shard utilization: {share}")
+    if report.get("traced"):
+        sample = report.get("trace_ids") or []
+        print(f"  traced: {report['traced']} requests "
+              f"(e.g. {sample[0]}; repro-bench trace export <id>)"
+              if sample else f"  traced: {report['traced']} requests")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -270,6 +290,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="max concurrent in-flight requests")
     parser.add_argument("--repeat", type=int, default=1, metavar="N",
                         help="replay the trace N times back to back")
+    parser.add_argument("--trace-requests", action="store_true",
+                        help="mint a distributed-trace id per replayed "
+                             "request (sample reported as trace_ids)")
     parser.add_argument("--timeout", type=float, default=600.0)
     parser.add_argument("--json", action="store_true",
                         help="print the report as one JSON object")
@@ -311,7 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         report = run_replay(address, trace, rate=args.rate,
-                            clients=args.clients, timeout=args.timeout)
+                            clients=args.clients, timeout=args.timeout,
+                            trace_requests=args.trace_requests)
     except (OSError, ValueError) as exc:
         print(f"replay failed against {address}: {exc}", file=sys.stderr)
         return 2

@@ -36,9 +36,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..errors import ProtocolError, ReproError, ShardUnavailableError, \
     error_code
-from ..service.protocol import PROTOCOL_VERSION, cell_from_wire
+from ..service.protocol import PROTOCOL_VERSION, cell_from_wire, \
+    metrics_response
 from ..service.transport import Address, format_address, parse_address, \
     request
+from ..telemetry import metrics as _metrics
+from ..telemetry import tracing
 
 __all__ = ["Router", "ShardState", "rendezvous_order", "shard_for_key"]
 
@@ -152,6 +155,8 @@ class Router:
                 shard.alive = ok
                 if ok:
                     shard.last_seen = time.monotonic()
+            _metrics.set_gauge("router_shard_alive", 1 if ok else 0,
+                               shard=shard.name)
             results[shard.name] = ok
         return results
 
@@ -199,6 +204,7 @@ class Router:
             if attempt:
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
             for shard in self._order_for_key(key):
+                t0 = time.perf_counter()
                 try:
                     response = request(shard.address, message,
                                        timeout=self.request_timeout_s)
@@ -209,6 +215,10 @@ class Router:
                         shard.alive = False
                         shard.failures += 1
                         shard.last_error = f"{type(exc).__name__}: {exc}"
+                    _metrics.inc("router_forward_failures_total",
+                                 shard=shard.name)
+                    _metrics.set_gauge("router_shard_alive", 0,
+                                       shard=shard.name)
                     continue
                 with self._lock:
                     shard.alive = True
@@ -217,10 +227,16 @@ class Router:
                     self.routed += 1
                     if shard.name != home:
                         self.rerouted += 1
+                        _metrics.inc("router_reroutes_total")
+                _metrics.inc("router_forwards_total", shard=shard.name)
+                _metrics.set_gauge("router_shard_alive", 1, shard=shard.name)
+                _metrics.observe("router_forward_seconds",
+                                 time.perf_counter() - t0)
                 response.setdefault("shard", shard.name)
                 return response
         with self._lock:
             self.unroutable += 1
+        _metrics.inc("router_unroutable_total")
         raise ShardUnavailableError(
             f"no live shard for key {key[:12]}… after "
             f"{self.retries + 1} passes over {len(self._shards)} shards "
@@ -239,12 +255,27 @@ class Router:
                         "shards": len(self._shards)}
             if op == "stats":
                 return self._stats_response()
+            if op == "metrics":
+                return self._metrics_response(message)
             if op == "route":
                 return self._route_response(message)
             if op == "submit":
                 cell = message.get("cell")
                 key = self._cell_key(cell)
-                return self._forward(key, {"op": "submit", "cell": cell})
+                trace_id, parent = tracing.trace_from_cell(cell)
+                if trace_id is None:
+                    return self._forward(key, {"op": "submit", "cell": cell})
+                with tracing.traced("router_forward", trace_id, parent,
+                                    router=self.name) as tspan:
+                    fwd = dict(cell)
+                    if tspan.span_id is not None:
+                        # re-parent the shard's hop under this forward
+                        fwd["trace"] = tracing.wire_trace(trace_id,
+                                                          tspan.span_id)
+                    response = self._forward(key,
+                                             {"op": "submit", "cell": fwd})
+                    tspan.note(shard=response.get("shard"))
+                return response
             if op == "batch":
                 return self._batch_response(message)
             if op in ("drain", "shutdown"):
@@ -299,15 +330,40 @@ class Router:
             good = [i for i in indices if i not in bad]
             if not good:
                 return
-            sub = {"op": "batch", "cells": [cells[i] for i in good]}
+            sub_cells = []
+            spans: List[Tuple[Any, float, float]] = []
+            for i in good:
+                cell = cells[i]
+                trace_id, parent = tracing.trace_from_cell(cell)
+                if trace_id is not None:
+                    tspan = tracing.TraceSpan(
+                        "router_forward", trace_id, parent,
+                        {"router": self.name, "op": "batch"})
+                    cell = dict(cell)
+                    cell["trace"] = tracing.wire_trace(trace_id,
+                                                       tspan.span_id)
+                    spans.append((tspan, time.time(), time.perf_counter()))
+                sub_cells.append(cell)
+            sub = {"op": "batch", "cells": sub_cells}
+
+            def close_spans(**attrs: Any) -> None:
+                for tspan, t0_wall, t0 in spans:
+                    tracing.record_trace_span(
+                        tspan.name, tspan.trace_id, tspan.span_id,
+                        tspan.parent_span, t0_wall,
+                        time.perf_counter() - t0,
+                        dict(tspan.attrs, **attrs))
+
             try:
                 response = self._forward(keys[good[0]], sub)
             except ReproError as exc:
+                close_spans(error=exc.code)
                 for i in good:
                     results[i] = exc.to_wire()
                 return
             answers = response.get("results", [])
             shard = response.get("shard")
+            close_spans(shard=shard)
             for slot, i in enumerate(good):
                 if slot < len(answers):
                     answer = dict(answers[slot])
@@ -327,6 +383,44 @@ class Router:
         for thread in threads:
             thread.join()
         return {"status": "ok", "op": "batch", "results": results}
+
+    def _metrics_response(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Cluster-wide metrics: scrape every shard, merge with ours.
+
+        Side-effect free, and resilient by construction: a dead or
+        misbehaving shard contributes an ``error`` entry instead of
+        failing the scrape, so dashboards keep rendering through
+        partial outages.
+        """
+        local = metrics_response({})
+        per_shard: Dict[str, Any] = {}
+        snapshots = [local["metrics"]]
+        for shard in self._shards.values():
+            try:
+                response = request(shard.address, {"op": "metrics"},
+                                   timeout=5.0)
+            except (OSError, ValueError) as exc:
+                per_shard[shard.name] = {
+                    "error": f"{type(exc).__name__}: {exc}"}
+                continue
+            snap = response.get("metrics") if isinstance(response, dict) \
+                else None
+            if response.get("status") != "ok" or not isinstance(snap, dict):
+                per_shard[shard.name] = {
+                    "error": "malformed metrics reply "
+                             f"(status={response.get('status')!r})"}
+                continue
+            per_shard[shard.name] = {"metrics": snap}
+            snapshots.append(snap)
+        merged = _metrics.merge_snapshots(snapshots)
+        reply: Dict[str, Any] = {"status": "ok", "op": "metrics",
+                                 "router": True, "session": self.name,
+                                 "metrics": merged,
+                                 "shards": per_shard,
+                                 "enabled": local.get("enabled", False)}
+        if message.get("format") == "text":
+            reply["text"] = _metrics.to_prometheus(merged)
+        return reply
 
     def _stats_response(self) -> Dict[str, Any]:
         per_shard: Dict[str, Any] = {}

@@ -39,6 +39,7 @@ from enum import Enum
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..telemetry import metrics as _metrics
 from .execution import JobResult
 
 __all__ = [
@@ -261,6 +262,7 @@ class ResultCache:
         hit = self._memory.get(key)
         if hit is not None:
             self.stats.memory_hits += 1
+            _metrics.inc("cache_memory_hits_total")
             return hit
         if self.disk:
             path = self._path(key)
@@ -279,8 +281,10 @@ class ResultCache:
             else:
                 self._memory[key] = result
                 self.stats.disk_hits += 1
+                _metrics.inc("cache_disk_hits_total")
                 return result
         self.stats.misses += 1
+        _metrics.inc("cache_misses_total")
         return None
 
     def _quarantine(self, path: Path, reason: Exception) -> None:
@@ -292,6 +296,7 @@ class ResultCache:
         is never raced against a delete of its fresh entry.
         """
         self.stats.corrupt += 1
+        _metrics.inc("cache_corrupt_total")
         try:
             os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
         except OSError:
@@ -305,6 +310,7 @@ class ResultCache:
             return
         self._memory[key] = result
         self.stats.stores += 1
+        _metrics.inc("cache_stores_total")
         if not self.disk:
             return
         path = self._path(key)
@@ -314,6 +320,7 @@ class ResultCache:
             payload = json.dumps({"schema": CACHE_SCHEMA,
                                   "check": result_checksum(result_data),
                                   "result": result_data})
+            _metrics.inc("cache_disk_write_bytes_total", len(payload))
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as handle:

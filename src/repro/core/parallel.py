@@ -46,6 +46,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..faults.plan import FaultPlan, TransportExhaustedError
 from ..machine.topology import MachineSpec
 from ..mpi import MpiImplementation, OPENMPI
+from ..telemetry import metrics as _metrics
 from ..telemetry.spans import span
 from .affinity import (
     AffinityScheme,
@@ -471,6 +472,7 @@ def _submit_round(indices: List[int], todo: Sequence[JobRequest],
                                  return_when=FIRST_COMPLETED)
             if not done:
                 # a full window with zero completions: the pool stalled
+                _metrics.inc("executor_watchdog_fires_total")
                 for future in pending:
                     future.cancel()
                 timed_out.update(futures[f] for f in pending)
@@ -491,6 +493,7 @@ def _submit_round(indices: List[int], todo: Sequence[JobRequest],
         _abandon_pool(kill=True)
         raise
     if crashed:
+        _metrics.inc("executor_worker_crashes_total", len(crashed))
         _abandon_pool()
     return outcomes, timed_out, crashed
 
@@ -572,6 +575,7 @@ def _run_parallel(todo: Sequence[JobRequest], jobs: int,
                 })
             else:
                 stats.retried += 1
+                _metrics.inc("executor_retries_total")
                 next_remaining.append(index)
         if next_remaining and not isolate:
             time.sleep(_RETRY_BACKOFF_S
@@ -641,6 +645,8 @@ def run_requests(requests: Sequence[JobRequest],
     stats = _POOL_STATS
     stats.batches += 1
     stats.cells += len(requests)
+    _metrics.inc("executor_batches_total")
+    _metrics.inc("executor_cells_total", len(requests))
 
     results: List[Optional[JobResult]] = [None] * len(requests)
     keys: List[Optional[str]] = [None] * len(requests)
@@ -658,17 +664,24 @@ def run_requests(requests: Sequence[JobRequest],
         if hit is not None:
             results[i] = hit
             stats.cache_hits += 1
+            _metrics.inc("executor_cache_hits_total")
             continue
         twin = first_index_for_key.get(keys[i])
         if twin is not None:
             duplicates.append((i, twin))
             stats.duplicates += 1
+            _metrics.inc("executor_duplicates_total")
             continue
         first_index_for_key[keys[i]] = i
         pending.append(i)
 
     if pending:
         todo = [requests[i] for i in pending]
+        _metrics.inc("executor_dispatched_total", len(todo))
+        _metrics.set_gauge("executor_pool_jobs", jobs)
+        _metrics.observe("executor_dispatch_cells", len(todo),
+                         bounds=_metrics.COUNT_BUCKETS)
+        t0_batch = time.perf_counter()
         with span("executor_batch", cells=len(requests),
                   dispatched=len(todo), jobs=jobs) as timer:
             outcomes = None
@@ -687,12 +700,15 @@ def run_requests(requests: Sequence[JobRequest],
             if outcomes is None:
                 outcomes = [_execute_cell(request) for request in todo]
                 stats.executed_serial += len(todo)
+        _metrics.observe("executor_batch_seconds",
+                         time.perf_counter() - t0_batch)
         for i, (status, payload) in zip(pending, outcomes):
             if status == "infeasible":
                 stats.infeasible += 1
                 continue  # results[i] stays None
             if status == "failed":
                 stats.failed += 1
+                _metrics.inc("executor_failed_total")
                 detail = payload or {}
                 _FAILURES.append(TargetFailure(
                     index=i,

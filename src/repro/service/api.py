@@ -56,6 +56,10 @@ class RunRequest:
     #: "fast" | "exact" | "auto"; None defers to the executor default
     tier: Optional[str] = None
     tag: Optional[str] = None
+    #: distributed-trace identity (see telemetry.tracing); like ``tag``,
+    #: never part of the content address, so traced twins still coalesce
+    trace_id: Optional[str] = None
+    parent_span: Optional[str] = None
 
     def to_job(self) -> JobRequest:
         """The executor/cache form of this request.

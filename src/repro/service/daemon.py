@@ -190,9 +190,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-q", "--quiet", action="store_true")
     args = parser.parse_args(argv)
 
+    from ..telemetry import metrics as metrics_mod
     from ..telemetry.log import configure_logging
 
     configure_logging(-1 if args.quiet else args.verbose)
+    # daemons always serve a live registry; plain bench runs never
+    # enable one, which is what keeps the instrumentation free there
+    metrics_mod.enable()
 
     cache = None
     if args.cache_dir:
@@ -268,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 traffic=frontend.traffic(),
                 cache=cache_obj.stats.as_dict(),
                 pool=parallel.pool_stats().as_dict(),
+                metrics=metrics_mod.snapshot(),
             )
             path = run_ledger.append(record, args.ledger_dir)
             print(f"[serve run {record['run_id']} recorded to {path}]",
@@ -326,8 +331,16 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                         help="submit N copies of the cell in one batch "
                              "(identical copies coalesce server-side)")
     parser.add_argument("--tag", default=None)
+    parser.add_argument("--trace", action="store_true",
+                        help="mint a trace id for this submission and "
+                             "print it (see repro-bench trace export)")
+    parser.add_argument("--trace-id", metavar="ID", default=None,
+                        help="propagate an existing trace id instead of "
+                             "minting one (implies --trace)")
     parser.add_argument("--stats", action="store_true",
                         help="fetch service counters/gauges")
+    parser.add_argument("--metrics", action="store_true",
+                        help="fetch the live metrics snapshot")
     parser.add_argument("--ping", action="store_true")
     parser.add_argument("--shutdown", action="store_true",
                         help="drain the server and stop it")
@@ -349,6 +362,12 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
             cell["lock"] = args.lock
         if args.tag:
             cell["tag"] = args.tag
+        if args.trace or args.trace_id:
+            from ..telemetry import tracing
+
+            trace_id = args.trace_id or tracing.new_trace_id()
+            cell["trace"] = tracing.wire_trace(trace_id)
+            print(f"[trace {trace_id}]", file=sys.stderr)
         if args.count > 1:
             requests.append({"op": "batch",
                              "cells": [dict(cell) for _ in
@@ -357,11 +376,13 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
             requests.append({"op": "submit", "cell": cell})
     if args.stats:
         requests.append({"op": "stats"})
+    if args.metrics:
+        requests.append({"op": "metrics"})
     if args.shutdown:
         requests.append({"op": "shutdown"})
     if not requests:
-        parser.error("nothing to do: pass --workload, --stats, --ping "
-                     "and/or --shutdown")
+        parser.error("nothing to do: pass --workload, --stats, "
+                     "--metrics, --ping and/or --shutdown")
 
     exit_code = 0
     for message in requests:

@@ -6,6 +6,7 @@ Requests::
 
     {"op": "ping"}
     {"op": "stats"}
+    {"op": "metrics"}                          # live registry snapshot
     {"op": "submit", "cell": {...}}            # one cell, wait for it
     {"op": "batch",  "cells": [{...}, ...]}    # many cells, wait for all
     {"op": "drain"}                            # stop admitting, finish all
@@ -16,7 +17,16 @@ A **cell** names its inputs through :mod:`~repro.service.registry`::
     {"system": "longs", "workload": "stream", "ntasks": 4,
      "scheme": "interleave", "lock": null, "parked": 0, "tag": "t0",
      "tier": "fast",           # "fast" | "exact" | "auto" (optional)
-     "params": {...}}          # extra workload parameters (optional)
+     "params": {...},          # extra workload parameters (optional)
+     "trace": {"trace_id": "9f..", "parent_span": "ab.."}}  # optional
+
+The ``trace`` envelope is optional distributed-trace identity (see
+:mod:`repro.telemetry.tracing`): servers that know about it open a
+``service_submit`` span and thread the ids through session and
+executor; servers that don't simply ignore the unknown field — tracing
+is metadata, never load-bearing.  ``metrics`` is side-effect-free and
+returns the process metrics snapshot (add ``"format": "text"`` for the
+Prometheus exposition alongside).
 
 Responses are ``{"status": "ok", ...}`` or the wire form of a
 :class:`~repro.errors.ReproError` (``{"status": "error", "code": ...,
@@ -24,23 +34,29 @@ Responses are ``{"status": "ok", ...}`` or the wire form of a
 :meth:`RunResult.to_wire` payload; ``batch`` answers with ``{"status":
 "ok", "results": [...]}`` where each element is a per-cell result or
 error object — queue-full rejections reject *that cell only*, they
-never poison the rest of the batch.
+never poison the rest of the batch.  Traced submits echo ``trace_id``
+in the response.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
 
 from ..errors import ProtocolError, ReproError, error_code
+from ..telemetry import metrics as metrics_mod
+from ..telemetry import tracing
 from .api import RunRequest, RunResult
 from .registry import resolve_scheme_name, resolve_system, resolve_workload
 from .session import Session
 
-__all__ = ["cell_from_wire", "decode_line", "encode_line", "handle_request"]
+__all__ = ["cell_from_wire", "decode_line", "encode_line", "handle_request",
+           "metrics_response"]
 
-#: protocol revision, echoed by ping
-PROTOCOL_VERSION = 1
+#: protocol revision, echoed by ping (2 adds `metrics` + trace fields)
+PROTOCOL_VERSION = 2
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:
@@ -87,11 +103,13 @@ def cell_from_wire(cell: Any) -> RunRequest:
         raise ProtocolError(
             "'tier' must be 'fast', 'exact', 'auto' or null")
     tag = cell.get("tag")
+    trace_id, parent_span = tracing.trace_from_cell(cell)
     return RunRequest(system=system, workload=workload, scheme=scheme,
                       lock=lock, parked=int(cell.get("parked", 0)),
                       profile=bool(cell.get("profile", False)),
                       tier=tier,
-                      tag=str(tag) if tag is not None else None)
+                      tag=str(tag) if tag is not None else None,
+                      trace_id=trace_id, parent_span=parent_span)
 
 
 def _error_wire(exc: BaseException) -> Dict[str, Any]:
@@ -99,6 +117,40 @@ def _error_wire(exc: BaseException) -> Dict[str, Any]:
         return exc.to_wire()
     return {"status": "error", "code": error_code(exc),
             "message": f"{type(exc).__name__}: {exc}"}
+
+
+def metrics_response(message: Dict[str, Any],
+                     session: Optional[Session] = None) -> Dict[str, Any]:
+    """The side-effect-free ``metrics`` response for this process."""
+    try:
+        from ..sim.trace import total_dropped
+        metrics_mod.set_gauge("sim_trace_dropped", total_dropped())
+    except Exception:
+        pass
+    snap = metrics_mod.snapshot()
+    response: Dict[str, Any] = {"status": "ok", "op": "metrics",
+                                "metrics": snap,
+                                "enabled":
+                                metrics_mod.active_registry() is not None}
+    if session is not None:
+        response["session"] = session.name
+        response["gauges"] = session.gauges()
+    if message.get("format") == "text":
+        response["text"] = metrics_mod.to_prometheus(snap)
+    return response
+
+
+def _submit_traced(session: Session, request: RunRequest) -> Dict[str, Any]:
+    """One traced submit: open the service hop, thread its span down."""
+    with tracing.traced("service_submit", request.trace_id,
+                        request.parent_span, session=session.name) as tspan:
+        if tspan.span_id is not None:
+            request = replace(request, parent_span=tspan.span_id)
+        result = session.submit(request).result()
+        tspan.note(source=result.source, status=result.status)
+    wire = result.to_wire()
+    wire["trace_id"] = request.trace_id
+    return wire
 
 
 def handle_request(session: Session, message: Dict[str, Any]
@@ -121,10 +173,14 @@ def handle_request(session: Session, message: Dict[str, Any]
             return {"status": "ok", "op": "stats",
                     "stats": session.stats.as_dict(),
                     "gauges": session.gauges()}
+        if op == "metrics":
+            return metrics_response(message, session)
         if op == "submit":
             request = cell_from_wire(message.get("cell"))
-            result = session.submit(request).result()
-            wire = result.to_wire()
+            if request.trace_id is not None:
+                wire = _submit_traced(session, request)
+            else:
+                wire = session.submit(request).result().to_wire()
             wire["op"] = "submit"
             return wire
         if op == "batch":
@@ -134,13 +190,37 @@ def handle_request(session: Session, message: Dict[str, Any]
             futures: List[Any] = []
             for cell in cells:
                 try:
-                    futures.append(session.submit(cell_from_wire(cell)))
+                    request = cell_from_wire(cell)
+                    if request.trace_id is not None:
+                        span = tracing.TraceSpan(
+                            "service_submit", request.trace_id,
+                            request.parent_span, {"session": session.name,
+                                                  "op": "batch"})
+                        request = replace(request,
+                                          parent_span=span.span_id)
+                        futures.append((session.submit(request),
+                                        span, time.time(),
+                                        time.perf_counter()))
+                    else:
+                        futures.append(session.submit(request))
                 except Exception as exc:
                     futures.append(exc)
             results = []
             for entry in futures:
                 if isinstance(entry, BaseException):
                     results.append(_error_wire(entry))
+                elif isinstance(entry, tuple):
+                    future, span, t0_wall, t0 = entry
+                    result = future.result()
+                    tracing.record_trace_span(
+                        span.name, span.trace_id, span.span_id,
+                        span.parent_span, t0_wall,
+                        time.perf_counter() - t0,
+                        dict(span.attrs, source=result.source,
+                             status=result.status))
+                    wire = result.to_wire()
+                    wire["trace_id"] = span.trace_id
+                    results.append(wire)
                 else:
                     results.append(entry.result().to_wire())
             return {"status": "ok", "op": "batch", "results": results}

@@ -54,6 +54,7 @@ from ..errors import (
     SessionClosedError,
     UnknownMetricError,
 )
+from ..telemetry import metrics, tracing
 from ..telemetry.spans import span
 from .api import RunRequest, RunResult
 
@@ -123,7 +124,8 @@ class _Job:
     """One accepted cell and the futures fanned out to its waiters."""
 
     __slots__ = ("request", "job_request", "key", "futures",
-                 "submitted_at", "outcome")
+                 "submitted_at", "outcome", "trace", "traces",
+                 "span_id", "submitted_wall")
 
     def __init__(self, request: RunRequest, key: Optional[str]):
         self.request = request
@@ -133,6 +135,16 @@ class _Job:
         self.submitted_at = time.perf_counter()
         #: terminal ("ok"|"infeasible"|"failed", payload) once delivered
         self.outcome: Optional[Tuple[str, Any]] = None
+        #: distributed-trace context; everything below stays None/empty
+        #: on the untraced path (no clock reads, no id minting)
+        self.trace: Optional[Tuple[str, Optional[str]]] = None
+        self.traces: List[Optional[Tuple[str, Optional[str]]]] = []
+        self.span_id: Optional[str] = None
+        self.submitted_wall = 0.0
+        if request.trace_id is not None:
+            self.trace = (request.trace_id, request.parent_span)
+            self.span_id = tracing.new_span_id()
+            self.submitted_wall = time.time()
 
 
 class Session:
@@ -225,27 +237,41 @@ class Session:
         with self._cond:
             if self._closed or self._draining:
                 self.stats.rejected += 1
+                metrics.inc("service_rejected_total")
                 raise SessionClosedError(
                     f"session {self.name!r} is "
                     f"{'closed' if self._closed else 'draining'}")
             self.stats.submitted += 1
+            metrics.inc("service_submitted_total")
             key = request.key()
             if key is not None:
                 twin = self._inflight.get(key)
                 if twin is not None and twin.outcome is None:
                     self.stats.coalesced += 1
+                    metrics.inc("service_coalesce_hits_total")
                     twin.futures.append(future)
+                    twin.traces.append(
+                        (request.trace_id, request.parent_span)
+                        if request.trace_id is not None else None)
                     return future
                 hit = self.cache.get(key)
                 if hit is not None:
                     self.stats.cache_hits += 1
                     self.stats.completed += 1
+                    metrics.inc("service_admission_cache_hits_total")
+                    if request.trace_id is not None:
+                        tracing.record_trace_span(
+                            "session_job", request.trace_id,
+                            tracing.new_span_id(), request.parent_span,
+                            time.time(), 0.0,
+                            {"session": self.name, "source": "cache"})
                     future.set_result(RunResult(
                         status="ok", job=hit, key=key, source="cache",
                         tag=request.tag))
                     return future
             if len(self._queue) >= self.max_pending:
                 self.stats.rejected += 1
+                metrics.inc("service_rejected_total")
                 retry_after = self._retry_after()
                 raise QueueFullError(
                     f"session {self.name!r} queue is full "
@@ -253,14 +279,17 @@ class Session:
                     retry_after=retry_after)
             job = _Job(request, key)
             job.futures.append(future)
+            job.traces.append(job.trace)
             if key is not None:
                 self._inflight[key] = job
             self._queue.append(job)
             self._outstanding += 1
             self.stats.accepted += 1
+            metrics.inc("service_accepted_total")
             self.stats.queue_depth = len(self._queue)
             self.stats.queue_depth_peak = max(self.stats.queue_depth_peak,
                                               self.stats.queue_depth)
+            metrics.set_gauge("service_queue_depth", self.stats.queue_depth)
             self._ensure_dispatcher()
             self._cond.notify_all()
         return future
@@ -285,7 +314,8 @@ class Session:
         The session rejects new submits from the first ``drain`` call
         on — this is the shutdown half of backpressure.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        t0 = time.monotonic()
+        deadline = None if timeout is None else t0 + timeout
         with self._cond:
             self._draining = True
             self._paused = False
@@ -298,6 +328,7 @@ class Session:
                         return False
                 self._cond.wait(timeout=remaining if remaining is not None
                                 else 0.1)
+        metrics.observe("service_drain_seconds", time.monotonic() - t0)
         return True
 
     def close(self, drain: bool = True,
@@ -342,8 +373,10 @@ class Session:
             twin = self._inflight.get(key) if key is not None else None
             if twin is not None and twin.outcome is None:
                 self.stats.coalesced += 1
+                metrics.inc("service_coalesce_hits_total")
                 future: "Future[RunResult]" = Future()
                 twin.futures.append(future)
+                twin.traces.append(None)
             else:
                 future = None
         if future is not None:
@@ -380,6 +413,8 @@ class Session:
                  jobs: Optional[int] = None) -> List[Tuple[str, Any]]:
         """Run a batch through the executor; fold outcomes to data."""
         t0 = time.perf_counter()
+        traced_jobs = [job for job in batch if job.trace is not None]
+        wall0 = time.time() if traced_jobs else 0.0
         with _EXEC_LOCK:
             take_failures()  # drop stale records from other flows
             with span("service_batch", session=self.name,
@@ -392,6 +427,17 @@ class Session:
                 failures = {f.index: f for f in take_failures()}
                 batch_span.note(failed=len(failures))
         elapsed = time.perf_counter() - t0
+        metrics.observe("service_batch_seconds", elapsed)
+        metrics.observe("service_batch_cells", len(batch),
+                        bounds=metrics.COUNT_BUCKETS)
+        for job in traced_jobs:
+            # the executor hop of each traced job; the whole batch shares
+            # one pool flight, so every span covers the same interval
+            tracing.record_trace_span(
+                "worker_batch", job.trace[0], tracing.new_span_id(),
+                job.span_id, wall0, elapsed,
+                {"session": self.name, "cells": len(batch),
+                 "failed": len(failures)})
         with self._lock:
             self.stats.busy_s_total += elapsed
             # EWMA over per-cell service time feeds retry-after hints
@@ -415,10 +461,13 @@ class Session:
         self.stats.computed += 1
         if status == "ok":
             self.stats.completed += 1
+            metrics.inc("service_completed_total")
         elif status == "infeasible":
             self.stats.infeasible += 1
+            metrics.inc("service_infeasible_total")
         else:
             self.stats.failed += 1
+            metrics.inc("service_failed_total")
 
     def _result_for(self, job: _Job, outcome: Tuple[str, Any],
                     wait_s: float, source: str = "computed") -> RunResult:
@@ -449,9 +498,22 @@ class Session:
         self._account(job, outcome)
         self.stats.wait_s_total += wait_s
         self.stats.wait_s_max = max(self.stats.wait_s_max, wait_s)
+        metrics.observe("service_wait_seconds", wait_s)
+        metrics.set_gauge("service_queue_depth", self.stats.queue_depth)
         self._outstanding -= 1
         for i, future in enumerate(job.futures):
             source = "computed" if i == 0 else "coalesced"
+            trace = job.traces[i] if i < len(job.traces) else None
+            if trace is not None:
+                # the session hop: from submit to delivery, one span per
+                # waiter (the owner reuses the id the executor parented to)
+                span_id = job.span_id if i == 0 and job.span_id is not None \
+                    else tracing.new_span_id()
+                tracing.record_trace_span(
+                    "session_job", trace[0], span_id, trace[1],
+                    job.submitted_wall or time.time() - wait_s, wait_s,
+                    {"session": self.name, "source": source,
+                     "status": outcome[0]})
             result = self._result_for(job, outcome, wait_s=wait_s,
                                       source=source)
             if not future.set_running_or_notify_cancel():

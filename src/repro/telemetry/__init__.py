@@ -1,11 +1,17 @@
-"""Structured telemetry: run ledger, spans, and logging wiring.
+"""Structured telemetry: run ledger, spans, metrics, and tracing.
 
-Three layers, all zero-overhead until a CLI opts in:
+Five layers, all zero-overhead until a CLI opts in:
 
 * :mod:`~repro.telemetry.log` — the ``repro.*`` stdlib-logging
   hierarchy (``--verbose``/``--quiet`` map onto it);
 * :mod:`~repro.telemetry.spans` — ``span("sweep", ...)`` wall-time
   brackets that aggregate into the active run's record;
+* :mod:`~repro.telemetry.metrics` — the live counters/gauges/histogram
+  registry behind the ``{"op": "metrics"}`` protocol op and
+  ``repro-bench top``;
+* :mod:`~repro.telemetry.tracing` — distributed trace-id propagation
+  across router/shard/session/executor hops, exported by
+  ``repro-bench trace``;
 * :mod:`~repro.telemetry.ledger` — one append-only JSONL record per
   instrumented ``repro-bench``/``repro-prof`` invocation, consumed by
   ``repro-bench history`` (:mod:`~repro.telemetry.history`) and the
@@ -13,6 +19,7 @@ Three layers, all zero-overhead until a CLI opts in:
   (:mod:`~repro.telemetry.regress`).
 """
 
+from . import metrics, tracing
 from .ledger import (
     RunRecorder,
     append,
@@ -35,7 +42,9 @@ __all__ = [
     "hit_rate",
     "ledger_dir",
     "ledger_path",
+    "metrics",
     "read_records",
     "set_recorder",
     "span",
+    "tracing",
 ]

@@ -4,12 +4,14 @@ Renders one sparkline per tracked metric — wall time, cache hit rate,
 mean and per-table fidelity rank correlation, trace drops — across the
 recorded runs, oldest to newest, so the ROADMAP's "fast as the hardware
 allows" trajectory is visible from the shell.  ``--plot METRIC`` blows
-one metric up into a full :mod:`~repro.core.asciiplot` chart.
+one metric up into a full :mod:`~repro.core.asciiplot` chart;
+``--json`` emits the same run/metric series machine-readable.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -17,7 +19,7 @@ from ..core.asciiplot import plot, sparkline
 from ..core.report import SeriesResult
 from . import ledger
 
-__all__ = ["main", "metric_series", "render_history"]
+__all__ = ["history_document", "main", "metric_series", "render_history"]
 
 Series = List[Optional[float]]
 
@@ -173,6 +175,36 @@ def render_history(records: List[Dict[str, Any]], width: int = 40) -> str:
     return "\n".join(lines)
 
 
+def history_document(records: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The ``--json`` payload: runs plus every metric series.
+
+    Same data the sparkline view renders, machine-readable — one entry
+    per run (id, time, tool, class-relevant fields) and one
+    aligned-by-index series per metric, per shard, and per fidelity
+    table.
+    """
+    tables = sorted({name for r in records
+                     for name in (r.get("fidelity") or {})})
+    return {
+        "schema": 1,
+        "runs": [{
+            "run_id": r.get("run_id"),
+            "started_at": r.get("started_at"),
+            "tool": r.get("tool"),
+            "git_sha": r.get("git_sha"),
+            "status": r.get("status", "ok"),
+        } for r in records],
+        "metrics": {metric: metric_series(records, metric)
+                    for metric in sorted(METRICS)},
+        "per_shard_utilization": _shard_utilization(records),
+        "per_table_rank_correlation": {
+            table: [(r.get("fidelity") or {}).get(table, {})
+                    .get("rank_correlation") for r in records]
+            for table in tables
+        },
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench history",
@@ -188,6 +220,9 @@ def main(argv=None) -> int:
     parser.add_argument("--plot", metavar="METRIC", default=None,
                         choices=sorted(METRICS),
                         help="render one metric as a full ASCII chart")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the run/metric series as JSON instead "
+                             "of sparklines")
     args = parser.parse_args(argv)
 
     records = [r for r in ledger.read_records(args.ledger_dir)
@@ -199,6 +234,9 @@ def main(argv=None) -> int:
         return 1
     records = records[-max(1, args.last):]
 
+    if args.json:
+        print(json.dumps(history_document(records), sort_keys=True))
+        return 0
     print(f"run ledger: {ledger.ledger_path(args.ledger_dir)} "
           f"({len(records)} run(s), oldest -> newest)")
     if args.plot:

@@ -22,6 +22,7 @@ import hashlib
 import os
 import platform
 import subprocess
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional
@@ -234,14 +235,20 @@ class RunRecorder:
     profiler's derived metrics).
     """
 
+    #: cap on per-request trace spans kept in memory (see record_trace_span)
+    TRACE_SPAN_LIMIT = 4096
+
     def __init__(self, tool: str, argv: Optional[List[str]] = None):
         self.tool = tool
         self.argv = list(argv) if argv is not None else None
         self.started_at: Optional[str] = None
         self.elapsed_s: Optional[float] = None
         self.spans: Dict[str, Dict[str, Any]] = {}
+        self.trace_spans: List[Dict[str, Any]] = []
+        self.trace_spans_dropped = 0
         self.extra: Dict[str, Any] = {}
         self._t0: Optional[float] = None
+        self._trace_lock = threading.Lock()
 
     def start(self) -> "RunRecorder":
         self.started_at = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
@@ -271,6 +278,36 @@ class RunRecorder:
             else:
                 entry[key] = entry.get(key, 0) + value  # counter: sum
 
+    def record_trace_span(self, name: str, trace_id: str, span_id: str,
+                          parent_span: Optional[str], t0: float, dur_s: float,
+                          attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Keep one per-request trace span (called by :mod:`.tracing`).
+
+        Unlike :meth:`record_span`'s lossy aggregation, trace spans keep
+        per-occurrence identity (``count`` is 1) so a request can be
+        reconstructed hop by hop.  Past :attr:`TRACE_SPAN_LIMIT` the
+        recorder aggregates into an existing same-shaped span (bumping
+        its ``count`` and summing ``dur_s``) instead of growing without
+        bound; spans with no aggregation target count as dropped.
+        """
+        entry: Dict[str, Any] = {"name": name, "trace": trace_id,
+                                 "span": span_id, "parent": parent_span,
+                                 "tool": self.tool, "t0": round(t0, 6),
+                                 "dur_s": round(dur_s, 6), "count": 1}
+        if attrs:
+            entry["attrs"] = dict(attrs)
+        with self._trace_lock:
+            if len(self.trace_spans) < self.TRACE_SPAN_LIMIT:
+                self.trace_spans.append(entry)
+                return
+            for kept in reversed(self.trace_spans):
+                if (kept["name"] == name and kept["trace"] == trace_id
+                        and kept.get("parent") == parent_span):
+                    kept["count"] += 1
+                    kept["dur_s"] = round(kept["dur_s"] + dur_s, 6)
+                    return
+            self.trace_spans_dropped += 1
+
     def finish(self, config: Optional[Dict[str, Any]] = None,
                **fields: Any) -> Dict[str, Any]:
         """Stop the recorder and build the ledger record."""
@@ -298,5 +335,9 @@ class RunRecorder:
         }
         if self.extra:
             record["extra"] = dict(self.extra)
+        if self.trace_spans:
+            record["trace_spans"] = list(self.trace_spans)
+        if self.trace_spans_dropped:
+            record["trace_spans_dropped"] = self.trace_spans_dropped
         record.update(fields)
         return record

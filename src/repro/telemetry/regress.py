@@ -226,10 +226,22 @@ def evaluate(records: List[Dict[str, Any]],
             failures.append(
                 f"replay: {replay['errors']} request(s) failed — the "
                 "cluster's zero-accepted-job-loss guarantee did not hold")
+        # a replay with zero completed requests reports p99 = 0.0 (the
+        # percentile of an empty latency list), which would make any
+        # healthy run look like an unbounded regression if it anchored
+        # the baseline — and would let a fully-failed candidate sail
+        # through the latency gate; skip such records on both sides
         base_p99 = [b["replay"]["latency_p99_ms"] for b in baseline
-                    if (b.get("replay") or {}).get("latency_p99_ms")
+                    if (b.get("replay") or {}).get("ok")
+                    and (b.get("replay") or {}).get("latency_p99_ms")
                     is not None]
-        p99 = replay.get("latency_p99_ms")
+        if not replay.get("ok"):
+            p99 = None
+            notes.append("replay completed zero requests; p99 latency "
+                         "gate skipped (the zero-loss gate still "
+                         "applies)")
+        else:
+            p99 = replay.get("latency_p99_ms")
         if base_p99 and p99 is not None:
             base = _median(base_p99)
             if (p99 > base * REPLAY_P99_FACTOR

@@ -1,0 +1,212 @@
+"""``repro-bench top``: live terminal dashboard over the metrics plane.
+
+Scrapes the side-effect-free ``{"op": "metrics"}`` protocol op — from
+one daemon (``--connect``) or a whole cluster (router + every shard,
+discovered through the ``.repro/cluster.json`` state file) — and
+renders a refreshing text dashboard: queue depth, throughput,
+coalesce/reject counters, wait/forward latency quantiles estimated
+from the mergeable histograms, the simulator's ``Tracer`` drop tally,
+and a :mod:`~repro.core.asciiplot` sparkline of recent throughput.
+
+Scraping is read-only and cheap; ``--once`` prints a single frame (the
+CI smoke and tests use that), the default loop redraws every
+``--interval`` seconds until interrupted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..core.asciiplot import sparkline
+from ..service.transport import request
+from . import metrics
+
+__all__ = ["main", "render_frame", "scrape_endpoints"]
+
+#: throughput sparkline memory, in refresh intervals
+HISTORY = 60
+
+
+class _Endpoint:
+    """One scrape target and its per-interval deltas."""
+
+    def __init__(self, name: str, address: str):
+        self.name = name
+        self.address = address
+        self.snapshot: Optional[Dict[str, Any]] = None
+        self.reply: Optional[Dict[str, Any]] = None
+        self.error: Optional[str] = None
+        self.rate = 0.0
+        self.history: Deque[float] = deque(maxlen=HISTORY)
+        self._last_completed: Optional[float] = None
+        self._last_t: Optional[float] = None
+
+    def scrape(self) -> None:
+        now = time.monotonic()
+        try:
+            reply = request(self.address, {"op": "metrics"}, timeout=5.0)
+        except (OSError, ValueError) as exc:
+            self.snapshot, self.reply = None, None
+            self.error = f"{type(exc).__name__}: {exc}"
+            self.history.append(0.0)
+            return
+        snap = reply.get("metrics") if isinstance(reply, dict) else None
+        if reply.get("status") != "ok" or not isinstance(snap, dict):
+            self.snapshot, self.reply = None, None
+            self.error = "malformed metrics reply"
+            self.history.append(0.0)
+            return
+        self.error = None
+        self.snapshot, self.reply = snap, reply
+        completed = metrics.counter_total(snap, "service_completed_total")
+        if self._last_completed is not None and self._last_t is not None \
+                and now > self._last_t:
+            self.rate = max(0.0, (completed - self._last_completed)
+                            / (now - self._last_t))
+        self._last_completed, self._last_t = completed, now
+        self.history.append(self.rate)
+
+
+def _endpoints_from_args(args: argparse.Namespace) -> List[_Endpoint]:
+    if args.connect:
+        return [_Endpoint("endpoint", args.connect)]
+    try:
+        with open(args.state) as handle:
+            state = json.load(handle)
+    except (OSError, ValueError):
+        # no cluster state: fall back to the single-daemon default socket
+        return [_Endpoint("daemon", ".repro/service.sock")]
+    endpoints = [_Endpoint("router", state["router"])]
+    for name in sorted(state.get("shards") or {}):
+        endpoints.append(_Endpoint(name, state["shards"][name]))
+    return endpoints
+
+
+def scrape_endpoints(endpoints: List[_Endpoint]) -> None:
+    for endpoint in endpoints:
+        endpoint.scrape()
+
+
+def _quantiles_ms(snap: Dict[str, Any], name: str
+                  ) -> Tuple[Optional[float], Optional[float]]:
+    entry = metrics.histogram_entry(snap, name)
+    if entry is None:
+        return None, None
+    p50 = metrics.histogram_quantile(entry, 0.50)
+    p99 = metrics.histogram_quantile(entry, 0.99)
+    return (None if p50 is None else p50 * 1e3,
+            None if p99 is None else p99 * 1e3)
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return "—" if value is None else f"{value:.2f}ms"
+
+
+def _int(value: Optional[float]) -> int:
+    return int(value or 0)
+
+
+def render_frame(endpoints: List[_Endpoint], width: int = 40) -> str:
+    """One dashboard frame as a printable string."""
+    lines = [time.strftime("repro-bench top — %H:%M:%S")]
+    for endpoint in endpoints:
+        if endpoint.error is not None:
+            lines.append(f"{endpoint.name:<10} {endpoint.address:<22} "
+                         f"DOWN  ({endpoint.error})")
+            continue
+        snap = endpoint.snapshot or {}
+        reply = endpoint.reply or {}
+        queue = _int(metrics.gauge_value(snap, "service_queue_depth"))
+        completed = _int(metrics.counter_total(snap,
+                                               "service_completed_total"))
+        coalesced = _int(metrics.counter_total(
+            snap, "service_coalesce_hits_total"))
+        rejected = _int(metrics.counter_total(snap,
+                                              "service_rejected_total"))
+        dropped = _int(metrics.gauge_value(snap, "sim_trace_dropped"))
+        wait50, wait99 = _quantiles_ms(snap, "service_wait_seconds")
+        lines.append(
+            f"{endpoint.name:<10} {endpoint.address:<22} up    "
+            f"queue {queue:>4}  done {completed:>6} "
+            f"({endpoint.rate:6.1f}/s)  coalesced {coalesced:>5}  "
+            f"rejected {rejected:>4}")
+        detail = (f"{'':10} wait p50 {_fmt_ms(wait50)} "
+                  f"p99 {_fmt_ms(wait99)}")
+        if reply.get("router"):
+            fwd50, fwd99 = _quantiles_ms(snap, "router_forward_seconds")
+            forwards = _int(metrics.counter_total(snap,
+                                                  "router_forwards_total"))
+            reroutes = _int(metrics.counter_total(snap,
+                                                  "router_reroutes_total"))
+            detail += (f"  forwards {forwards} (rerouted {reroutes}) "
+                       f"fwd p50 {_fmt_ms(fwd50)} p99 {_fmt_ms(fwd99)}")
+            shards = reply.get("shards") or {}
+            dead = sorted(name for name, entry in shards.items()
+                          if isinstance(entry, dict) and "error" in entry)
+            detail += (f"  shards {len(shards) - len(dead)}"
+                       f"/{len(shards)} up")
+            if dead:
+                detail += f" (down: {', '.join(dead)})"
+        if dropped:
+            detail += f"  sim-trace drops {dropped}"
+        lines.append(detail)
+        lines.append(f"{'':10} {sparkline(list(endpoint.history) or [0.0], width=width)} "
+                     f"req/s")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point of ``repro-bench top``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench top",
+        description="Refreshing dashboard over live service/cluster "
+                    "metrics (scrapes the side-effect-free 'metrics' "
+                    "protocol op).",
+    )
+    parser.add_argument("--connect", metavar="ADDR", default=None,
+                        help="scrape one endpoint (host:port or socket "
+                             "path) instead of the cluster state file")
+    parser.add_argument("--state", metavar="PATH",
+                        default=".repro/cluster.json",
+                        help="cluster state file to discover router + "
+                             "shards (default: .repro/cluster.json)")
+    parser.add_argument("--interval", type=float, default=2.0, metavar="S",
+                        help="refresh interval (default: 2s)")
+    parser.add_argument("--iterations", type=int, default=0, metavar="N",
+                        help="stop after N frames (default: until ^C)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single frame and exit (no clear)")
+    parser.add_argument("--width", type=int, default=40, metavar="COLS",
+                        help="sparkline width")
+    args = parser.parse_args(argv)
+
+    endpoints = _endpoints_from_args(args)
+    frames = 0
+    try:
+        while True:
+            scrape_endpoints(endpoints)
+            frame = render_frame(endpoints, width=max(4, args.width))
+            if args.once:
+                print(frame)
+                break
+            # ANSI clear + home keeps the dashboard in place
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                break
+            time.sleep(max(0.1, args.interval))
+    except KeyboardInterrupt:
+        pass
+    if all(endpoint.error is not None for endpoint in endpoints):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

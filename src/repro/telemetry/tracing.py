@@ -1,0 +1,153 @@
+"""Distributed trace propagation across the service/cluster stack.
+
+A trace is born when a client mints a ``trace_id`` (CLI ``submit
+--trace``, ``repro-bench replay --trace``, or any caller filling the
+optional ``trace`` field on a wire cell).  Each hop — router forward,
+shard protocol handler, session job, executor batch — opens a
+:func:`traced` span that mints its own ``span_id``, records wall-clock
+start and duration into the active :class:`~.ledger.RunRecorder`
+(``trace_spans``), and passes its span id down as the next hop's
+``parent_span``.  ``repro-bench trace export`` later stitches the spans
+from every process's ledger record back into one Chrome trace.
+
+Like :mod:`.spans`, everything here is null-path cheap: no recorder or
+no ``trace_id`` means no clock reads and no allocation beyond a shared
+singleton.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .spans import active_recorder
+
+__all__ = [
+    "MAX_ID_LEN", "TraceSpan", "new_span_id", "new_trace_id",
+    "record_trace_span", "trace_from_cell", "traced", "valid_id",
+    "wire_trace",
+]
+
+#: upper bound accepted for ids arriving over the wire
+MAX_ID_LEN = 64
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit request identity, hex-encoded."""
+    return os.urandom(8).hex()
+
+
+def new_span_id() -> str:
+    """A fresh 32-bit span identity, hex-encoded."""
+    return os.urandom(4).hex()
+
+
+def valid_id(value: Any) -> bool:
+    """Whether a wire value is usable as a trace/span id."""
+    return isinstance(value, str) and 0 < len(value) <= MAX_ID_LEN
+
+
+def trace_from_cell(cell: Any) -> Tuple[Optional[str], Optional[str]]:
+    """Extract ``(trace_id, parent_span)`` from a raw wire cell.
+
+    Lenient by design — malformed trace envelopes degrade to an
+    untraced request rather than failing it (tracing is best-effort
+    metadata, never load-bearing).
+    """
+    if not isinstance(cell, dict):
+        return None, None
+    trace = cell.get("trace")
+    if not isinstance(trace, dict):
+        return None, None
+    trace_id = trace.get("trace_id")
+    parent = trace.get("parent_span")
+    if not valid_id(trace_id):
+        return None, None
+    return trace_id, (parent if valid_id(parent) else None)
+
+
+def wire_trace(trace_id: str,
+               parent_span: Optional[str] = None) -> Dict[str, str]:
+    """The wire form of a trace context (the cell's ``trace`` field)."""
+    trace: Dict[str, str] = {"trace_id": trace_id}
+    if parent_span:
+        trace["parent_span"] = parent_span
+    return trace
+
+
+class TraceSpan:
+    """One live hop of a trace; ``span_id`` seeds the next hop's parent."""
+
+    __slots__ = ("name", "trace_id", "span_id", "parent_span", "attrs")
+
+    def __init__(self, name: str, trace_id: str,
+                 parent_span: Optional[str], attrs: Dict[str, Any]):
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_span = parent_span
+        self.attrs = attrs
+
+    def note(self, **attrs: Any) -> None:
+        self.attrs.update(attrs)
+
+
+class _NullTraceSpan:
+    """Free stand-in when tracing is off; ``span_id`` stays ``None``."""
+
+    __slots__ = ()
+    name = trace_id = span_id = parent_span = None
+
+    def note(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullTraceSpan()
+
+
+@contextmanager
+def traced(name: str, trace_id: Optional[str],
+           parent_span: Optional[str] = None,
+           **attrs: Any) -> Iterator[Any]:
+    """Record one hop of ``trace_id``; null path when untraced.
+
+    Yields a :class:`TraceSpan` (or the null singleton) whose
+    ``span_id`` callers propagate as the child hops' ``parent_span``.
+    The span is recorded even when the body raises — a failed hop is
+    still a hop.
+    """
+    recorder = active_recorder()
+    if recorder is None or not trace_id:
+        yield _NULL_SPAN
+        return
+    span = TraceSpan(name, trace_id, parent_span, attrs)
+    t0_wall = time.time()
+    t0 = time.perf_counter()
+    try:
+        yield span
+    finally:
+        record = getattr(recorder, "record_trace_span", None)
+        if record is not None:
+            record(name, trace_id, span.span_id, parent_span,
+                   t0_wall, time.perf_counter() - t0, span.attrs)
+
+
+def record_trace_span(name: str, trace_id: Optional[str], span_id: str,
+                      parent_span: Optional[str], t0: float, dur_s: float,
+                      attrs: Optional[Dict[str, Any]] = None) -> None:
+    """Record an already-timed hop (for spans closed by callbacks).
+
+    Used where a context manager cannot bracket the work — e.g. a
+    session job whose lifetime runs from ``submit()`` to future
+    delivery on the dispatcher thread.
+    """
+    if not trace_id:
+        return
+    recorder = active_recorder()
+    if recorder is None:
+        return
+    record = getattr(recorder, "record_trace_span", None)
+    if record is not None:
+        record(name, trace_id, span_id, parent_span, t0, dur_s, attrs)
