@@ -548,7 +548,30 @@ def main(argv=None) -> int:
                         help="run one scenario (default: all)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable summary line")
+    parser.add_argument("--search", action="store_true",
+                        help="property-based chaos search: let Hypothesis "
+                             "draw random cell x fault x kill-schedule "
+                             "combinations and assert the recovery "
+                             "invariants on each")
+    parser.add_argument("--profile", choices=("ci", "nightly"),
+                        default="ci",
+                        help="search effort: 'ci' is small and time-boxed, "
+                             "'nightly' is wide (default: ci)")
+    parser.add_argument("--corpus", metavar="DIR",
+                        default=os.path.join(".repro", "chaos_corpus"),
+                        help="example database for minimized failures "
+                             "(default: .repro/chaos_corpus)")
+    parser.add_argument("--property", action="append", metavar="NAME",
+                        choices=("cell-invariants", "shed-degrade",
+                                 "cluster-kill"),
+                        help="search one property (repeatable; "
+                             "default: all)")
     args = parser.parse_args(argv)
+
+    if args.search:
+        from .chaos_search import main as search_main
+
+        return search_main(args)
 
     names = [args.scenario] if args.scenario else sorted(SCENARIOS)
     outcomes = {}

@@ -1,0 +1,501 @@
+"""``repro-bench chaos --search``: property-based chaos search.
+
+Where :mod:`repro.bench.chaos` replays *hand-written* failure
+scenarios, this module lets Hypothesis hunt for new ones: it draws
+random machine × workload × scheme × tier × :class:`FaultPlan`
+combinations — and, for the cluster property, random kill schedules —
+and asserts the invariants the robustness machinery promises on every
+draw:
+
+* **determinism / byte-identity** — the same cell computed twice in
+  fresh caches produces byte-identical results (and infeasible cells
+  are infeasible both times);
+* **cache-key soundness** — keys are stable, a re-run is a cache hit
+  with an identical payload, a faulted cell never shares a key with
+  its healthy twin, and ``tier="auto"`` shares the key of the tier it
+  resolves to;
+* **zero accepted-job loss** — an overloaded session resolves every
+  accepted future (degrading ``auto`` cells to the surrogate rather
+  than dropping them), and a cluster answers every replayed request
+  through a shard kill;
+* **convergence** — after the kill, the supervisor restarts the shard
+  and the router sees the full complement alive again.
+
+Failure cases are minimized by Hypothesis and persisted to
+``.repro/chaos_corpus/`` (a ``DirectoryBasedExampleDatabase``), so a
+violation found in one run is replayed first in the next.  Two
+settings profiles are registered: ``ci`` (small, time-boxed) and
+``nightly`` (wide).
+
+Hypothesis is an optional dependency: when it is not importable the
+search reports that and exits with status 2 instead of crashing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PROFILES", "PROPERTIES", "run_search", "main"]
+
+#: per-profile example budgets, keyed by property name
+PROFILES: Dict[str, Dict[str, int]] = {
+    "ci": {"cell-invariants": 25, "shed-degrade": 6, "cluster-kill": 2},
+    "nightly": {"cell-invariants": 250, "shed-degrade": 50,
+                "cluster-kill": 15},
+}
+
+DEFAULT_CORPUS = os.path.join(".repro", "chaos_corpus")
+
+_SYSTEMS = ("tiger", "dmz", "longs")
+_NTASKS = (1, 2, 4)
+
+
+def _hypothesis():
+    try:
+        import hypothesis  # noqa: F401
+    except ImportError:
+        return None
+    return hypothesis
+
+
+# -- strategies --------------------------------------------------------------
+
+
+def _strategies():
+    """Build the shared strategy toolbox (requires hypothesis)."""
+    from hypothesis import strategies as st
+
+    from ..faults import CacheDegrade, CoreSlowdown, FaultPlan, LinkDegrade
+    from ..service.registry import SCHEME_ALIASES, WORKLOADS
+
+    # deterministic fault kinds only: they reshape modeled timing
+    # without probabilistic control flow, so byte-identity must hold
+    faults = st.one_of(
+        st.builds(LinkDegrade,
+                  src=st.just(0), dst=st.just(1),
+                  bandwidth_factor=st.floats(0.05, 0.9),
+                  latency_factor=st.floats(1.0, 4.0)),
+        st.builds(CoreSlowdown,
+                  core=st.integers(0, 1),
+                  factor=st.floats(1.5, 4.0)),
+        st.builds(CacheDegrade,
+                  capacity_factor=st.floats(0.1, 0.9)),
+    )
+    plans = st.builds(
+        FaultPlan,
+        seed=st.integers(0, 2 ** 16),
+        faults=st.lists(faults, min_size=1, max_size=2).map(tuple))
+
+    cells = st.fixed_dictionaries({
+        "system": st.sampled_from(_SYSTEMS),
+        "workload": st.sampled_from(sorted(WORKLOADS)),
+        "ntasks": st.sampled_from(_NTASKS),
+        "scheme": st.sampled_from(sorted(SCHEME_ALIASES)),
+    })
+    return {"st": st, "cells": cells, "plans": plans}
+
+
+def _build_request(cell: Dict[str, Any], tier: Optional[str] = None,
+                   faults: Any = None):
+    from ..core.parallel import JobRequest
+    from ..service.registry import (resolve_scheme_name, resolve_system,
+                                    resolve_workload)
+
+    return JobRequest(
+        spec=resolve_system(cell["system"]),
+        workload=resolve_workload(cell["workload"], cell["ntasks"]),
+        scheme=resolve_scheme_name(cell["scheme"]),
+        tier=tier, faults=faults)
+
+
+# -- property 1: cell determinism and cache-key soundness --------------------
+
+
+def _check_cell_invariants(cell: Dict[str, Any], tier: Optional[str],
+                           faults: Any) -> None:
+    from ..core.cache import ResultCache
+    from ..core.parallel import run_request
+    from ..errors import InfeasibleSchemeError
+
+    request = _build_request(cell, tier=tier, faults=faults)
+    twin = _build_request(cell, tier=tier, faults=faults)
+    assert request.key() == twin.key(), \
+        "cache key is not a pure function of the cell"
+    if faults is not None:
+        healthy = _build_request(cell, tier=tier, faults=None)
+        assert request.key() != healthy.key(), \
+            "a faulted cell shares its healthy twin's cache key"
+    if tier == "auto":
+        resolved = _build_request(cell, tier=request.effective_tier(),
+                                  faults=faults)
+        assert request.key() == resolved.key(), \
+            "tier=auto does not share the resolved tier's cache key"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        first_cache = ResultCache(directory=os.path.join(tmp, "a"))
+        try:
+            first = run_request(request, cache=first_cache)
+        except InfeasibleSchemeError:
+            # infeasibility is a valid outcome — but it must be stable
+            try:
+                run_request(twin, cache=ResultCache(
+                    directory=os.path.join(tmp, "b")))
+            except InfeasibleSchemeError:
+                return
+            raise AssertionError(
+                "cell was infeasible once and feasible the second time")
+        second = run_request(twin, cache=ResultCache(
+            directory=os.path.join(tmp, "b")))
+        assert first.to_dict() == second.to_dict(), \
+            "fresh-cache reruns diverged (determinism violation)"
+
+        hits_before = (first_cache.stats.memory_hits
+                       + first_cache.stats.disk_hits)
+        again = run_request(request, cache=first_cache)
+        hits_after = (first_cache.stats.memory_hits
+                      + first_cache.stats.disk_hits)
+        assert hits_after == hits_before + 1, \
+            "identical cell missed its own cache entry"
+        assert again.to_dict() == first.to_dict(), \
+            "cache replay changed the payload"
+
+
+# -- property 2: overload sheds without losing accepted jobs -----------------
+
+
+def _check_shed_degrade(cell_list: List[Dict[str, Any]],
+                        depth: int) -> None:
+    from ..core.cache import ResultCache
+    from ..core.parallel import run_request
+    from ..errors import QueueFullError
+    from ..service.api import RunRequest
+    from ..service.registry import (resolve_scheme_name, resolve_system,
+                                    resolve_workload)
+    from ..service.session import Session
+
+    def to_run_request(cell):
+        return RunRequest(
+            system=resolve_system(cell["system"]),
+            workload=resolve_workload(cell["workload"], cell["ntasks"]),
+            scheme=resolve_scheme_name(cell["scheme"]),
+            tier="auto")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        session = Session(cache=ResultCache(directory=os.path.join(
+            tmp, "svc")), jobs=1, max_pending=depth, paused=True,
+            shed_threshold=1e-9, name="chaos-search")
+        futures = []
+        rejected = 0
+        with session:
+            # every submit beyond the queue depth must shed: auto cells
+            # degrade to the surrogate inline instead of erroring out
+            for cell in cell_list:
+                try:
+                    futures.append((cell, session.submit(
+                        to_run_request(cell))))
+                except QueueFullError:
+                    rejected += 1
+            session.resume()
+            assert session.drain(timeout=60.0), \
+                "session failed to drain its accepted jobs"
+            results = [(cell, future.result()) for cell, future in futures]
+        assert rejected == 0, \
+            "an auto-tier cell was rejected instead of degraded"
+        assert len(results) == len(cell_list), "an accepted job was lost"
+        # duplicates coalesce (or hit the cache) at admission, so only
+        # cells with distinct content addresses ever occupy queue slots
+        distinct = len({to_run_request(cell).key() for cell in cell_list})
+        assert session.stats.degraded >= max(0, distinct - depth), \
+            "overload did not shed to the surrogate fast path"
+
+        for cell, result in results:
+            if result.status == "infeasible":
+                continue
+            assert result.ok, \
+                f"accepted cell resolved as {result.status}: {result.error}"
+            baseline = run_request(
+                _build_request(cell, tier="auto"),
+                cache=ResultCache(directory=os.path.join(tmp, "base")))
+            assert result.job.to_dict() == baseline.to_dict(), \
+                "a degraded result diverged from the serial baseline " \
+                "(cache-coherence violation)"
+
+
+# -- property 3: cluster survives a kill schedule and converges --------------
+
+
+class _InProcShard:
+    """Popen-shaped handle over an in-process TCP shard server."""
+
+    _pids = iter(range(10_000, 1_000_000))
+
+    def __init__(self, server: Any):
+        self.server = server
+        self.pid = next(self._pids)
+        self._dead = False
+
+    def kill(self) -> None:
+        self._dead = True
+        try:
+            self.server.initiate_shutdown()
+            self.server.close()
+        except OSError:
+            pass
+
+    def poll(self) -> Optional[int]:
+        return 1 if self._dead else None
+
+
+def _check_cluster_kill(cell_list: List[Dict[str, Any]], n_shards: int,
+                        victim_index: int, kill_fraction: float) -> None:
+    from ..cluster.replay import run_replay
+    from ..cluster.router import Router
+    from ..cluster.supervisor import ShardSpec, ShardSupervisor
+    from ..core import parallel
+    from ..core.cache import ResultCache
+    from ..service.daemon import TcpServiceServer
+    from ..service.protocol import cell_from_wire
+    from ..service.session import Session
+    from ..service.transport import make_server, serve_in_thread
+
+    victim_index %= n_shards
+    cells = [dict(cell, tier="auto") for cell in cell_list]
+    trace = [{"t": 0.0, "cell": dict(cell)} for cell in cells * 4]
+    kill_at = max(1, int(len(trace) * kill_fraction))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        shared = os.path.join(tmp, "store")
+        handles: Dict[str, _InProcShard] = {}
+        all_servers: List[Any] = []
+
+        def launch(spec: ShardSpec) -> _InProcShard:
+            session = Session(cache=ResultCache(directory=shared),
+                              jobs=1, name=spec.name)
+            server = TcpServiceServer(spec.address, session)
+            serve_in_thread(server, name=spec.name)
+            all_servers.append(server)
+            return _InProcShard(server)
+
+        def ping(address: Tuple[str, int], deadline_s: float) -> bool:
+            from ..cluster.manager import wait_for_ping
+            return wait_for_ping(address, deadline_s=deadline_s)
+
+        specs = []
+        for i in range(n_shards):
+            # bind an ephemeral port first so the spec pins a real
+            # address the supervisor can relaunch on
+            placeholder = make_server(("127.0.0.1", 0), lambda m: {})
+            address = placeholder.address
+            placeholder.close()
+            specs.append(ShardSpec(name=f"shard-{i}", address=address))
+        for spec in specs:
+            handles[spec.name] = launch(spec)
+
+        router = Router([(spec.name, spec.address) for spec in specs],
+                        retries=2, backoff_s=0.02, health_interval_s=0.1,
+                        breaker_threshold=2, breaker_open_s=0.2)
+        front = make_server(("127.0.0.1", 0), router.handle_message)
+        serve_in_thread(front, name="chaos-search-router")
+        router.start_health_checks()
+        supervisor = ShardSupervisor(
+            specs, handles, restart_budget=5, budget_window_s=60.0,
+            backoff_s=0.02, backoff_max_s=0.2, poll_interval_s=0.05,
+            ready_timeout_s=10.0, launch_fn=launch, ping_fn=ping,
+            external_stop=router._stop)
+        supervisor.start()
+
+        killed = threading.Event()
+
+        def maybe_kill(index: int, outcome: Any) -> None:
+            if index >= kill_at and not killed.is_set():
+                killed.set()
+                handles[f"shard-{victim_index}"].kill()
+
+        try:
+            report = run_replay(front.address, trace, rate=0.0,
+                                clients=4, timeout=60.0,
+                                on_result=maybe_kill)
+            assert killed.is_set(), "the kill schedule never fired"
+            # an infeasible_scheme reply is a valid deterministic answer
+            # (its stability vs the serial baseline is asserted below),
+            # not a lost request
+            codes = dict(report.get("error_codes") or {})
+            lost = report["errors"] - codes.pop("infeasible_scheme", 0)
+            assert not lost, (
+                f"{lost} accepted request(s) failed through "
+                f"the kill ({codes})")
+
+            # convergence: the supervisor must bring the victim back
+            # and the router must see every shard alive again
+            deadline = time.monotonic() + 15.0
+            converged = False
+            while time.monotonic() < deadline:
+                alive = router.check_health()
+                if sum(1 for up in alive.values() if up) == n_shards:
+                    converged = True
+                    break
+                time.sleep(0.1)
+            assert converged, (
+                f"cluster never converged back to {n_shards} live "
+                f"shards; restarts={supervisor.restarts()} "
+                f"abandoned={supervisor.abandoned()}")
+            assert supervisor.restarts().get(
+                f"shard-{victim_index}", 0) >= 1, \
+                "the killed shard was never restarted"
+            assert not supervisor.abandoned(), \
+                "the supervisor abandoned a shard within budget"
+        finally:
+            supervisor.stop()
+            router.stop()
+            for handle in handles.values():
+                if not handle._dead:
+                    handle.kill()
+            front.initiate_shutdown()
+            front.close()
+
+        # healthy cells stay byte-identical to a serial baseline
+        with Session(cache=ResultCache(
+                directory=os.path.join(tmp, "serial")), jobs=1,
+                name="chaos-search-serial") as baseline_session, \
+                Session(cache=ResultCache(directory=shared), jobs=1,
+                        name="chaos-search-check") as check_session:
+            for cell in cells:
+                request = cell_from_wire(cell)
+                baseline = baseline_session.run(request)
+                replayed = check_session.run(request)
+                if baseline.status == "infeasible":
+                    assert replayed.status == "infeasible", \
+                        "infeasibility differed between cluster and serial"
+                    continue
+                assert baseline.ok and replayed.ok and \
+                    baseline.job.to_dict() == replayed.job.to_dict(), (
+                        f"cell {cell['workload']} on {cell['system']} "
+                        "diverged from the serial baseline")
+        parallel.shutdown_pool()
+
+
+# -- the search harness ------------------------------------------------------
+
+#: name -> builder(toolbox) returning a given-wrapped callable
+PROPERTIES = ("cell-invariants", "shed-degrade", "cluster-kill")
+
+
+def _build_property(name: str, toolbox: Dict[str, Any],
+                    max_examples: int, database: Any,
+                    counter: Dict[str, int]) -> Callable[[], None]:
+    from hypothesis import HealthCheck, given, settings
+
+    st = toolbox["st"]
+    cells = toolbox["cells"]
+    plans = toolbox["plans"]
+    shared = settings(max_examples=max_examples, database=database,
+                      deadline=None, print_blob=True,
+                      derandomize=False,
+                      suppress_health_check=[HealthCheck.too_slow,
+                                             HealthCheck.data_too_large,
+                                             HealthCheck.filter_too_much])
+
+    if name == "cell-invariants":
+        @shared
+        @given(cell=cells,
+               tier=st.sampled_from(["fast", "exact", "auto"]),
+               faults=st.none() | plans)
+        def prop(cell, tier, faults):
+            counter[name] += 1
+            if tier == "fast" and faults is not None:
+                faults = None  # explicit fast cannot carry faults
+            _check_cell_invariants(cell, tier, faults)
+        return prop
+
+    if name == "shed-degrade":
+        @shared
+        @given(cell_list=st.lists(cells, min_size=2, max_size=5),
+               depth=st.integers(1, 2))
+        def prop(cell_list, depth):
+            counter[name] += 1
+            _check_shed_degrade(cell_list, depth)
+        return prop
+
+    if name == "cluster-kill":
+        @shared
+        @given(cell_list=st.lists(cells, min_size=2, max_size=4,
+                                  unique_by=lambda c: tuple(
+                                      sorted(c.items()))),
+               n_shards=st.integers(2, 3),
+               victim_index=st.integers(0, 2),
+               kill_fraction=st.floats(0.2, 0.6))
+        def prop(cell_list, n_shards, victim_index, kill_fraction):
+            counter[name] += 1
+            cell_list = [dict(c, scheme="default") for c in cell_list]
+            _check_cluster_kill(cell_list, n_shards, victim_index,
+                                kill_fraction)
+        return prop
+
+    raise ValueError(f"unknown property {name!r}")
+
+
+def run_search(profile: str = "ci", corpus_dir: str = DEFAULT_CORPUS,
+               names: Optional[List[str]] = None) -> Dict[str, Any]:
+    """Run the chaos search; returns a machine-readable report.
+
+    ``report["ok"]`` is True when every property held on every drawn
+    example.  Failing examples are minimized by Hypothesis and stored
+    under ``corpus_dir`` for replay on the next run.
+    """
+    if _hypothesis() is None:
+        return {"ok": False, "error": "hypothesis is not installed",
+                "profile": profile, "properties": {}}
+    from hypothesis.database import DirectoryBasedExampleDatabase
+
+    budgets = PROFILES[profile]
+    database = DirectoryBasedExampleDatabase(corpus_dir)
+    toolbox = _strategies()
+    counter = {name: 0 for name in PROPERTIES}
+    report: Dict[str, Any] = {"ok": True, "profile": profile,
+                              "corpus": corpus_dir, "properties": {}}
+    for name in names or PROPERTIES:
+        prop = _build_property(name, toolbox, budgets[name], database,
+                               counter)
+        started = time.monotonic()
+        try:
+            prop()
+        except Exception as exc:  # hypothesis re-raises the minimal case
+            report["ok"] = False
+            report["properties"][name] = {
+                "ok": False, "examples": counter[name],
+                "elapsed_s": round(time.monotonic() - started, 3),
+                "error": f"{type(exc).__name__}: {exc}"}
+        else:
+            report["properties"][name] = {
+                "ok": True, "examples": counter[name],
+                "elapsed_s": round(time.monotonic() - started, 3)}
+    return report
+
+
+def main(args) -> int:
+    """Entry point for ``repro-bench chaos --search`` (parsed args)."""
+    report = run_search(profile=args.profile, corpus_dir=args.corpus,
+                        names=args.property or None)
+    if report.get("error"):
+        print(f"chaos --search: {report['error']}", file=sys.stderr)
+        return 2
+    for name, outcome in report["properties"].items():
+        status = "PASS" if outcome["ok"] else "FAIL"
+        print(f"[{status}] {name}: {outcome['examples']} example(s) "
+              f"in {outcome['elapsed_s']:.1f}s")
+        if not outcome["ok"]:
+            print(f"    {outcome['error']}")
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    if not report["ok"]:
+        print("chaos --search: invariant violation found (minimized "
+              f"example saved to {report['corpus']})", file=sys.stderr)
+        return 1
+    print(f"chaos --search [{report['profile']}]: all properties held")
+    return 0

@@ -11,12 +11,17 @@ the traffic-replay load generator (``repro-bench replay``) that proves
 the latency/throughput/coalescing story against recorded traffic.
 """
 
-from .router import Router, ShardState, rendezvous_order, shard_for_key
+from .router import CircuitBreaker, Router, ShardState, \
+    rendezvous_order, shard_for_key
 from .replay import load_trace, percentile, run_replay, trace_from_ledger
+from .supervisor import ShardSpec, ShardSupervisor
 
 __all__ = [
+    "CircuitBreaker",
     "Router",
+    "ShardSpec",
     "ShardState",
+    "ShardSupervisor",
     "load_trace",
     "percentile",
     "rendezvous_order",

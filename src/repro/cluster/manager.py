@@ -34,8 +34,10 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..service.transport import format_address, make_server, \
     parse_address, request, serve_in_thread
 from .router import Router
+from .supervisor import ShardSpec, ShardSupervisor, atomic_write_json
 
-__all__ = ["main", "launch_shard", "read_state", "wait_for_ping"]
+__all__ = ["main", "launch_shard", "probe_state", "prune_state",
+           "read_state", "wait_for_ping"]
 
 DEFAULT_STATE_PATH = ".repro/cluster.json"
 DEFAULT_HOST = "127.0.0.1"
@@ -46,7 +48,9 @@ def launch_shard(name: str, address: Tuple[str, int],
                  cache_dir: Optional[str], jobs: Optional[int] = None,
                  queue_depth: int = 64,
                  log_dir: Optional[str] = None,
-                 ledger_dir: Optional[str] = None) -> subprocess.Popen:
+                 ledger_dir: Optional[str] = None,
+                 shed_threshold: Optional[float] = None
+                 ) -> subprocess.Popen:
     """Start one shard daemon subprocess (does not wait for readiness).
 
     ``ledger_dir`` opts the shard into writing its own ``tool="serve"``
@@ -63,6 +67,8 @@ def launch_shard(name: str, address: Tuple[str, int],
         argv += ["--jobs", str(jobs)]
     if ledger_dir:
         argv += ["--ledger-dir", ledger_dir]
+    if shed_threshold is not None:
+        argv += ["--shed-threshold", str(shed_threshold)]
     stderr = None
     if log_dir:
         os.makedirs(log_dir, exist_ok=True)
@@ -95,17 +101,91 @@ def wait_for_ping(address, deadline_s: float = 15.0,
 
 
 def write_state(path: str, state: Dict[str, Any]) -> None:
-    parent = os.path.dirname(path)
-    if parent:
-        os.makedirs(parent, exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(state, handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    atomic_write_json(path, state)
 
 
 def read_state(path: str = DEFAULT_STATE_PATH) -> Dict[str, Any]:
     with open(path) as handle:
         return json.load(handle)
+
+
+def _pid_alive(pid: Any) -> bool:
+    if not isinstance(pid, int) or pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except (OSError, ProcessLookupError):
+        return False
+    return True
+
+
+def _endpoint_alive(address: Any) -> bool:
+    try:
+        return request(parse_address(address), {"op": "ping"},
+                       timeout=2.0).get("status") == "ok"
+    except (OSError, ValueError):
+        return False
+
+
+def probe_state(state: Dict[str, Any]) -> Dict[str, Any]:
+    """Liveness verdict for every entry of a cluster state file.
+
+    A component counts as alive when its endpoint answers a ping; the
+    recorded pid is checked separately (a live pid with a dead endpoint
+    is a hung process, a dead pid with a live endpoint is a recycled
+    port — both are reported, neither is trusted blindly).
+    """
+    router_pid = state.get("router_pid")
+    report: Dict[str, Any] = {
+        "router": {"address": state.get("router"),
+                   "alive": _endpoint_alive(state.get("router"))
+                   if state.get("router") else False,
+                   "pid": router_pid,
+                   "pid_alive": _pid_alive(router_pid)},
+        "shards": {},
+    }
+    pids = state.get("pids") or {}
+    for name, address in sorted((state.get("shards") or {}).items()):
+        report["shards"][name] = {
+            "address": address,
+            "alive": _endpoint_alive(address),
+            "pid": pids.get(name),
+            "pid_alive": _pid_alive(pids.get(name)),
+        }
+    return report
+
+
+def prune_state(path: str, state: Dict[str, Any],
+                report: Optional[Dict[str, Any]] = None
+                ) -> Dict[str, Any]:
+    """Drop dead entries from a stale state file (crashed ``up``).
+
+    Entries whose endpoint and pid are both dead are removed; when
+    nothing at all is left alive the state file itself is deleted.
+    Returns ``{"removed": [...], "deleted_file": bool}``.
+    """
+    if report is None:
+        report = probe_state(state)
+    removed: List[str] = []
+    for name, entry in report["shards"].items():
+        if not entry["alive"] and not entry["pid_alive"]:
+            removed.append(name)
+            (state.get("shards") or {}).pop(name, None)
+            (state.get("pids") or {}).pop(name, None)
+    router_dead = (not report["router"]["alive"]
+                   and not report["router"]["pid_alive"])
+    anything_alive = (not router_dead) or any(
+        e["alive"] or e["pid_alive"]
+        for e in report["shards"].values())
+    if not anything_alive:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return {"removed": removed, "deleted_file": True}
+    if removed:
+        write_state(path, state)
+    return {"removed": removed, "deleted_file": False}
 
 
 def _cmd_up(args: argparse.Namespace) -> int:
@@ -130,13 +210,19 @@ def _cmd_up(args: argparse.Namespace) -> int:
         # router and shard spans back together
         shard_ledger_dir = str(run_ledger.ledger_dir(args.ledger_dir))
 
-    procs: List[subprocess.Popen] = []
+    specs = [ShardSpec(name, address, cache_dir, jobs=args.jobs,
+                       queue_depth=args.queue_depth, log_dir=args.log_dir,
+                       ledger_dir=shard_ledger_dir,
+                       shed_threshold=args.shed_threshold)
+             for name, address in shard_addresses]
+    procs: Dict[str, subprocess.Popen] = {}
     try:
-        for name, address in shard_addresses:
-            procs.append(launch_shard(
-                name, address, cache_dir, jobs=args.jobs,
+        for spec in specs:
+            procs[spec.name] = launch_shard(
+                spec.name, spec.address, cache_dir, jobs=args.jobs,
                 queue_depth=args.queue_depth, log_dir=args.log_dir,
-                ledger_dir=shard_ledger_dir))
+                ledger_dir=shard_ledger_dir,
+                shed_threshold=args.shed_threshold)
         for name, address in shard_addresses:
             if not wait_for_ping(address, deadline_s=args.start_timeout):
                 print(f"shard {name} did not come up on "
@@ -144,11 +230,13 @@ def _cmd_up(args: argparse.Namespace) -> int:
                 raise SystemExit(2)
         router = Router(shard_addresses, retries=args.retries,
                         backoff_s=args.backoff,
-                        health_interval_s=args.health_interval)
+                        health_interval_s=args.health_interval,
+                        breaker_threshold=args.breaker_threshold,
+                        breaker_open_s=args.breaker_open)
         server = make_server(router_address, router.handle_message)
         router.start_health_checks()
     except BaseException:
-        for proc in procs:
+        for proc in procs.values():
             proc.terminate()
         raise
 
@@ -156,14 +244,27 @@ def _cmd_up(args: argparse.Namespace) -> int:
         "router": format_address(server.address),
         "shards": {name: format_address(address)
                    for name, address in shard_addresses},
-        "pids": {name: procs[i].pid
-                 for i, (name, _) in enumerate(shard_addresses)},
+        "pids": {name: procs[name].pid for name, _ in shard_addresses},
         "cache_dir": cache_dir,
         "router_pid": os.getpid(),
+        "supervised": bool(args.supervise),
     }
     write_state(args.state, state)
+    supervisor: Optional[ShardSupervisor] = None
+    if args.supervise:
+        # the router's stop event doubles as the teardown signal, so a
+        # protocol-driven shutdown never races a restart
+        supervisor = ShardSupervisor(
+            specs, procs, state_path=args.state, state=state,
+            restart_budget=args.restart_budget,
+            budget_window_s=args.restart_window,
+            backoff_s=args.restart_backoff,
+            ready_timeout_s=args.start_timeout,
+            external_stop=router._stop)
+        supervisor.start()
     print(f"[cluster router on {state['router']}; "
-          f"{len(procs)} shards: "
+          f"{len(procs)} shards"
+          f"{' (supervised)' if supervisor else ''}: "
           f"{', '.join(state['shards'].values())}; "
           f"state in {args.state}]", file=sys.stderr)
 
@@ -178,16 +279,19 @@ def _cmd_up(args: argparse.Namespace) -> int:
             thread.join(timeout=0.2)
     finally:
         router.stop()
+        if supervisor is not None:
+            supervisor.stop()  # before teardown: exits are not crashes
         # the router's shutdown op already fanned out to the shards on
         # a protocol-initiated shutdown; cover the signal path too
-        for (name, address), proc in zip(shard_addresses, procs):
+        for name, address in shard_addresses:
+            proc = procs[name]
             if proc.poll() is None:
                 try:
                     request(address, {"op": "shutdown"}, timeout=30.0)
                 except (OSError, ValueError):
                     proc.terminate()
         deadline = time.monotonic() + 30.0
-        for proc in procs:
+        for proc in procs.values():
             remaining = max(0.1, deadline - time.monotonic())
             try:
                 proc.wait(timeout=remaining)
@@ -195,20 +299,35 @@ def _cmd_up(args: argparse.Namespace) -> int:
                 proc.kill()
         server.close()
         snapshot = router.snapshot()
+        restarts = sum(supervisor.restarts().values()) if supervisor \
+            else 0
         print(f"[cluster down: routed {snapshot['routed']}, "
               f"rerouted {snapshot['rerouted']}, "
-              f"forward failures {snapshot['forward_failures']}]",
+              f"forward failures {snapshot['forward_failures']}"
+              + (f", shard restarts {restarts}" if supervisor else "")
+              + "]",
               file=sys.stderr)
         if recorder is not None:
             from ..telemetry import ledger as run_ledger
 
+            sections: Dict[str, Any] = {}
+            if supervisor is not None:
+                sections["supervision"] = {
+                    "events": supervisor.events(),
+                    "restarts": supervisor.restarts(),
+                    "abandoned": supervisor.abandoned(),
+                    "budget": args.restart_budget,
+                    "window_s": args.restart_window,
+                }
             record = recorder.finish(
                 config={"shards": args.shards,
                         "router": state["router"],
-                        "cache_dir": cache_dir},
+                        "cache_dir": cache_dir,
+                        "supervised": bool(supervisor)},
                 cluster=snapshot,
                 gauges=router.cluster_gauges({}),
                 metrics=metrics_mod.snapshot(),
+                **sections,
             )
             path = run_ledger.append(record, args.ledger_dir)
             print(f"[cluster run {record['run_id']} recorded to {path}]",
@@ -232,14 +351,59 @@ def _router_address(args: argparse.Namespace):
     return parse_address(state["router"])
 
 
+def _describe_probe(report: Dict[str, Any]) -> List[str]:
+    lines = []
+    router = report["router"]
+    lines.append(f"  router     {router['address'] or '?':<21} "
+                 f"endpoint {'up' if router['alive'] else 'DOWN'}, "
+                 f"pid {router['pid'] or '?'} "
+                 f"{'alive' if router['pid_alive'] else 'dead'}")
+    for name, entry in report["shards"].items():
+        lines.append(f"  {name:<10} {entry['address'] or '?':<21} "
+                     f"endpoint {'up' if entry['alive'] else 'DOWN'}, "
+                     f"pid {entry['pid'] or '?'} "
+                     f"{'alive' if entry['pid_alive'] else 'dead'}")
+    return lines
+
+
+def _handle_stale_state(args: argparse.Namespace,
+                        exc: BaseException) -> int:
+    """A state file points at a dead router: verify, prune, report.
+
+    Used by ``status`` and ``down`` instead of erroring out after a
+    crashed ``up`` left ``.repro/cluster.json`` behind.
+    """
+    try:
+        state = read_state(args.state)
+    except (OSError, ValueError):
+        print(f"router unreachable: {exc}", file=sys.stderr)
+        return 2
+    report = probe_state(state)
+    print(f"router unreachable ({exc}); verifying state file "
+          f"{args.state}:", file=sys.stderr)
+    for line in _describe_probe(report):
+        print(line, file=sys.stderr)
+    outcome = prune_state(args.state, state, report)
+    if outcome["deleted_file"]:
+        print(f"nothing in the recorded cluster is alive; removed "
+              f"stale state file {args.state}", file=sys.stderr)
+        return 1
+    if outcome["removed"]:
+        print(f"pruned dead entries from {args.state}: "
+              f"{', '.join(outcome['removed'])}", file=sys.stderr)
+    return 1
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     address = _router_address(args)
     try:
         response = request(address, {"op": "stats"}, timeout=30.0)
     except (OSError, ValueError) as exc:
-        print(f"router unreachable at {format_address(address)}: {exc}",
-              file=sys.stderr)
-        return 2
+        if args.connect:
+            print(f"router unreachable at {format_address(address)}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        return _handle_stale_state(args, exc)
     if args.json:
         print(json.dumps(response, sort_keys=True))
         return 0 if response.get("status") == "ok" else 1
@@ -252,15 +416,21 @@ def _cmd_status(args: argparse.Namespace) -> int:
           f"routed {cluster.get('routed', 0)} "
           f"(rerouted {cluster.get('rerouted', 0)}, "
           f"unroutable {cluster.get('unroutable', 0)})")
+    breakers = cluster.get("breakers", {})
     for name in sorted(shards):
         entry = shards[name]
         stats = entry.get("stats", {})
         state_word = "up" if entry.get("alive") else "DOWN"
-        print(f"  {name:<10} {entry.get('address', '?'):<21} "
-              f"{state_word:<5} forwarded {entry.get('forwarded', 0):>5} "
-              f"completed {stats.get('completed', 0):>5} "
-              f"coalesced {stats.get('coalesced', 0):>5} "
-              f"cache hits {stats.get('cache_hits', 0):>5}")
+        line = (f"  {name:<10} {entry.get('address', '?'):<21} "
+                f"{state_word:<5} forwarded {entry.get('forwarded', 0):>5} "
+                f"completed {stats.get('completed', 0):>5} "
+                f"coalesced {stats.get('coalesced', 0):>5} "
+                f"cache hits {stats.get('cache_hits', 0):>5}")
+        breaker = breakers.get(name) or \
+            (entry.get("breaker") or {}).get("state")
+        if breaker and breaker != "closed":
+            line += f"  breaker {breaker.replace('_', '-')}"
+        print(line)
     return 0
 
 
@@ -284,14 +454,58 @@ def _cmd_route(args: argparse.Namespace) -> int:
     return 0
 
 
+def _down_stale(args: argparse.Namespace, exc: BaseException) -> int:
+    """Tear down whatever a crashed ``up`` left running.
+
+    Live shard endpoints get a protocol shutdown; live pids whose
+    endpoint is gone get SIGTERM; then the state file is removed.
+    """
+    try:
+        state = read_state(args.state)
+    except (OSError, ValueError):
+        print(f"router unreachable: {exc} (already down?)",
+              file=sys.stderr)
+        return 2
+    report = probe_state(state)
+    print(f"router unreachable ({exc}); cleaning up from state file "
+          f"{args.state}:", file=sys.stderr)
+    stopped: List[str] = []
+    entries = dict(report["shards"])
+    entries["router"] = report["router"]
+    for name, entry in entries.items():
+        if entry["alive"] and entry["address"] and name != "router":
+            try:
+                request(parse_address(entry["address"]),
+                        {"op": "shutdown"}, timeout=30.0)
+                stopped.append(f"{name} (shutdown)")
+                continue
+            except (OSError, ValueError):
+                pass
+        if entry["pid_alive"]:
+            try:
+                os.kill(entry["pid"], signal.SIGTERM)
+                stopped.append(f"{name} (SIGTERM pid {entry['pid']})")
+            except OSError:
+                pass
+    try:
+        os.unlink(args.state)
+    except OSError:
+        pass
+    print(f"stopped: {', '.join(stopped) or 'nothing left running'}; "
+          f"removed {args.state}", file=sys.stderr)
+    return 0
+
+
 def _cmd_down(args: argparse.Namespace) -> int:
     address = _router_address(args)
     try:
         response = request(address, {"op": "shutdown"}, timeout=60.0)
     except (OSError, ValueError) as exc:
-        print(f"router unreachable at {format_address(address)}: {exc} "
-              f"(already down?)", file=sys.stderr)
-        return 2
+        if args.connect:
+            print(f"router unreachable at {format_address(address)}: "
+                  f"{exc} (already down?)", file=sys.stderr)
+            return 2
+        return _down_stale(args, exc)
     print(json.dumps(response.get("shards", {}), sort_keys=True))
     # wait for the router endpoint to actually stop answering
     deadline = time.monotonic() + 30.0
@@ -341,6 +555,34 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="per-shard daemon logs (default: discard)")
     up.add_argument("--ledger", action="store_true")
     up.add_argument("--ledger-dir", metavar="DIR", default=None)
+    up.add_argument("--supervise", action="store_true",
+                    help="restart crashed shards (exponential backoff, "
+                         "bounded by --restart-budget per "
+                         "--restart-window)")
+    up.add_argument("--restart-budget", type=int, default=5, metavar="N",
+                    help="give up on a shard after N restarts inside "
+                         "the window (default: 5)")
+    up.add_argument("--restart-window", type=float, default=60.0,
+                    metavar="S",
+                    help="sliding window for the restart budget "
+                         "(default: 60s)")
+    up.add_argument("--restart-backoff", type=float, default=0.5,
+                    metavar="S",
+                    help="base restart backoff, doubled per restart in "
+                         "the window (default: 0.5s)")
+    up.add_argument("--breaker-threshold", type=int, default=3,
+                    metavar="N",
+                    help="consecutive forward failures that open a "
+                         "shard's circuit breaker (0 disables; "
+                         "default: 3)")
+    up.add_argument("--breaker-open", type=float, default=2.0,
+                    metavar="S",
+                    help="breaker cooldown before the half-open probe "
+                         "(default: 2s)")
+    up.add_argument("--shed-threshold", type=float, default=None,
+                    metavar="S",
+                    help="per-shard adaptive load shedding threshold "
+                         "on queue-wait p99 (default: off)")
 
     status = sub.add_parser("status", help="per-shard health + counters")
     route = sub.add_parser("route", help="where would this cell land?")

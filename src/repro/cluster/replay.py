@@ -105,7 +105,9 @@ def run_replay(address, trace: List[Dict[str, Any]],
                rate: float = 50.0, clients: int = 8,
                timeout: float = 600.0,
                on_result=None,
-               trace_requests: bool = False) -> Dict[str, Any]:
+               trace_requests: bool = False,
+               retries: int = 2,
+               retry_max_sleep: float = 2.0) -> Dict[str, Any]:
     """Replay ``trace`` against ``address``; returns the report dict.
 
     ``on_result(index, outcome)`` (optional) is called per finished
@@ -113,7 +115,18 @@ def run_replay(address, trace: List[Dict[str, Any]],
     against replay progress.  ``trace_requests=True`` mints a fresh
     distributed-trace id per replayed request (the report carries a
     ``trace_ids`` sample for ``repro-bench trace export``).
+
+    Retryable rejections (``queue_full`` honoring its ``retry_after``
+    hint, ``shard_unavailable``, transport failures — all
+    pre-acceptance, so a retry cannot duplicate work) are retried up to
+    ``retries`` times with jittered backoff before counting as an
+    error; the report's ``retries`` counter is what lets zero-loss
+    gating distinguish "lost" from "retried".
     """
+    import random
+
+    from ..errors import RETRYABLE_CODES
+
     resolved = parse_address(address)
     lock = threading.Lock()
     latencies: List[float] = []
@@ -122,8 +135,17 @@ def run_replay(address, trace: List[Dict[str, Any]],
     errors: Dict[str, int] = {}
     trace_ids: List[str] = []
     rerouted_hint = 0
+    retries_total = [0]
     next_index = [0]
     start = time.perf_counter()
+
+    def send_once(cell: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            return request(resolved, {"op": "submit", "cell": cell},
+                           timeout=timeout)
+        except (OSError, ValueError) as exc:
+            return {"status": "error", "code": "transport",
+                    "message": str(exc)}
 
     def worker() -> None:
         nonlocal rerouted_hint
@@ -147,13 +169,21 @@ def run_replay(address, trace: List[Dict[str, Any]],
                     trace_ids.append(trace_id)
             sent = time.perf_counter()
             outcome: Dict[str, Any]
-            try:
-                response = request(resolved,
-                                   {"op": "submit", "cell": cell},
-                                   timeout=timeout)
-            except (OSError, ValueError) as exc:
-                response = {"status": "error", "code": "transport",
-                            "message": str(exc)}
+            response = send_once(cell)
+            attempt = 0
+            while (response.get("status") != "ok"
+                   and response.get("code") in RETRYABLE_CODES
+                   and attempt < retries):
+                attempt += 1
+                hint = response.get("retry_after")
+                backoff = float(hint) if hint is not None \
+                    else 0.05 * (2 ** (attempt - 1))
+                time.sleep(min(retry_max_sleep, backoff)
+                           * (1.0 + random.uniform(0, 0.25)))
+                response = send_once(cell)
+            if attempt:
+                with lock:
+                    retries_total[0] += attempt
             elapsed = time.perf_counter() - sent
             outcome = {"latency_s": elapsed,
                        "status": response.get("status"),
@@ -208,6 +238,7 @@ def run_replay(address, trace: List[Dict[str, Any]],
         "ok": ok_count,
         "errors": sum(errors.values()),
         "error_codes": errors,
+        "retries": retries_total[0],
         "sources": sources,
         "duration_s": round(duration, 6),
         "rate_target_rps": rate,
@@ -245,10 +276,12 @@ def _print_report(report: Dict[str, Any]) -> None:
           f"max {report['latency_max_ms']:.2f} ms")
     sources = ", ".join(f"{k} {v}" for k, v in
                         sorted(report["sources"].items())) or "none"
-    print(f"  outcomes: {report['ok']} ok ({sources}), "
-          f"{report['errors']} errors "
-          f"{json.dumps(report['error_codes']) if report['errors'] else ''}"
-          .rstrip())
+    print((f"  outcomes: {report['ok']} ok ({sources}), "
+           f"{report['errors']} errors "
+           f"{json.dumps(report['error_codes']) if report['errors'] else ''}"
+           ).rstrip()
+          + (f", {report['retries']} retried"
+             if report.get("retries") else ""))
     print(f"  coalesce rate: {report['coalesce_rate']:.3f}"
           + (f", rerouted {report['rerouted']}"
              if report.get("rerouted") else ""))
@@ -294,6 +327,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="mint a distributed-trace id per replayed "
                              "request (sample reported as trace_ids)")
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="client retries per request for retryable "
+                             "rejections (queue_full honoring "
+                             "retry_after, shard_unavailable, transport "
+                             "failures; default: 2)")
     parser.add_argument("--json", action="store_true",
                         help="print the report as one JSON object")
     parser.add_argument("--ledger", action="store_true",
@@ -335,7 +373,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         report = run_replay(address, trace, rate=args.rate,
                             clients=args.clients, timeout=args.timeout,
-                            trace_requests=args.trace_requests)
+                            trace_requests=args.trace_requests,
+                            retries=max(0, args.retries))
     except (OSError, ValueError) as exc:
         print(f"replay failed against {address}: {exc}", file=sys.stderr)
         return 2
@@ -349,6 +388,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..telemetry import ledger as run_ledger
 
         gauges = dict(report.pop("gauges", {}))
+        # zero-loss gating reads this next to the error count: a
+        # retried request was never lost, only re-asked
+        gauges["replay_retries"] = report.get("retries", 0)
         record = recorder.finish(
             config={"target": report["target"], "rate": args.rate,
                     "clients": args.clients,

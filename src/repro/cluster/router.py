@@ -23,6 +23,16 @@ the typed :class:`~repro.errors.ShardUnavailableError` wire code.
 A background health prober pings shards on an interval and after
 forwarding failures, so routing tables recover automatically when a
 shard comes back.
+
+Each shard additionally carries a **circuit breaker**
+(closed → open → half-open) driven by consecutive forward failures:
+a flapping shard is demoted out of every key's fallback order while
+its breaker is open, so its connect timeouts stop stacking up in the
+hot path.  After a cooldown the breaker half-opens and the next
+forward acts as the probe — success re-closes the breaker, failure
+re-opens it.  Open shards are still tried as a *last resort* when
+every other shard has failed, so the breaker can only reorder, never
+strand, a key.
 """
 
 from __future__ import annotations
@@ -43,7 +53,8 @@ from ..service.transport import Address, format_address, parse_address, \
 from ..telemetry import metrics as _metrics
 from ..telemetry import tracing
 
-__all__ = ["Router", "ShardState", "rendezvous_order", "shard_for_key"]
+__all__ = ["CircuitBreaker", "Router", "ShardState", "rendezvous_order",
+           "shard_for_key"]
 
 
 def _weight(shard_name: str, key: str) -> int:
@@ -69,6 +80,106 @@ def shard_for_key(key: str, shard_names: Sequence[str]) -> str:
     return rendezvous_order(key, shard_names)[0]
 
 
+class CircuitBreaker:
+    """Per-shard closed → open → half-open failure gate.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` answers False so callers demote the shard.
+    After ``open_s`` the breaker half-opens: exactly one caller at a
+    time is let through as a probe, and its outcome either re-closes
+    (success) or re-opens (failure) the breaker.  A threshold of 0
+    disables the breaker — it then never leaves the closed state.
+
+    The clock is injectable for deterministic tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, failure_threshold: int = 3, open_s: float = 2.0,
+                 clock=time.monotonic):
+        self.failure_threshold = max(0, failure_threshold)
+        self.open_s = open_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._streak = 0          # consecutive failures while closed
+        self._opened_at = 0.0
+        self._probing = False     # a half-open probe is in flight
+        self.transitions = 0
+
+    def _tick_locked(self) -> None:
+        if self._state == self.OPEN and \
+                self._clock() - self._opened_at >= self.open_s:
+            self._state = self.HALF_OPEN
+            self._probing = False
+            self.transitions += 1
+
+    def state(self) -> str:
+        with self._lock:
+            self._tick_locked()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent to this shard right now?
+
+        In the half-open state the first caller wins the probe slot;
+        concurrent callers are told to go elsewhere until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            self._tick_locked()
+            if self._state == self.CLOSED:
+                return True
+            if self._state == self.HALF_OPEN and not self._probing:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._tick_locked()
+            if self._state != self.CLOSED:
+                self.transitions += 1
+            self._state = self.CLOSED
+            self._streak = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._tick_locked()
+            if self.failure_threshold <= 0:
+                return
+            if self._state == self.HALF_OPEN:
+                # the probe failed: back to a full cooldown
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self._probing = False
+                self.transitions += 1
+                return
+            self._streak += 1
+            if self._state == self.CLOSED and \
+                    self._streak >= self.failure_threshold:
+                self._state = self.OPEN
+                self._opened_at = self._clock()
+                self.transitions += 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            self._tick_locked()
+            return {"state": self._state,
+                    "failure_streak": self._streak,
+                    "transitions": self.transitions}
+
+
+#: numeric encoding of breaker states for the ``router_breaker_state``
+#: gauge (sorted by increasing badness so dashboards can threshold)
+BREAKER_STATE_GAUGE = {CircuitBreaker.CLOSED: 0,
+                       CircuitBreaker.HALF_OPEN: 1,
+                       CircuitBreaker.OPEN: 2}
+
+
 @dataclass
 class ShardState:
     """Router-side view of one shard."""
@@ -80,6 +191,9 @@ class ShardState:
     failures: int = 0
     last_error: Optional[str] = None
     last_seen: float = field(default_factory=time.monotonic)
+    breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
+    #: transitions already published as the metrics counter
+    breaker_transitions_emitted: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {"name": self.name,
@@ -87,7 +201,8 @@ class ShardState:
                 "alive": self.alive,
                 "forwarded": self.forwarded,
                 "failures": self.failures,
-                "last_error": self.last_error}
+                "last_error": self.last_error,
+                "breaker": self.breaker.as_dict()}
 
 
 class Router:
@@ -103,17 +218,23 @@ class Router:
                  retries: int = 2, backoff_s: float = 0.05,
                  health_interval_s: float = 0.5,
                  request_timeout_s: float = 600.0,
-                 name: str = "router"):
+                 name: str = "router",
+                 breaker_threshold: int = 3,
+                 breaker_open_s: float = 2.0):
         if not shards:
             raise ValueError("a cluster needs at least one shard")
         self.name = name
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
         self.request_timeout_s = request_timeout_s
+        self.breaker_threshold = breaker_threshold
+        self.breaker_open_s = breaker_open_s
         self._shards: Dict[str, ShardState] = {}
         for shard_name, address in shards:
             self._shards[shard_name] = ShardState(
-                name=shard_name, address=parse_address(address))
+                name=shard_name, address=parse_address(address),
+                breaker=CircuitBreaker(failure_threshold=breaker_threshold,
+                                       open_s=breaker_open_s))
         self._lock = threading.Lock()
         self.routed = 0
         self.rerouted = 0
@@ -157,6 +278,7 @@ class Router:
                     shard.last_seen = time.monotonic()
             _metrics.set_gauge("router_shard_alive", 1 if ok else 0,
                                shard=shard.name)
+            self._note_breaker(shard)
             results[shard.name] = ok
         return results
 
@@ -180,14 +302,71 @@ class Router:
         return hashlib.sha256(canonical.encode()).hexdigest()
 
     def _order_for_key(self, key: str) -> List[ShardState]:
-        """Rendezvous order for ``key``, known-dead shards demoted.
+        """Rendezvous order for ``key``, bad shards demoted.
 
-        Dead shards stay in the order (a stale health verdict must not
-        make a key unroutable) but are tried last.
+        Known-dead shards and shards whose breaker is open are demoted,
+        not removed (a stale health verdict must not make a key
+        unroutable) — they are tried last.  Half-open shards rank with
+        healthy ones so the next forward can act as the probe.
         """
         ranked = [self._shards[name]
                   for name in rendezvous_order(key, list(self._shards))]
-        return sorted(ranked, key=lambda s: 0 if s.alive else 1)
+
+        def demotion(shard: ShardState) -> int:
+            if not shard.alive:
+                return 2
+            return 1 if shard.breaker.state() == CircuitBreaker.OPEN else 0
+
+        return sorted(ranked, key=demotion)
+
+    def _note_breaker(self, shard: ShardState) -> None:
+        """Publish a shard's breaker state to the metrics plane."""
+        info = shard.breaker.as_dict()
+        _metrics.set_gauge("router_breaker_state",
+                           BREAKER_STATE_GAUGE[info["state"]],
+                           shard=shard.name)
+        delta = info["transitions"] - shard.breaker_transitions_emitted
+        if delta > 0:
+            _metrics.inc("router_breaker_transitions_total", amount=delta,
+                         shard=shard.name)
+            shard.breaker_transitions_emitted = info["transitions"]
+
+    def _try_shard(self, shard: ShardState, home: str,
+                   message: Dict[str, Any]
+                   ) -> Tuple[Optional[Dict[str, Any]],
+                              Optional[BaseException]]:
+        """Contact one shard once; record the outcome everywhere."""
+        t0 = time.perf_counter()
+        try:
+            response = request(shard.address, message,
+                               timeout=self.request_timeout_s)
+        except (OSError, ValueError) as exc:
+            with self._lock:
+                self.forward_failures += 1
+                shard.alive = False
+                shard.failures += 1
+                shard.last_error = f"{type(exc).__name__}: {exc}"
+            shard.breaker.record_failure()
+            _metrics.inc("router_forward_failures_total", shard=shard.name)
+            _metrics.set_gauge("router_shard_alive", 0, shard=shard.name)
+            self._note_breaker(shard)
+            return None, exc
+        with self._lock:
+            shard.alive = True
+            shard.last_seen = time.monotonic()
+            shard.forwarded += 1
+            self.routed += 1
+            if shard.name != home:
+                self.rerouted += 1
+                _metrics.inc("router_reroutes_total")
+        shard.breaker.record_success()
+        _metrics.inc("router_forwards_total", shard=shard.name)
+        _metrics.set_gauge("router_shard_alive", 1, shard=shard.name)
+        self._note_breaker(shard)
+        _metrics.observe("router_forward_seconds",
+                         time.perf_counter() - t0)
+        response.setdefault("shard", shard.name)
+        return response, None
 
     def _forward(self, key: str, message: Dict[str, Any]
                  ) -> Dict[str, Any]:
@@ -196,44 +375,31 @@ class Router:
         Tries the full fallback order, then backs off and repeats, up
         to ``retries`` extra passes; only when every pass exhausts
         every shard does the request fail (and then with a typed
-        *pre-acceptance* error: nothing was lost).
+        *pre-acceptance* error: nothing was lost).  Shards whose
+        breaker disallows traffic (open, or a half-open probe already
+        in flight) are deferred to the end of each pass: they are only
+        contacted once every permitted shard has failed, so an open
+        breaker can reorder but never strand a key.
         """
         last_error: Optional[BaseException] = None
         home = rendezvous_order(key, list(self._shards))[0]
         for attempt in range(self.retries + 1):
             if attempt:
                 time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            deferred: List[ShardState] = []
             for shard in self._order_for_key(key):
-                t0 = time.perf_counter()
-                try:
-                    response = request(shard.address, message,
-                                       timeout=self.request_timeout_s)
-                except (OSError, ValueError) as exc:
-                    last_error = exc
-                    with self._lock:
-                        self.forward_failures += 1
-                        shard.alive = False
-                        shard.failures += 1
-                        shard.last_error = f"{type(exc).__name__}: {exc}"
-                    _metrics.inc("router_forward_failures_total",
-                                 shard=shard.name)
-                    _metrics.set_gauge("router_shard_alive", 0,
-                                       shard=shard.name)
+                if not shard.breaker.allow():
+                    deferred.append(shard)
                     continue
-                with self._lock:
-                    shard.alive = True
-                    shard.last_seen = time.monotonic()
-                    shard.forwarded += 1
-                    self.routed += 1
-                    if shard.name != home:
-                        self.rerouted += 1
-                        _metrics.inc("router_reroutes_total")
-                _metrics.inc("router_forwards_total", shard=shard.name)
-                _metrics.set_gauge("router_shard_alive", 1, shard=shard.name)
-                _metrics.observe("router_forward_seconds",
-                                 time.perf_counter() - t0)
-                response.setdefault("shard", shard.name)
-                return response
+                response, exc = self._try_shard(shard, home, message)
+                if response is not None:
+                    return response
+                last_error = exc
+            for shard in deferred:  # last resort: everyone else failed
+                response, exc = self._try_shard(shard, home, message)
+                if response is not None:
+                    return response
+                last_error = exc
         with self._lock:
             self.unroutable += 1
         _metrics.inc("router_unroutable_total")
@@ -458,7 +624,13 @@ class Router:
                             "routed": self.routed,
                             "rerouted": self.rerouted,
                             "forward_failures": self.forward_failures,
-                            "unroutable": self.unroutable}}
+                            "unroutable": self.unroutable,
+                            "breakers": self.breaker_states()}}
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current breaker state per shard (for status displays)."""
+        return {name: shard.breaker.state()
+                for name, shard in self._shards.items()}
 
     def cluster_gauges(self, totals: Optional[Dict[str, float]] = None
                        ) -> Dict[str, float]:
@@ -491,6 +663,9 @@ class Router:
             "cluster_routed": self.routed,
             "cluster_rerouted": self.rerouted,
             "cluster_forward_failures": self.forward_failures,
+            "cluster_breakers_open": sum(
+                1 for s in self._shards.values()
+                if s.breaker.state() != CircuitBreaker.CLOSED),
         }
 
     def _fanout_response(self, op: str) -> Dict[str, Any]:

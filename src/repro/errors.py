@@ -35,9 +35,18 @@ __all__ = [
     "ShardUnavailableError",
     "SurrogateUnsupportedError",
     "JobFailedError",
+    "RETRYABLE_CODES",
     "error_code",
     "from_wire",
 ]
+
+#: wire codes a client may safely retry: all are *pre-acceptance*
+#: failures (the job was never admitted, so a retry cannot duplicate
+#: observable work — cells are content-addressed and idempotent
+#: anyway).  "transport" is the replay client's synthetic code for a
+#: connect/read failure.
+RETRYABLE_CODES = frozenset({"queue_full", "shard_unavailable",
+                             "transport"})
 
 
 class ReproDeprecationWarning(DeprecationWarning):

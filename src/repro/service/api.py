@@ -114,6 +114,11 @@ class RunResult:
     code: Optional[str] = None
     kind: Optional[str] = None
     tag: Optional[str] = None
+    #: True when load shedding degraded this ``tier="auto"`` request to
+    #: the surrogate fast path instead of queueing it; the payload is
+    #: still the cell's canonical fast-tier result (same content
+    #: address), only the route differs
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -148,6 +153,8 @@ class RunResult:
             wire["code"] = self.code
         if self.kind is not None:
             wire["kind"] = self.kind
+        if self.degraded:
+            wire["degraded"] = True
         return wire
 
     @classmethod
@@ -160,4 +167,5 @@ class RunResult:
                    key=wire.get("key"), source=wire.get("source", "computed"),
                    wait_s=wire.get("wait_s", 0.0), error=wire.get("error"),
                    code=wire.get("code"), kind=wire.get("kind"),
-                   tag=wire.get("tag"))
+                   tag=wire.get("tag"),
+                   degraded=bool(wire.get("degraded", False)))

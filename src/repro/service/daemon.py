@@ -175,6 +175,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="stall watchdog for served batches")
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="retry budget for crashed/stalled cells")
+    parser.add_argument("--shed-threshold", type=float, default=None,
+                        metavar="S",
+                        help="adaptive load shedding: when queue-wait "
+                             "p99 exceeds S seconds, reject with a live "
+                             "retry-after and degrade tier=auto cells "
+                             "to the surrogate fast path (default: off)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="serve from an isolated result cache "
                              "directory instead of the process default "
@@ -208,7 +214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                       max_batch=args.max_batch,
                       batch_window=args.batch_window,
                       timeout=args.timeout, retries=args.retries,
-                      name=args.name)
+                      name=args.name,
+                      shed_threshold=args.shed_threshold)
     frontend = ServiceFrontend(session)
 
     recorder = None
@@ -266,7 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 config={"socket": args.socket, "tcp": args.tcp,
                         "jobs": args.jobs,
                         "queue_depth": args.queue_depth,
-                        "batch_window": args.batch_window},
+                        "batch_window": args.batch_window,
+                        "shed_threshold": args.shed_threshold},
                 service=stats.as_dict(),
                 gauges=session.gauges(),
                 traffic=frontend.traffic(),
@@ -283,6 +291,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     return 0
 
 
+def _request_with_retries(address, message: Dict[str, Any],
+                          timeout: float, retries: int,
+                          max_sleep: float = 5.0) -> Dict[str, Any]:
+    """One request with bounded retries on retryable rejections.
+
+    A ``queue_full``/``shard_unavailable`` reply (both pre-acceptance:
+    nothing was admitted, so a retry cannot duplicate work) is retried
+    after sleeping the server's ``retry_after`` hint — jittered, capped
+    at ``max_sleep`` — falling back to exponential backoff when no hint
+    came.  Transport errors retry on the same schedule; the last
+    attempt's outcome (or transport exception) is surfaced as-is.
+    """
+    import random
+
+    from ..errors import RETRYABLE_CODES
+
+    last_exc: Optional[BaseException] = None
+    for attempt in range(retries + 1):
+        if attempt:
+            base = 0.1 * (2 ** (attempt - 1))
+            if last_exc is None and response.get("retry_after") is not None:
+                base = float(response["retry_after"])
+            sleep = min(max_sleep, base) * (1.0 + random.uniform(0, 0.25))
+            time.sleep(sleep)
+        try:
+            response = request_over_socket(address, message,
+                                           timeout=timeout)
+            last_exc = None
+        except (OSError, ValueError) as exc:
+            last_exc = exc
+            if attempt == retries:
+                raise
+            continue
+        if response.get("status") == "error" \
+                and response.get("code") in RETRYABLE_CODES \
+                and attempt < retries:
+            continue
+        return response
+    if last_exc is not None:  # pragma: no cover - raised above
+        raise last_exc
+    return response
+
+
 def _print_result(wire: Dict[str, Any], as_json: bool) -> None:
     if as_json:
         print(json.dumps(wire, sort_keys=True))
@@ -291,10 +342,12 @@ def _print_result(wire: Dict[str, Any], as_json: bool) -> None:
     if status == "ok" and "result" in wire:
         result = wire["result"]
         shard = f" shard {wire['shard']}" if "shard" in wire else ""
+        degraded = " degraded," if wire.get("degraded") else ""
         print(f"{result.get('workload')} on {result.get('system')} "
               f"[{result.get('scheme')}] x{result.get('ntasks')}: "
               f"wall {result.get('wall_time'):.6g}s "
-              f"({wire.get('source')}, wait {wire.get('wait_s', 0):.3g}s"
+              f"({wire.get('source')},{degraded} "
+              f"wait {wire.get('wait_s', 0):.3g}s"
               f"{shard})")
     elif status == "ok":
         print(json.dumps(wire, sort_keys=True))
@@ -348,6 +401,13 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                         help="print raw response JSON lines")
     parser.add_argument("--timeout", type=float, default=600.0,
                         help="client-side response timeout (seconds)")
+    parser.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="client retries for retryable rejections "
+                             "(queue_full honoring its retry_after, "
+                             "shard_unavailable; default: 2)")
+    parser.add_argument("--retry-max-sleep", type=float, default=5.0,
+                        metavar="S",
+                        help="cap on a single retry sleep (default: 5s)")
     args = parser.parse_args(argv)
     address = args.connect or args.socket
 
@@ -387,8 +447,11 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     for message in requests:
         try:
-            response = request_over_socket(address, message,
-                                           timeout=args.timeout)
+            response = _request_with_retries(
+                address, message, timeout=args.timeout,
+                retries=args.retries if message["op"] in ("submit",
+                                                          "batch") else 0,
+                max_sleep=args.retry_max_sleep)
         except (OSError, ValueError) as exc:
             print(f"cannot reach service at {address}: {exc}",
                   file=sys.stderr)

@@ -89,6 +89,7 @@ class ServiceStats:
     coalesced: int = 0
     cache_hits: int = 0
     rejected: int = 0
+    degraded: int = 0
     computed: int = 0
     completed: int = 0
     infeasible: int = 0
@@ -107,6 +108,7 @@ class ServiceStats:
             "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
             "rejected": self.rejected,
+            "degraded": self.degraded,
             "computed": self.computed,
             "completed": self.completed,
             "infeasible": self.infeasible,
@@ -125,7 +127,7 @@ class _Job:
 
     __slots__ = ("request", "job_request", "key", "futures",
                  "submitted_at", "outcome", "trace", "traces",
-                 "span_id", "submitted_wall")
+                 "span_id", "submitted_wall", "degraded")
 
     def __init__(self, request: RunRequest, key: Optional[str]):
         self.request = request
@@ -133,6 +135,8 @@ class _Job:
         self.key = key
         self.futures: List[Future] = []
         self.submitted_at = time.perf_counter()
+        #: resolved inline via the surrogate by load shedding
+        self.degraded = False
         #: terminal ("ok"|"infeasible"|"failed", payload) once delivered
         self.outcome: Optional[Tuple[str, Any]] = None
         #: distributed-trace context; everything below stays None/empty
@@ -167,7 +171,8 @@ class Session:
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
                  name: str = "session",
-                 paused: bool = False):
+                 paused: bool = False,
+                 shed_threshold: Optional[float] = None):
         self._cache = cache
         self.jobs = jobs
         self.max_pending = max(1, max_pending)
@@ -176,6 +181,11 @@ class Session:
         self.timeout = timeout
         self.retries = retries
         self.name = name
+        #: queue-wait p99 (seconds) beyond which submits are shed:
+        #: rejected with a live retry-after, or — for ``tier="auto"``
+        #: cells the surrogate supports — degraded to an inline fast
+        #: evaluation that bypasses the backlog.  ``None`` disables.
+        self.shed_threshold = shed_threshold
         self.stats = ServiceStats()
 
         self._lock = threading.RLock()
@@ -190,6 +200,8 @@ class Session:
         self._dispatcher: Optional[threading.Thread] = None
         #: EWMA of per-cell service seconds, for retry-after hints
         self._cell_s = 0.05
+        #: recent queue waits, the shedding signal (bounded window)
+        self._wait_samples: Deque[float] = deque(maxlen=256)
 
     # -- plumbing --------------------------------------------------------
 
@@ -221,6 +233,69 @@ class Session:
         backlog = len(self._queue) + 1
         return max(0.05, self._cell_s * backlog / max(1, workers))
 
+    def wait_p99(self) -> float:
+        """p99 of recent queue waits (0 until samples accumulate)."""
+        with self._lock:
+            samples = sorted(self._wait_samples)
+        if not samples:
+            return 0.0
+        return samples[min(len(samples) - 1,
+                           int(0.99 * (len(samples) - 1) + 0.5))]
+
+    def _should_shed_locked(self) -> bool:
+        """Is the queue-wait p99 past the shedding threshold?
+
+        Only meaningful with backlog: an idle session never sheds, even
+        right after a burst left high wait samples behind.
+        """
+        if self.shed_threshold is None or not self._queue:
+            return False
+        samples = sorted(self._wait_samples)
+        if len(samples) < 4:  # too little signal to condemn the queue
+            return False
+        p99 = samples[min(len(samples) - 1,
+                          int(0.99 * (len(samples) - 1) + 0.5))]
+        return p99 > self.shed_threshold
+
+    @staticmethod
+    def _degradable(request: RunRequest) -> bool:
+        """May this request be shed to the surrogate fast path?
+
+        Only ``tier="auto"`` cells the surrogate supports: their
+        effective tier is already ``fast`` (resolved *before* cache
+        keying), so the inline surrogate answer is byte- and
+        key-identical to what the queued path would have produced.
+        """
+        if request.tier != "auto":
+            return False
+        try:
+            return request.to_job().effective_tier() == "fast"
+        except Exception:
+            return False
+
+    def _execute_degraded(self, job: _Job) -> Tuple[str, Any]:
+        """Run one shed job inline through the surrogate fast path.
+
+        Called **without** the session lock — the whole point is to
+        bypass the overloaded queue, not to block it.  The normal
+        cache-get/execute/put path keeps the result coherent with
+        queued twins (idempotent content-addressed put).
+        """
+        from ..core.parallel import run_request
+        from ..errors import InfeasibleSchemeError, ReproError
+
+        t0 = time.perf_counter()
+        try:
+            result = run_request(job.job_request, cache=self.cache)
+        except InfeasibleSchemeError as exc:
+            return "infeasible", str(exc)
+        except ReproError as exc:
+            return "failed", {"kind": "error", "message": str(exc)}
+        finally:
+            metrics.observe("service_degraded_seconds",
+                            time.perf_counter() - t0)
+        return "ok", result
+
     # -- the async plane -------------------------------------------------
 
     def submit(self, request: RunRequest) -> "Future[RunResult]":
@@ -232,8 +307,16 @@ class Session:
         future is a promise: accepted jobs are never dropped, even by
         :meth:`drain`/:meth:`close` or a worker crash (failures resolve
         the future with a ``failed`` result, not silence).
+
+        With ``shed_threshold`` set, an overloaded session (queue-wait
+        p99 past the threshold, or queue full) **sheds**: ``tier="auto"``
+        cells the surrogate supports are answered inline through the
+        fast path (``degraded=True`` on the result, same content
+        address as the queued path would produce); everything else is
+        rejected with a live ``retry_after``.
         """
         future: "Future[RunResult]" = Future()
+        degrade: Optional[_Job] = None
         with self._cond:
             if self._closed or self._draining:
                 self.stats.rejected += 1
@@ -269,29 +352,58 @@ class Session:
                         status="ok", job=hit, key=key, source="cache",
                         tag=request.tag))
                     return future
-            if len(self._queue) >= self.max_pending:
+            overloaded = len(self._queue) >= self.max_pending
+            shedding = overloaded or self._should_shed_locked()
+            if shedding and self.shed_threshold is not None \
+                    and self._degradable(request):
+                job = _Job(request, key)
+                job.degraded = True
+                job.futures.append(future)
+                job.traces.append(job.trace)
+                if key is not None:
+                    self._inflight[key] = job
+                self._outstanding += 1
+                self.stats.accepted += 1
+                self.stats.degraded += 1
+                metrics.inc("service_accepted_total")
+                metrics.inc("service_degraded_total")
+                degrade = job
+            elif shedding:
                 self.stats.rejected += 1
                 metrics.inc("service_rejected_total")
                 retry_after = self._retry_after()
+                if overloaded:
+                    reason = f"queue is full ({self.max_pending} pending)"
+                else:
+                    reason = (f"queue wait p99 {self.wait_p99():.3f}s is "
+                              f"over the shed threshold "
+                              f"({self.shed_threshold}s)")
                 raise QueueFullError(
-                    f"session {self.name!r} queue is full "
-                    f"({self.max_pending} pending)",
+                    f"session {self.name!r} {reason}",
                     retry_after=retry_after)
-            job = _Job(request, key)
-            job.futures.append(future)
-            job.traces.append(job.trace)
-            if key is not None:
-                self._inflight[key] = job
-            self._queue.append(job)
-            self._outstanding += 1
-            self.stats.accepted += 1
-            metrics.inc("service_accepted_total")
-            self.stats.queue_depth = len(self._queue)
-            self.stats.queue_depth_peak = max(self.stats.queue_depth_peak,
-                                              self.stats.queue_depth)
-            metrics.set_gauge("service_queue_depth", self.stats.queue_depth)
-            self._ensure_dispatcher()
-            self._cond.notify_all()
+            else:
+                job = _Job(request, key)
+                job.futures.append(future)
+                job.traces.append(job.trace)
+                if key is not None:
+                    self._inflight[key] = job
+                self._queue.append(job)
+                self._outstanding += 1
+                self.stats.accepted += 1
+                metrics.inc("service_accepted_total")
+                self.stats.queue_depth = len(self._queue)
+                self.stats.queue_depth_peak = max(
+                    self.stats.queue_depth_peak, self.stats.queue_depth)
+                metrics.set_gauge("service_queue_depth",
+                                  self.stats.queue_depth)
+                self._ensure_dispatcher()
+                self._cond.notify_all()
+        if degrade is not None:
+            # execute outside the lock: shedding must not block the
+            # very queue it is relieving
+            outcome = self._execute_degraded(degrade)
+            with self._cond:
+                self._deliver_locked(degrade, outcome)
         return future
 
     def pause(self) -> None:
@@ -472,22 +584,23 @@ class Session:
     def _result_for(self, job: _Job, outcome: Tuple[str, Any],
                     wait_s: float, source: str = "computed") -> RunResult:
         status, payload = outcome
+        degraded = job.degraded
         if status == "ok":
             return RunResult(status="ok", job=payload, key=job.key,
                              source=source, wait_s=wait_s,
-                             tag=job.request.tag)
+                             tag=job.request.tag, degraded=degraded)
         if status == "infeasible":
             return RunResult(status="infeasible", key=job.key,
                              source=source, wait_s=wait_s,
                              error=str(payload), code="infeasible_scheme",
-                             tag=job.request.tag)
+                             tag=job.request.tag, degraded=degraded)
         detail = payload or {}
         return RunResult(status="failed", key=job.key, source=source,
                          wait_s=wait_s,
                          error=detail.get("message", "job failed"),
                          code="job_failed",
                          kind=detail.get("kind", "error"),
-                         tag=job.request.tag)
+                         tag=job.request.tag, degraded=degraded)
 
     def _deliver_locked(self, job: _Job, outcome: Tuple[str, Any]) -> None:
         """Resolve one job's waiters (caller holds the lock)."""
@@ -498,6 +611,7 @@ class Session:
         self._account(job, outcome)
         self.stats.wait_s_total += wait_s
         self.stats.wait_s_max = max(self.stats.wait_s_max, wait_s)
+        self._wait_samples.append(wait_s)
         metrics.observe("service_wait_seconds", wait_s)
         metrics.set_gauge("service_queue_depth", self.stats.queue_depth)
         self._outstanding -= 1
@@ -595,6 +709,8 @@ class Session:
             "service_coalesce_hits": stats.coalesced,
             "service_cache_hits": stats.cache_hits,
             "service_rejected": stats.rejected,
+            "service_degraded": stats.degraded,
+            "service_wait_seconds_p99": round(self.wait_p99(), 6),
             "service_wait_seconds_max": round(stats.wait_s_max, 6),
             "service_wait_seconds_mean": round(
                 stats.wait_s_total / stats.computed, 6)

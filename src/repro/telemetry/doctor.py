@@ -15,7 +15,11 @@ walks both stores and reports:
 * **stale temp files** — ``*.tmp`` droppings from writers that died
   between ``mkstemp`` and ``os.replace`` (``--fix`` deletes them);
 * **quarantined entries** — previously quarantined ``*.corrupt`` files
-  awaiting inspection (``--fix`` deletes them).
+  awaiting inspection (``--fix`` deletes them);
+* **stale cluster state** — a ``.repro/cluster.json`` left behind by a
+  crashed ``cluster up``: every recorded pid and endpoint is
+  liveness-probed, and ``--fix`` prunes dead entries (or removes the
+  file outright when nothing recorded is still alive).
 
 Exit status: 0 when the stores are healthy (or everything found was
 fixed), 1 when problems remain.
@@ -31,7 +35,7 @@ from typing import Any, Dict, Optional
 
 from . import ledger
 
-__all__ = ["check_cache_dir", "main"]
+__all__ = ["check_cache_dir", "check_cluster_state", "main"]
 
 
 def check_cache_dir(directory: Path, fix: bool = False) -> Dict[str, Any]:
@@ -88,6 +92,39 @@ def _default_cache_dir() -> Path:
     return default_cache().directory
 
 
+def check_cluster_state(path: str, fix: bool = False) -> Dict[str, Any]:
+    """Liveness-check a cluster state file; prune it with ``fix``.
+
+    Returns ``{"path", "present", "dead", "alive", "pruned",
+    "deleted_file"}`` — ``dead`` lists entries whose endpoint *and*
+    pid are both gone (the staleness the fix removes).
+    """
+    from ..cluster.manager import probe_state, prune_state, read_state
+
+    summary: Dict[str, Any] = {"path": path, "present": False,
+                               "dead": [], "alive": [],
+                               "pruned": [], "deleted_file": False}
+    try:
+        state = read_state(path)
+    except (OSError, ValueError):
+        return summary
+    summary["present"] = True
+    report = probe_state(state)
+    entries = dict(report["shards"])
+    entries["router"] = report["router"]
+    for name in sorted(entries):
+        entry = entries[name]
+        if entry["alive"] or entry["pid_alive"]:
+            summary["alive"].append(name)
+        else:
+            summary["dead"].append(name)
+    if fix and summary["dead"]:
+        outcome = prune_state(path, state, report)
+        summary["pruned"] = outcome["removed"]
+        summary["deleted_file"] = outcome["deleted_file"]
+    return summary
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench doctor",
@@ -105,6 +142,10 @@ def main(argv=None) -> int:
                         help="result cache location (default: "
                              "$REPRO_BENCH_CACHE_DIR or "
                              "~/.cache/repro-bench)")
+    parser.add_argument("--state", metavar="PATH",
+                        default=".repro/cluster.json",
+                        help="cluster state file to liveness-check "
+                             "(default: .repro/cluster.json)")
     args = parser.parse_args(argv)
 
     problems = 0
@@ -140,6 +181,24 @@ def main(argv=None) -> int:
     problems += corrupt + cache_report["stale_tmp"]
     if args.fix:
         fixed += corrupt + cache_report["stale_tmp"]
+
+    cluster_report = check_cluster_state(args.state, fix=args.fix)
+    if cluster_report["present"]:
+        dead = len(cluster_report["dead"])
+        print(f"cluster state {cluster_report['path']}: "
+              f"{len(cluster_report['alive'])} live entr(ies), "
+              f"{dead} dead")
+        if dead:
+            problems += dead
+            print(f"  dead: {', '.join(cluster_report['dead'])}")
+            if cluster_report["deleted_file"]:
+                fixed += dead
+                print("  nothing recorded is alive; state file removed")
+            elif cluster_report["pruned"]:
+                fixed += len(cluster_report["pruned"])
+                print(f"  pruned: {', '.join(cluster_report['pruned'])}")
+            elif not args.fix:
+                print("  (rerun with --fix to prune)")
 
     if problems == 0:
         print("ok: stores are healthy")

@@ -111,6 +111,25 @@ def _int(value: Optional[float]) -> int:
     return int(value or 0)
 
 
+#: gauge value -> breaker state (mirrors router.BREAKER_STATE_GAUGE)
+_BREAKER_NAMES = {1: "half-open", 2: "open"}
+
+
+def _tripped_breakers(snap: Dict[str, Any]) -> List[str]:
+    """``shard=state`` labels for every non-closed circuit breaker."""
+    tripped = []
+    for key, value in sorted((snap.get("gauges") or {}).items()):
+        if not key.startswith("router_breaker_state{"):
+            continue
+        state = _BREAKER_NAMES.get(int(value))
+        if state is None:
+            continue
+        shard = key[key.find('shard="') + 7:key.rfind('"')] \
+            if 'shard="' in key else key
+        tripped.append(f"{shard}={state}")
+    return tripped
+
+
 def render_frame(endpoints: List[_Endpoint], width: int = 40) -> str:
     """One dashboard frame as a printable string."""
     lines = [time.strftime("repro-bench top — %H:%M:%S")]
@@ -152,6 +171,9 @@ def render_frame(endpoints: List[_Endpoint], width: int = 40) -> str:
                        f"/{len(shards)} up")
             if dead:
                 detail += f" (down: {', '.join(dead)})"
+            tripped = _tripped_breakers(snap)
+            if tripped:
+                detail += f"  breakers: {', '.join(tripped)}"
         if dropped:
             detail += f"  sim-trace drops {dropped}"
         lines.append(detail)

@@ -13,6 +13,7 @@ The load-bearing service promises:
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -410,3 +411,85 @@ def test_daemon_round_trip_coalesces_and_drains(tmp_path):
     finally:
         session.close()
         server.close()
+
+
+# -- submit client retries ---------------------------------------------------
+
+def _reject_then_accept_server(rejections=1):
+    """An NDJSON server whose first N submits answer queue_full."""
+    from repro.service.transport import TcpNdjsonServer, serve_in_thread
+
+    calls = {"submit": 0}
+
+    def handle(message):
+        if message.get("op") != "submit":
+            return {"status": "ok", "op": message.get("op")}
+        calls["submit"] += 1
+        if calls["submit"] <= rejections:
+            return {"status": "error", "op": "submit",
+                    "code": "queue_full", "message": "backpressure",
+                    "retry_after": 0.01}
+        return {"status": "ok", "op": "submit", "source": "computed"}
+
+    server = TcpNdjsonServer(("127.0.0.1", 0), handle)
+    serve_in_thread(server, "retry-test")
+    return server, calls
+
+
+def test_submit_client_honors_retry_after_and_retries():
+    from repro.service.daemon import _request_with_retries
+
+    server, calls = _reject_then_accept_server(rejections=1)
+    try:
+        t0 = time.monotonic()
+        reply = _request_with_retries(
+            server.address, {"op": "submit", "cell": {"workload": "x"}},
+            timeout=5.0, retries=2)
+        elapsed = time.monotonic() - t0
+    finally:
+        server.shutdown()
+        server.close()
+    assert reply["status"] == "ok"
+    assert calls["submit"] == 2  # one rejection, one accepted retry
+    assert elapsed >= 0.01       # it slept at least the server's hint
+
+
+def test_submit_client_gives_up_after_budget():
+    from repro.service.daemon import _request_with_retries
+
+    server, calls = _reject_then_accept_server(rejections=10)
+    try:
+        reply = _request_with_retries(
+            server.address, {"op": "submit", "cell": {"workload": "x"}},
+            timeout=5.0, retries=2)
+    finally:
+        server.shutdown()
+        server.close()
+    assert reply["status"] == "error"
+    assert reply["code"] == "queue_full"  # the last outcome, surfaced
+    assert calls["submit"] == 3           # 1 attempt + 2 retries
+
+
+def test_submit_client_never_retries_non_retryable_errors():
+    from repro.service.daemon import _request_with_retries
+    from repro.service.transport import TcpNdjsonServer, serve_in_thread
+
+    calls = {"n": 0}
+
+    def handle(message):
+        calls["n"] += 1
+        return {"status": "error", "op": "submit",
+                "code": "unknown_name", "message": "no such workload"}
+
+    server = TcpNdjsonServer(("127.0.0.1", 0), handle)
+    serve_in_thread(server, "no-retry-test")
+    try:
+        reply = _request_with_retries(
+            server.address, {"op": "submit", "cell": {"workload": "x"}},
+            timeout=5.0, retries=3)
+    finally:
+        server.shutdown()
+        server.close()
+    assert reply["status"] == "error"
+    assert reply["code"] == "unknown_name"
+    assert calls["n"] == 1  # rejected by the session, not backpressure
