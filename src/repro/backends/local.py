@@ -1,0 +1,137 @@
+"""In-process backends: a thread pool and the crash-isolated process pool.
+
+:class:`ProcessBackend` is the default — it is the PR-3 executor
+machinery (worker processes, stall watchdog, crash isolation, retry
+with backoff) behind the backend API, with its exact dispatch rules
+preserved: ``jobs > 1`` sends even a single straggler to the pool so
+crash isolation holds for the last missing cell too, and a batch with
+any unpicklable cell falls back to a serial in-process loop.
+
+:class:`ThreadBackend` runs cells on a thread pool in this process.
+No crash isolation and no watchdog (a thread cannot be killed), and
+the simulator is pure Python, so threads buy overlap rather than
+speedup — it exists as the zero-setup backend for tests, embedders,
+and the backend-parity harness, where "same bytes from a completely
+different execution plane" is the property under test.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import List, Optional, Sequence
+
+from ..core import parallel as _parallel
+from ..core.parallel import (JobRequest, _execute_cell, _run_parallel,
+                             default_jobs, default_retries, default_timeout)
+from .base import ExecutionBackend, Outcome
+
+__all__ = ["ProcessBackend", "ThreadBackend"]
+
+
+class ThreadBackend(ExecutionBackend):
+    """Cells on an in-process thread pool; futures resolve as they run."""
+
+    name = "threads"
+
+    def __init__(self, workers: Optional[int] = None):
+        super().__init__()
+        self._workers = workers
+        self._size = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+
+    def _executor(self, jobs: Optional[int]) -> ThreadPoolExecutor:
+        size = self._workers or jobs or default_jobs()
+        with self._pool_lock:
+            if self._pool is None or size > self._size:
+                # growing is safe mid-flight: the old pool keeps running
+                # the futures it already owns
+                old, self._pool = self._pool, ThreadPoolExecutor(
+                    max_workers=size, thread_name_prefix="repro-backend")
+                self._size = size
+                if old is not None:
+                    old.shutdown(wait=False)
+            return self._pool
+
+    def submit_cells(self, batch: Sequence[JobRequest],
+                     jobs: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     ) -> "List[Future[Outcome]]":
+        # timeout/retries guard against crashed or stalled *worker
+        # processes*; threads share this process, so neither applies
+        pool = self._executor(jobs)
+        _parallel.pool_stats().executed_serial += len(batch)
+        return [self._watch(pool.submit(_execute_cell, request))
+                for request in batch]
+
+    def capacity(self) -> int:
+        return self._size or self._workers or default_jobs()
+
+    def drain(self) -> None:
+        with self._pool_lock:
+            pool = self._pool
+        if pool is not None:
+            # idle=True barrier: a fresh no-op future flushes the queue
+            pool.submit(lambda: None).result()
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._size = 0
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+
+class ProcessBackend(ExecutionBackend):
+    """The crash-isolated worker-process executor behind the backend API.
+
+    ``submit_cells`` returns already-resolved futures: the process
+    pool's own workers are the concurrency, and running the dispatch on
+    the caller's thread keeps ``KeyboardInterrupt`` semantics exactly
+    as they were (the interrupt kills the pool and propagates to the
+    caller, never to a detached dispatcher thread).
+    """
+
+    name = "processes"
+
+    def __init__(self, jobs: Optional[int] = None):
+        super().__init__()
+        self._jobs = jobs
+
+    def submit_cells(self, batch: Sequence[JobRequest],
+                     jobs: Optional[int] = None,
+                     timeout: Optional[float] = None,
+                     retries: Optional[int] = None,
+                     ) -> "List[Future[Outcome]]":
+        jobs = self._jobs or (default_jobs() if jobs is None
+                              else max(1, jobs))
+        timeout = default_timeout() if timeout is None else (
+            timeout if timeout > 0 else None)
+        retries = default_retries() if retries is None else max(0, retries)
+        stats = _parallel.pool_stats()
+        outcomes: Optional[List[Outcome]] = None
+        # jobs > 1 dispatches even a single straggler to the pool:
+        # crash isolation must hold for the last missing cell too
+        if jobs > 1:
+            try:
+                for request in batch:
+                    pickle.dumps(request)
+            except Exception:
+                outcomes = None  # unpicklable cell: serial fallback
+            else:
+                outcomes = _run_parallel(list(batch), jobs, timeout,
+                                         retries)
+                stats.executed_parallel += len(batch)
+        if outcomes is None:
+            outcomes = [_execute_cell(request) for request in batch]
+            stats.executed_serial += len(batch)
+        return [self._resolved(outcome) for outcome in outcomes]
+
+    def capacity(self) -> int:
+        return self._jobs or default_jobs()
+
+    def close(self) -> None:
+        _parallel.shutdown_pool()

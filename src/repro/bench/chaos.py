@@ -376,16 +376,23 @@ def scenario_corrupted_cache() -> Tuple[bool, List[str]]:
             original = parallel.run_request(request, cache=cache)
             key = request.key()
             path = cache._path(key)
-            data = path.read_text()
+            raw = path.read_bytes()
             if mode == "flipped":
-                # alter the payload but not the stored checksum: still
-                # valid JSON, so only checksum verification catches it
-                entry = json.loads(data)
+                # alter the payload but not the stored checksum: still a
+                # well-formed entry (schema-2 JSON or schema-3 frames),
+                # so only checksum verification catches it
+                from ..core.cache import parse_entry
+                from ..wire import frames
+
+                entry = parse_entry(raw)
                 entry["result"]["wall_time"] = \
                     entry["result"].get("wall_time", 0.0) + 1.0
-                path.write_text(json.dumps(entry))
+                if raw[:2] == frames.FRAME_MAGIC:
+                    path.write_bytes(frames.pack_frames(entry))
+                else:
+                    path.write_text(json.dumps(entry))
             else:
-                path.write_text(data[: len(data) // 2])
+                path.write_bytes(raw[: len(raw) // 2])
 
             fresh = ResultCache(directory=tmp)
             recovered = parallel.run_request(request, cache=fresh)

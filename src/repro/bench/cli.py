@@ -193,6 +193,13 @@ def main(argv=None) -> int:
                         metavar="N",
                         help="simulate sweep cells on N worker processes "
                              "(results are bit-identical to serial)")
+    parser.add_argument("--backend", metavar="SPEC", default=None,
+                        help="execution backend for sweep cells: "
+                             "'processes' (default; crash-isolated "
+                             "worker pool), 'threads' (in-process), or "
+                             "'remote:<addr>' (a repro-bench serve "
+                             "daemon or cluster router) — tables are "
+                             "byte-identical across all three")
     parser.add_argument("--timeout", type=float, default=None,
                         metavar="SECONDS",
                         help="stall watchdog: give up on a sweep batch "
@@ -245,6 +252,14 @@ def main(argv=None) -> int:
             print("--jobs must be >= 1", file=sys.stderr)
             return 2
         parallel.set_default_jobs(args.jobs)
+    if args.backend is not None:
+        from ..backends import set_default_backend
+
+        try:
+            set_default_backend(args.backend)
+        except ValueError as exc:
+            print(f"--backend: {exc}", file=sys.stderr)
+            return 2
     if args.timeout is not None:
         parallel.set_default_timeout(args.timeout if args.timeout > 0
                                      else None)
@@ -328,6 +343,10 @@ def main(argv=None) -> int:
         return 130
     finally:
         parallel.shutdown_pool()
+        if args.backend is not None:
+            from ..backends import set_default_backend
+
+            set_default_backend(None)
         if fault_plan is not None:
             parallel.set_default_faults(None)
         if args.tier is not None:
@@ -385,6 +404,7 @@ def main(argv=None) -> int:
         record = recorder.finish(
             config={"targets": names, "jobs": jobs,
                     "tier": args.tier or "exact",
+                    "backend": args.backend or "processes",
                     "cache_enabled": cache.enabled,
                     "csv": bool(args.csv), "plot": bool(args.plot)},
             targets=_timings_payload(timings)["targets"],

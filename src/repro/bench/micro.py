@@ -13,6 +13,11 @@ execution tiers are built from:
 * ``surrogate-build`` — :class:`~repro.surrogate.SurrogateEvaluator`
   construction (topology/coefficient precompute), the fixed cost paid
   once per (spec, affinity) pair.
+* ``wire-encode``/``wire-decode`` vs ``json-encode``/``json-decode`` —
+  the :mod:`repro.wire` binary codec against the C ``json`` module on
+  a result-bearing batch response (the hot payload shape of protocol
+  v3 and cache schema 3).  These report MB/s, and the combined
+  encode+decode ratio is the ≥2× claim the wire format rests on.
 
 Each benchmark reports best-of-``--repeat`` seconds per iteration
 (minimum over repeats is the standard noise floor for timeit).  With
@@ -79,12 +84,86 @@ def _bench_surrogate_build() -> Callable[[], None]:
     return lambda: SurrogateEvaluator(spec, affinity)
 
 
+_CODEC_MESSAGE: Optional[Dict[str, Any]] = None
+
+
+def _codec_message() -> Dict[str, Any]:
+    """A submit response carrying a real result — the hot wire shape.
+
+    Built once per process: an ntasks=16 fast-tier cell (the widest
+    cell the modelled systems can host) gives a result payload with
+    full-width ``rank_times``/``category_times`` blocks, which is
+    where the codec's float fast paths earn their keep.
+    """
+    global _CODEC_MESSAGE
+    if _CODEC_MESSAGE is None:
+        result = _cell_request_wide().execute().to_dict()
+        _CODEC_MESSAGE = {"status": "ok", "op": "submit",
+                          "source": "executed", "result": result}
+    return _CODEC_MESSAGE
+
+
+def _cell_request_wide():
+    from ..core.parallel import JobRequest
+    from ..machine import longs
+    from ..workloads.hpcc import HpccStream
+
+    return JobRequest(spec=longs(), workload=HpccStream(16), tier="fast")
+
+
+def _bench_wire_encode() -> Callable[[], None]:
+    from ..wire import codec
+
+    message = _codec_message()
+    body = lambda: codec.encode(message)  # noqa: E731
+    body.payload_bytes = len(codec.encode(message))
+    return body
+
+
+def _bench_wire_decode() -> Callable[[], None]:
+    from ..wire import codec
+
+    blob = codec.encode(_codec_message())
+    body = lambda: codec.decode(blob)  # noqa: E731
+    body.payload_bytes = len(blob)
+    return body
+
+
+def _bench_json_encode() -> Callable[[], None]:
+    import json
+
+    message = _codec_message()
+    body = lambda: json.dumps(message, sort_keys=True,  # noqa: E731
+                              separators=(",", ":"))
+    body.payload_bytes = len(json.dumps(message, sort_keys=True,
+                                        separators=(",", ":")))
+    return body
+
+
+def _bench_json_decode() -> Callable[[], None]:
+    import json
+
+    text = json.dumps(_codec_message(), sort_keys=True,
+                      separators=(",", ":"))
+    body = lambda: json.loads(text)  # noqa: E731
+    body.payload_bytes = len(text)
+    return body
+
+
 BENCHMARKS: List[Tuple[str, Callable[[], Callable[[], None]], int]] = [
     ("engine-event-loop", _bench_engine_event_loop, 5),
     ("engine-cell", _bench_engine_cell, 1),
     ("surrogate-batch", _bench_surrogate_batch, 5),
     ("surrogate-build", _bench_surrogate_build, 20),
+    ("wire-encode", _bench_wire_encode, 50),
+    ("wire-decode", _bench_wire_decode, 50),
+    ("json-encode", _bench_json_encode, 50),
+    ("json-decode", _bench_json_decode, 50),
 ]
+
+#: the codec quartet, for ``--only``-style selection in CI
+CODEC_BENCHMARKS = ("wire-encode", "wire-decode",
+                    "json-encode", "json-decode")
 
 
 def run_benchmarks(repeat: int = 5,
@@ -101,6 +180,10 @@ def run_benchmarks(repeat: int = 5,
         timer = timeit.Timer(body)
         best = min(timer.repeat(repeat=repeat, number=n)) / n
         results[name] = {"seconds": best, "number": n, "repeat": repeat}
+        payload = getattr(body, "payload_bytes", None)
+        if payload is not None and best > 0:
+            results[name]["bytes"] = payload
+            results[name]["mb_per_s"] = payload / best / 1e6
     return results
 
 
@@ -136,14 +219,28 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     width = max(len(name) for name in results) if results else 0
     for name, scores in results.items():
-        print(f"{name:{width}s}  {scores['seconds'] * 1e3:10.3f} ms/iter  "
-              f"(best of {scores['repeat']} x {scores['number']})")
+        line = (f"{name:{width}s}  "
+                f"{scores['seconds'] * 1e3:10.3f} ms/iter  "
+                f"(best of {scores['repeat']} x {scores['number']})")
+        if "mb_per_s" in scores:
+            line += f"  {scores['mb_per_s']:8.1f} MB/s"
+        print(line)
     engine = results.get("engine-cell")
     fast = results.get("surrogate-batch")
     if engine and fast and fast["seconds"] > 0:
         print(f"{'cell speedup':{width}s}  "
               f"{engine['seconds'] / fast['seconds']:10.1f} x  "
               "(exact engine-cell / surrogate-batch)")
+    codec_scores = [results.get(name) for name in CODEC_BENCHMARKS]
+    if all(codec_scores):
+        wire_s = (results["wire-encode"]["seconds"]
+                  + results["wire-decode"]["seconds"])
+        json_s = (results["json-encode"]["seconds"]
+                  + results["json-decode"]["seconds"])
+        if wire_s > 0:
+            print(f"{'codec speedup':{width}s}  "
+                  f"{json_s / wire_s:10.2f} x  "
+                  "(json enc+dec / wire enc+dec)")
 
     if recorder is not None:
         record = recorder.finish(

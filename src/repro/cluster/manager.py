@@ -31,6 +31,7 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..service import cliargs
 from ..service.transport import format_address, make_server, \
     parse_address, request, serve_in_thread
 from .router import Router
@@ -594,9 +595,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                           help=f"cluster state file (default: "
                                f"{DEFAULT_STATE_PATH})")
     for verb in (status, route, down):
-        verb.add_argument("--connect", metavar="HOST:PORT", default=None,
-                          help="router address (overrides the state "
-                               "file)")
+        cliargs.add_connect_argument(
+            verb, help="router address (overrides the state file)")
     for verb in (status, route):
         verb.add_argument("--json", action="store_true")
     route.add_argument("--system", default="longs")

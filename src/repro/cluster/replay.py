@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from ..service import cliargs
 from ..service.transport import format_address, parse_address, request
 from ..telemetry import tracing
 
@@ -305,9 +306,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "throughput, per-shard utilization, and the "
                     "cluster-wide coalesce ratio.",
     )
-    parser.add_argument("--connect", metavar="ADDR", default=None,
-                        help="endpoint (host:port or socket path; "
-                             "default: the cluster state file's router)")
+    cliargs.add_connect_argument(
+        parser, help="endpoint (host:port or socket path; default: "
+                     "the cluster state file's router)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="JSONL trace to replay")
     parser.add_argument("--from-ledger", action="store_true",
@@ -326,7 +327,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--trace-requests", action="store_true",
                         help="mint a distributed-trace id per replayed "
                              "request (sample reported as trace_ids)")
-    parser.add_argument("--timeout", type=float, default=600.0)
+    cliargs.add_timeout_argument(parser)
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="client retries per request for retryable "
                              "rejections (queue_full honoring "

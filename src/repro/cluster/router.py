@@ -194,6 +194,9 @@ class ShardState:
     breaker: CircuitBreaker = field(default_factory=CircuitBreaker)
     #: transitions already published as the metrics counter
     breaker_transitions_emitted: int = 0
+    #: the shard's RemoteBackend: one persistent negotiated connection
+    #: for sequential traffic, one-shot sockets when it is busy
+    backend: Optional[Any] = None
 
     def as_dict(self) -> Dict[str, Any]:
         return {"name": self.name,
@@ -202,6 +205,8 @@ class ShardState:
                 "forwarded": self.forwarded,
                 "failures": self.failures,
                 "last_error": self.last_error,
+                "protocol": self.backend.protocol()
+                if self.backend is not None else 2,
                 "breaker": self.breaker.as_dict()}
 
 
@@ -229,12 +234,17 @@ class Router:
         self.request_timeout_s = request_timeout_s
         self.breaker_threshold = breaker_threshold
         self.breaker_open_s = breaker_open_s
+        from ..backends import RemoteBackend
+
         self._shards: Dict[str, ShardState] = {}
         for shard_name, address in shards:
+            resolved = parse_address(address)
             self._shards[shard_name] = ShardState(
-                name=shard_name, address=parse_address(address),
+                name=shard_name, address=resolved,
                 breaker=CircuitBreaker(failure_threshold=breaker_threshold,
-                                       open_s=breaker_open_s))
+                                       open_s=breaker_open_s),
+                backend=RemoteBackend(resolved,
+                                      timeout=request_timeout_s))
         self._lock = threading.Lock()
         self.routed = 0
         self.rerouted = 0
@@ -257,6 +267,9 @@ class Router:
 
     def stop(self) -> None:
         self._stop.set()
+        for shard in self._shards.values():
+            if shard.backend is not None:
+                shard.backend.close()
 
     def _probe_loop(self) -> None:
         while not self._stop.wait(self._health_interval_s):
@@ -266,12 +279,9 @@ class Router:
         """Ping every shard once; returns name -> alive."""
         results: Dict[str, bool] = {}
         for shard in list(self._shards.values()):
-            try:
-                response = request(shard.address, {"op": "ping"},
-                                   timeout=2.0)
-                ok = response.get("status") == "ok"
-            except (OSError, ValueError):
-                ok = False
+            # the backend's health hook probes on a one-shot socket, so
+            # a slow in-flight batch can never fail the liveness check
+            ok = shard.backend.healthy(timeout=2.0)
             with self._lock:
                 shard.alive = ok
                 if ok:
@@ -338,8 +348,7 @@ class Router:
         """Contact one shard once; record the outcome everywhere."""
         t0 = time.perf_counter()
         try:
-            response = request(shard.address, message,
-                               timeout=self.request_timeout_s)
+            response = shard.backend.forward(message)
         except (OSError, ValueError) as exc:
             with self._lock:
                 self.forward_failures += 1

@@ -12,9 +12,20 @@ Two tiers:
 * an in-process dictionary (shared across every table/figure generator
   of one ``repro-bench`` invocation, so sweeps that project different
   columns out of the same runs never recompute);
-* a JSON file per result under ``~/.cache/repro-bench/`` (override with
+* a file per result under ``~/.cache/repro-bench/`` (override with
   ``REPRO_BENCH_CACHE_DIR``), so *reruns* of the bench pipeline are
   served from disk.
+
+Disk entries come in two storage formats, told apart by their first
+bytes: schema-2 entries are plain JSON objects (leading ``{``) and
+schema-3 entries are :mod:`repro.wire` framed binary (leading ``RW``
+magic).  New writes use the binary format (set
+``REPRO_BENCH_CACHE_FORMAT=json`` to keep writing schema 2); reads
+accept both, so upgrading never invalidates a warm cache.  The
+storage format is *not* part of the content address — keys still hash
+the schema-2 key layout — and the per-entry checksum is computed over
+the canonical JSON form of the result either way, so a binary entry
+and a JSON entry of the same result carry bit-identical checksums.
 
 Keys additionally fold in a **model fingerprint** — a hash over the
 source of every non-bench ``repro`` module — so editing the simulator
@@ -40,9 +51,12 @@ from pathlib import Path
 from typing import Any, Dict, Optional
 
 from ..telemetry import metrics as _metrics
+from ..wire import frames as _frames
 from .execution import JobResult
 
 __all__ = [
+    "CACHE_SCHEMA",
+    "CACHE_STORE_SCHEMA",
     "CacheStats",
     "ResultCache",
     "Uncacheable",
@@ -51,11 +65,18 @@ __all__ = [
     "default_cache",
     "job_key",
     "model_fingerprint",
+    "parse_entry",
     "result_checksum",
 ]
 
-#: bump when the key layout or the stored-result schema changes
+#: bump when the key layout or the *logical* entry schema changes;
+#: folded into every content address, so bumping it invalidates the
+#: whole cache — which is why the binary storage format below is a
+#: separate number
 CACHE_SCHEMA = 2
+#: the framed-binary *storage* format (never part of the key payload:
+#: how an entry is spelled on disk must not change its address)
+CACHE_STORE_SCHEMA = 3
 
 _LOG = logging.getLogger("repro.core.cache")
 
@@ -221,8 +242,43 @@ def result_checksum(result_data: Dict) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
+def parse_entry(raw: bytes) -> Dict:
+    """Decode and verify one disk entry in either storage format.
+
+    Schema-3 entries start with the ``RW`` frame magic and hold one
+    framed binary message; anything else is parsed as a schema-2 JSON
+    object.  Returns the entry dict (``schema``/``check``/``result``)
+    after verifying the schema number and the result checksum; raises
+    :class:`ValueError` (or a subclass — frame errors are
+    :class:`~repro.errors.ProtocolError`) on anything malformed, torn,
+    or bit-rotted.
+    """
+    if raw[:2] == _frames.FRAME_MAGIC:
+        data, end = _frames.unpack_frames(raw)
+        if end != len(raw):
+            raise ValueError(
+                f"{len(raw) - end} trailing byte(s) after cache entry")
+        expected = CACHE_STORE_SCHEMA
+    else:
+        data = json.loads(raw)
+        expected = CACHE_SCHEMA
+    if not isinstance(data, dict):
+        raise ValueError("cache entry is not an object")
+    if data.get("schema") != expected:
+        raise ValueError(f"cache schema {data.get('schema')!r}, "
+                         f"expected {expected}")
+    if data.get("check") != result_checksum(data["result"]):
+        raise ValueError("cache checksum mismatch")
+    return data
+
+
 class ResultCache:
-    """Two-tier (memory + JSON-on-disk) store of :class:`JobResult`.
+    """Two-tier (memory + on-disk) store of :class:`JobResult`.
+
+    Disk entries are written in the schema-3 framed binary format by
+    default (schema-2 JSON with ``binary=False`` or
+    ``REPRO_BENCH_CACHE_FORMAT=json``); reads accept both formats, so
+    mixed-schema directories stay fully usable.
 
     Disk writes are atomic (temp file + fsync + ``os.replace``), so
     concurrent writers — the parallel sweep executor's workers — can
@@ -235,10 +291,16 @@ class ResultCache:
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None,
-                 enabled: bool = True, disk: bool = True):
+                 enabled: bool = True, disk: bool = True,
+                 binary: Optional[bool] = None):
         self.directory = Path(directory) if directory else _default_directory()
         self.enabled = enabled
         self.disk = disk
+        if binary is None:
+            binary = os.environ.get(
+                "REPRO_BENCH_CACHE_FORMAT", "binary") != "json"
+        #: write schema-3 binary entries (reads always accept both)
+        self.binary = binary
         self.stats = CacheStats()
         self._memory: Dict[str, JobResult] = {}
         self._disk_warned = False
@@ -268,12 +330,7 @@ class ResultCache:
             path = self._path(key)
             exists = path.exists()
             try:
-                with open(path) as handle:
-                    data = json.load(handle)
-                if data.get("schema") != CACHE_SCHEMA:
-                    raise ValueError("cache schema mismatch")
-                if data.get("check") != result_checksum(data["result"]):
-                    raise ValueError("cache checksum mismatch")
+                data = parse_entry(path.read_bytes())
                 result = JobResult.from_dict(data["result"])
             except (OSError, ValueError, KeyError, TypeError) as exc:
                 if exists:
@@ -317,13 +374,20 @@ class ResultCache:
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             result_data = result.to_dict()
-            payload = json.dumps({"schema": CACHE_SCHEMA,
-                                  "check": result_checksum(result_data),
-                                  "result": result_data})
+            check = result_checksum(result_data)
+            if self.binary:
+                payload = _frames.pack_frames(
+                    {"schema": CACHE_STORE_SCHEMA, "check": check,
+                     "result": result_data})
+                _metrics.inc("cache_store_binary_total")
+            else:
+                payload = json.dumps({"schema": CACHE_SCHEMA,
+                                      "check": check,
+                                      "result": result_data}).encode()
             _metrics.inc("cache_disk_write_bytes_total", len(payload))
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
-                with os.fdopen(fd, "w") as handle:
+                with os.fdopen(fd, "wb") as handle:
                     handle.write(payload)
                     handle.flush()
                     os.fsync(handle.fileno())
@@ -378,7 +442,8 @@ def default_cache() -> ResultCache:
 
 def configure(enabled: Optional[bool] = None,
               directory: Optional[os.PathLike] = None,
-              disk: Optional[bool] = None) -> ResultCache:
+              disk: Optional[bool] = None,
+              binary: Optional[bool] = None) -> ResultCache:
     """Reconfigure the process-wide cache in place and return it."""
     cache = default_cache()
     if enabled is not None:
@@ -388,4 +453,6 @@ def configure(enabled: Optional[bool] = None,
         cache.clear_memory()
     if disk is not None:
         cache.disk = disk
+    if binary is not None:
+        cache.binary = binary
     return cache

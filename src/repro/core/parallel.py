@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import logging
 import os
-import pickle
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -619,17 +618,22 @@ def run_requests(requests: Sequence[JobRequest],
                  cache: Optional[ResultCache] = None,
                  timeout: Optional[float] = None,
                  retries: Optional[int] = None,
+                 backend=None,
                  ) -> List[Optional[JobResult]]:
     """Run a batch of cells, returning results in request order.
 
     Infeasible cells come back as ``None`` (the paper tables' dashes),
     as do cells that failed outright — drain :func:`take_failures` to
     tell the two apart.  Cache hits are served directly; the remaining
-    unique cells fan out over ``jobs`` worker processes (serially when
-    ``jobs`` is 1 or when a request cannot be pickled).  Crashed or
-    stalled workers lose only their own cells, which are retried up to
-    ``retries`` times with exponential backoff before being reported as
-    failures.
+    unique cells are scheduled on ``backend`` (an
+    :class:`~repro.backends.ExecutionBackend`; the process-wide
+    default — the crash-isolated worker-process pool — when ``None``).
+    The backend only ever *runs* cells: content addressing, duplicate
+    coalescing, and cache stores happen here, so the backend choice
+    can never leak into a cache key.  On the process backend, crashed
+    or stalled workers lose only their own cells, which are retried up
+    to ``retries`` times with exponential backoff before being
+    reported as failures.
     """
     cache = cache if cache is not None else default_cache()
     jobs = default_jobs() if jobs is None else max(1, jobs)
@@ -681,25 +685,18 @@ def run_requests(requests: Sequence[JobRequest],
         _metrics.set_gauge("executor_pool_jobs", jobs)
         _metrics.observe("executor_dispatch_cells", len(todo),
                          bounds=_metrics.COUNT_BUCKETS)
+        if backend is None:
+            from ..backends import default_backend
+            backend = default_backend()
         t0_batch = time.perf_counter()
         with span("executor_batch", cells=len(requests),
-                  dispatched=len(todo), jobs=jobs) as timer:
-            outcomes = None
-            # jobs > 1 dispatches even a single straggler to the pool:
-            # crash isolation must hold for the last missing cell too
-            if jobs > 1:
-                try:
-                    for request in todo:
-                        pickle.dumps(request)
-                except Exception:
-                    outcomes = None  # unpicklable cell: serial fallback
-                else:
-                    outcomes = _run_parallel(todo, jobs, timeout, retries)
-                    stats.executed_parallel += len(todo)
-                    timer.note(parallel=True)
-            if outcomes is None:
-                outcomes = [_execute_cell(request) for request in todo]
-                stats.executed_serial += len(todo)
+                  dispatched=len(todo), jobs=jobs,
+                  backend=backend.name) as timer:
+            futures = backend.submit_cells(todo, jobs=jobs,
+                                           timeout=timeout,
+                                           retries=retries)
+            outcomes = [future.result() for future in futures]
+            timer.note(parallel=jobs > 1)
         _metrics.observe("executor_batch_seconds",
                          time.perf_counter() - t0_batch)
         for i, (status, payload) in zip(pending, outcomes):

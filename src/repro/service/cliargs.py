@@ -1,0 +1,81 @@
+"""Shared argparse plumbing for every networked subcommand.
+
+``submit``, ``replay``, ``top``, ``trace`` and the ``cluster`` verbs
+all talk to a daemon or router over the same transport, so they must
+agree on how an endpoint is spelled (``host:port`` for TCP, a
+filesystem path for a Unix socket) and on the client-side timeout
+default.  Historically each subcommand re-declared ``--connect`` and
+``--timeout`` with its own wording and defaults; this module is the
+single source of truth they now share.
+
+:func:`~repro.service.transport.parse_address` (re-exported here for
+convenience) turns the accepted spellings into a typed address; the
+helpers below only *declare* the flags — resolution stays with the
+caller so subcommand-specific fallbacks (state files, ``--socket``)
+keep working.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from .transport import Address, parse_address
+
+__all__ = [
+    "DEFAULT_SOCKET",
+    "DEFAULT_TIMEOUT_S",
+    "add_connect_argument",
+    "add_timeout_argument",
+    "parse_address",
+    "resolve_connect",
+]
+
+#: where `repro-bench serve` listens when nothing else is configured
+DEFAULT_SOCKET = ".repro/service.sock"
+#: client-side response timeout shared by every networked subcommand
+DEFAULT_TIMEOUT_S = 600.0
+
+_CONNECT_HELP = ("service endpoint: host:port for TCP or a "
+                 "filesystem path for a Unix socket")
+
+
+def add_connect_argument(parser: argparse.ArgumentParser, *,
+                         default: Optional[str] = None,
+                         help: Optional[str] = None,  # noqa: A002
+                         ) -> argparse.ArgumentParser:
+    """Declare the shared ``--connect ADDR`` flag on *parser*.
+
+    Callers may override *help* to describe their fallback behaviour
+    (state file, ``--socket``); the metavar and the accepted spellings
+    are fixed so every subcommand's ``--help`` reads identically.
+    """
+    parser.add_argument("--connect", metavar="ADDR", default=default,
+                        help=help or _CONNECT_HELP)
+    return parser
+
+
+def add_timeout_argument(parser: argparse.ArgumentParser, *,
+                         default: float = DEFAULT_TIMEOUT_S,
+                         help: Optional[str] = None,  # noqa: A002
+                         ) -> argparse.ArgumentParser:
+    """Declare the shared ``--timeout S`` flag on *parser*."""
+    parser.add_argument(
+        "--timeout", type=float, default=default, metavar="S",
+        help=help or ("client-side response timeout in seconds "
+                      f"(default: {default:g})"))
+    return parser
+
+
+def resolve_connect(args: argparse.Namespace,
+                    fallback: Optional[str] = None) -> Optional[Address]:
+    """The endpoint named by ``--connect`` (or *fallback*), parsed.
+
+    Returns ``None`` when neither is given so callers can fall back to
+    discovery (cluster state files) or error out with their own
+    message.
+    """
+    text = getattr(args, "connect", None) or fallback
+    if text is None:
+        return None
+    return parse_address(text)

@@ -31,6 +31,7 @@ import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
 
+from . import cliargs
 from .protocol import handle_request
 from .session import Session
 from .transport import (
@@ -161,6 +162,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "port 0 picks a free port")
     parser.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                         help="worker processes for batched cells")
+    parser.add_argument("--backend", metavar="SPEC", default=None,
+                        help="execution backend for served batches: "
+                             "'processes' (default; crash-isolated "
+                             "worker pool), 'threads', or "
+                             "'remote:<addr>' to delegate to another "
+                             "daemon — results are byte-identical "
+                             "across all three")
     parser.add_argument("--queue-depth", type=int, default=64, metavar="N",
                         help="admission bound on queued jobs "
                              "(default: 64)")
@@ -209,13 +217,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..core.cache import ResultCache
 
         cache = ResultCache(directory=args.cache_dir)
+    backend = None
+    if args.backend:
+        from ..backends import resolve_backend
+
+        try:
+            backend = resolve_backend(args.backend)
+        except ValueError as exc:
+            print(f"--backend: {exc}", file=sys.stderr)
+            return 2
     session = Session(cache=cache, jobs=args.jobs,
                       max_pending=args.queue_depth,
                       max_batch=args.max_batch,
                       batch_window=args.batch_window,
                       timeout=args.timeout, retries=args.retries,
                       name=args.name,
-                      shed_threshold=args.shed_threshold)
+                      shed_threshold=args.shed_threshold,
+                      backend=backend)
     frontend = ServiceFrontend(session)
 
     recorder = None
@@ -271,7 +289,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 else default_cache()
             record = recorder.finish(
                 config={"socket": args.socket, "tcp": args.tcp,
-                        "jobs": args.jobs,
+                        "jobs": args.jobs, "backend": args.backend,
                         "queue_depth": args.queue_depth,
                         "batch_window": args.batch_window,
                         "shed_threshold": args.shed_threshold},
@@ -366,10 +384,10 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                     "its Unix socket or TCP endpoint.",
     )
     parser.add_argument("--socket", metavar="PATH",
-                        default=".repro/service.sock")
-    parser.add_argument("--connect", metavar="ADDR", default=None,
-                        help="service address (host:port or socket "
-                             "path; overrides --socket)")
+                        default=cliargs.DEFAULT_SOCKET)
+    cliargs.add_connect_argument(
+        parser, help="service endpoint (host:port or socket path; "
+                     "overrides --socket)")
     parser.add_argument("--system", default="longs",
                         help="system preset (tiger/dmz/longs/chiplet)")
     parser.add_argument("--workload", default=None,
@@ -399,8 +417,7 @@ def submit_main(argv: Optional[List[str]] = None) -> int:
                         help="drain the server and stop it")
     parser.add_argument("--json", action="store_true",
                         help="print raw response JSON lines")
-    parser.add_argument("--timeout", type=float, default=600.0,
-                        help="client-side response timeout (seconds)")
+    cliargs.add_timeout_argument(parser)
     parser.add_argument("--retries", type=int, default=2, metavar="N",
                         help="client retries for retryable rejections "
                              "(queue_full honoring its retry_after, "

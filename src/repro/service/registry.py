@@ -9,13 +9,13 @@ profiles from the command line is spelled identically over the socket.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from typing import Any, Callable, Dict
 
 from ..apps.md.amber import AmberSander
 from ..apps.md.lammps import LammpsBench
 from ..apps.pop import Pop
 from ..core.affinity import AffinityScheme
-from ..errors import UnknownNameError
+from ..errors import ProtocolError, UnknownNameError
 from ..machine import by_name
 from ..machine.topology import MachineSpec
 from ..workloads.blas_scaling import DgemmBench
@@ -25,7 +25,7 @@ from ..workloads.nas import NasCG, NasEP, NasFT, NasMG
 from ..workloads.synthetic import SyntheticWorkload
 
 __all__ = ["WORKLOADS", "SCHEME_ALIASES", "resolve_scheme_name",
-           "resolve_system", "resolve_workload"]
+           "resolve_system", "resolve_workload", "wire_cell_for"]
 
 #: name -> factory(ntasks); the paper's workload spectrum
 WORKLOADS: Dict[str, Callable[[int], object]] = {
@@ -91,3 +91,114 @@ def resolve_scheme_name(name: str) -> AffinityScheme:
         raise UnknownNameError(
             f"unknown scheme {name!r}; choose from "
             f"{', '.join(sorted(SCHEME_ALIASES))}") from None
+
+
+def _synthetic_spec(workload: Any) -> Dict[str, Any]:
+    """The declarative spec dict of a synthetic workload, verified."""
+    from ..core.cache import canonical_token
+
+    spec = {"name": workload.name, "ntasks": workload.ntasks,
+            "ops": [dict(op) for op in workload.ops],
+            "steps": workload.steps,
+            "simulated_steps": workload.simulated_steps}
+    if canonical_token(SyntheticWorkload.from_spec(spec)) \
+            != canonical_token(workload):
+        raise ProtocolError(
+            "synthetic workload does not round-trip through its spec")
+    return spec
+
+
+def wire_cell_for(request: Any) -> Dict[str, Any]:
+    """The name-based wire cell of one executor request (reverse lookup).
+
+    The wire protocol spells cells by registry *name*; an arbitrary
+    :class:`~repro.core.parallel.JobRequest` may carry values that have
+    none — an explicit resolved affinity, a fault plan, a non-default
+    MPI implementation, an unregistered workload object.  Those raise
+    :class:`~repro.errors.ProtocolError`; the remote execution backend
+    folds that into a per-cell failure instead of poisoning the batch.
+
+    Every resolution is *verified by canonical token*, never assumed
+    from a name attribute: the cell this function emits rebuilds (via
+    :func:`~repro.service.protocol.cell_from_wire`) into a request with
+    the same content address, so results computed remotely land under
+    the same cache key bit for bit.
+    """
+    from ..core.cache import Uncacheable, canonical_token
+
+    if request.affinity is not None:
+        raise ProtocolError(
+            "explicit resolved affinity has no wire spelling")
+    if request.faults is not None:
+        raise ProtocolError("fault plans are not carried on the wire")
+    if request.profile:
+        raise ProtocolError("profiled cells are not carried on the wire")
+    try:
+        if request.impl is not None and canonical_token(request.impl) \
+                != canonical_token(_default_impl()):
+            raise ProtocolError(
+                f"MPI implementation {request.impl!r} has no wire "
+                f"spelling (the wire always means the default)")
+
+        system_name = str(request.spec.name).lower()
+        try:
+            candidate = by_name(system_name)
+        except (KeyError, ValueError):
+            raise ProtocolError(
+                f"system {request.spec.name!r} is not in the registry")
+        if canonical_token(candidate) != canonical_token(request.spec):
+            raise ProtocolError(
+                f"system spec differs from the registered "
+                f"{system_name!r} machine")
+
+        token = canonical_token(request.workload)
+        ntasks = int(request.workload.ntasks)
+        workload_name = None
+        params: Dict[str, Any] = {}
+        for name, factory in WORKLOADS.items():
+            try:
+                if canonical_token(factory(ntasks)) == token:
+                    workload_name = name
+                    break
+            except Exception:
+                continue
+        if workload_name is None and isinstance(request.workload,
+                                                SyntheticWorkload):
+            workload_name = "synthetic"
+            params = {"spec": _synthetic_spec(request.workload)}
+        if workload_name is None:
+            raise ProtocolError(
+                f"workload {type(request.workload).__name__} for "
+                f"{ntasks} task(s) matches no registry entry")
+    except Uncacheable as exc:
+        raise ProtocolError(
+            f"cell has no canonical form: {exc}") from exc
+
+    scheme_name = None
+    for alias, scheme in SCHEME_ALIASES.items():
+        if scheme is request.scheme:
+            scheme_name = alias  # first alias wins ("two-local", not
+            break                # its "localalloc" numactl synonym)
+    if scheme_name is None:
+        raise ProtocolError(
+            f"scheme {request.scheme!r} has no wire spelling")
+
+    cell: Dict[str, Any] = {"system": system_name,
+                            "workload": workload_name,
+                            "ntasks": ntasks, "scheme": scheme_name,
+                            # explicit tier: the remote side must never
+                            # substitute its own process-wide default
+                            "tier": request.tier or "exact"}
+    if params:
+        cell["params"] = params
+    if request.lock is not None:
+        cell["lock"] = request.lock
+    if request.parked:
+        cell["parked"] = int(request.parked)
+    return cell
+
+
+def _default_impl():
+    from ..mpi import OPENMPI
+
+    return OPENMPI

@@ -161,6 +161,11 @@ class Session:
     resolution (CLI flags / environment).  ``paused=True`` holds the
     dispatcher so tests and batch clients can stage submits — staging
     is also what makes coalescing deterministic to observe.
+    ``backend`` picks the execution plane every batch is scheduled on
+    (an :class:`~repro.backends.ExecutionBackend` or its CLI spelling:
+    ``threads``, ``processes``, ``remote:<addr>``); the default is the
+    process-wide crash-isolated worker pool, and since backends never
+    touch the cache the choice cannot change a single result byte.
     """
 
     def __init__(self, cache: Optional[ResultCache] = None,
@@ -172,9 +177,17 @@ class Session:
                  retries: Optional[int] = None,
                  name: str = "session",
                  paused: bool = False,
-                 shed_threshold: Optional[float] = None):
+                 shed_threshold: Optional[float] = None,
+                 backend=None):
         self._cache = cache
         self.jobs = jobs
+        #: the ExecutionBackend every batch is scheduled on (``None``
+        #: defers to the process-wide default — see repro.backends);
+        #: accepts a CLI spelling like "threads" or "remote:<addr>"
+        self.backend = None
+        if backend is not None:
+            from ..backends import resolve_backend
+            self.backend = resolve_backend(backend)
         self.max_pending = max(1, max_pending)
         self.max_batch = max(1, max_batch)
         self.batch_window = max(0.0, batch_window)
@@ -466,6 +479,8 @@ class Session:
             self._cond.notify_all()
         if dispatcher is not None and dispatcher.is_alive():
             dispatcher.join(timeout=5.0)
+        if self.backend is not None:
+            self.backend.close()
 
     # -- the sync plane ---------------------------------------------------
 
@@ -535,7 +550,7 @@ class Session:
                     [job.job_request for job in batch],
                     jobs=jobs if jobs is not None else self.jobs,
                     cache=self.cache, timeout=self.timeout,
-                    retries=self.retries)
+                    retries=self.retries, backend=self.backend)
                 failures = {f.index: f for f in take_failures()}
                 batch_span.note(failed=len(failures))
         elapsed = time.perf_counter() - t0
@@ -702,7 +717,7 @@ class Session:
         """Perfctr-style gauge snapshot for dashboards and the ledger."""
         stats = self.stats
         lookups = stats.coalesced + stats.cache_hits + stats.accepted
-        return {
+        gauges = {
             "service_queue_depth": stats.queue_depth,
             "service_queue_depth_peak": stats.queue_depth_peak,
             "service_outstanding": self._outstanding,
@@ -718,6 +733,9 @@ class Session:
             "service_coalesce_rate": round(stats.coalesced / lookups, 6)
                 if lookups else 0.0,
         }
+        if self.backend is not None:
+            gauges.update(self.backend.gauges())
+        return gauges
 
     # -- typed sweep API ----------------------------------------------------
 

@@ -18,8 +18,13 @@ the router only implement ``handle_message``:
   with a clear error), a leftover socket from a crashed daemon is
   removed and reclaimed;
 * **client side**: one-shot ``request()`` (connect, one line out, one
-  line in) used by the CLI clients, the router's forwarding path, and
-  the replay load generator.
+  line in) used by the CLI clients and the replay load generator, and
+  the persistent :class:`Connection` used by the remote execution
+  backend and the router;
+* **protocol negotiation**: a ``hello`` asking for protocol 3 flips
+  one connection (both directions) to the :mod:`repro.wire` framed
+  binary format; every connection starts as — and v2-only peers stay
+  on — NDJSON.
 """
 
 from __future__ import annotations
@@ -33,10 +38,13 @@ import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from ..errors import ProtocolError, ReproError
-from .protocol import decode_line, encode_line
+from ..telemetry import metrics as _metrics
+from ..wire import frames as _frames
+from .protocol import decode_line, encode_line, hello_response
 
 __all__ = [
     "Address",
+    "Connection",
     "MAX_LINE_BYTES",
     "format_address",
     "make_server",
@@ -146,6 +154,19 @@ class _NdjsonHandler(socketserver.StreamRequestHandler):
                 if not self._reply(exc.to_wire()):
                     return
                 continue
+            if message.get("op") == "hello":
+                # negotiation is a transport concern: a successful
+                # protocol-3 hello flips *this connection* to framed
+                # binary before the next message
+                response, selected = hello_response(
+                    message, server=server.server_name)
+                if not self._reply(response):
+                    return
+                if selected >= 3:
+                    _metrics.inc("wire_binary_connections_total")
+                    self._handle_binary(server)
+                    return
+                continue
             try:
                 response = server.handle_message(message)
             except BaseException as exc:  # a handler bug, not a protocol
@@ -158,6 +179,53 @@ class _NdjsonHandler(socketserver.StreamRequestHandler):
             if server.is_shutdown_response(response):
                 server.initiate_shutdown()
                 return
+
+    def _handle_binary(self, server) -> None:
+        """Serve framed binary messages until disconnect (protocol v3).
+
+        Same request/response loop as NDJSON with the framing swapped:
+        one :mod:`repro.wire` message in, one out.  A malformed frame
+        (bad magic, unknown version, truncation, oversize) gets a typed
+        ``protocol_error`` reply and ends the connection — past a bad
+        header the stream cannot be re-framed.
+        """
+        while True:
+            try:
+                message = _frames.read_frame_message(self.rfile)
+            except ProtocolError as exc:
+                self._reply_binary(exc.to_wire())
+                return
+            except OSError:
+                return  # client vanished mid-frame
+            if message is None:
+                return  # clean disconnect
+            _metrics.inc("wire_binary_messages_total")
+            if not isinstance(message, dict):
+                error = ProtocolError("request must be a wire object")
+                if not self._reply_binary(error.to_wire()):
+                    return
+                continue
+            try:
+                response = server.handle_message(message)
+            except BaseException as exc:
+                _LOG.exception("handler error for op %r",
+                               message.get("op"))
+                response = {"status": "error", "code": "internal",
+                            "message": f"{type(exc).__name__}: {exc}"}
+            if not self._reply_binary(response):
+                return
+            if server.is_shutdown_response(response):
+                server.initiate_shutdown()
+                return
+
+    def _reply_binary(self, response: Dict[str, Any]) -> bool:
+        """Write one framed response; False when the client went away."""
+        try:
+            sent = _frames.write_frame_message(self.wfile, response)
+            _metrics.inc("wire_binary_bytes_sent_total", sent)
+            return True
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            return False
 
     def _reply(self, response: Dict[str, Any]) -> bool:
         """Write one response line; False when the client went away."""
@@ -177,8 +245,11 @@ class _NdjsonServerCore:
 
     def _init_core(self,
                    handle_message: Callable[[Dict[str, Any]],
-                                            Dict[str, Any]]) -> None:
+                                            Dict[str, Any]],
+                   server_name: str = "repro-service") -> None:
         self.handle_message = handle_message
+        #: advertised in `hello` replies
+        self.server_name = server_name
         self._shutdown_started = threading.Event()
 
     def is_shutdown_response(self, response: Dict[str, Any]) -> bool:
@@ -200,8 +271,9 @@ class UnixNdjsonServer(_NdjsonServerCore, socketserver.ThreadingMixIn,
 
     def __init__(self, path: str,
                  handle_message: Callable[[Dict[str, Any]],
-                                          Dict[str, Any]]):
-        self._init_core(handle_message)
+                                          Dict[str, Any]],
+                 server_name: str = "repro-service"):
+        self._init_core(handle_message, server_name)
         self.address = path
         prepare_unix_socket(path)
         super().__init__(path, _NdjsonHandler)
@@ -220,8 +292,9 @@ class TcpNdjsonServer(_NdjsonServerCore, socketserver.ThreadingMixIn,
 
     def __init__(self, address: Tuple[str, int],
                  handle_message: Callable[[Dict[str, Any]],
-                                          Dict[str, Any]]):
-        self._init_core(handle_message)
+                                          Dict[str, Any]],
+                 server_name: str = "repro-service"):
+        self._init_core(handle_message, server_name)
         super().__init__(address, _NdjsonHandler)
         #: the bound endpoint (resolves port 0 to the kernel's choice)
         self.address: Tuple[str, int] = self.server_address[:2]
@@ -232,12 +305,17 @@ class TcpNdjsonServer(_NdjsonServerCore, socketserver.ThreadingMixIn,
 
 def make_server(address: Union[str, Address],
                 handle_message: Callable[[Dict[str, Any]], Dict[str, Any]],
+                server_name: str = "repro-service",
                 ) -> Union[UnixNdjsonServer, TcpNdjsonServer]:
-    """An NDJSON server for ``address``, transport chosen by its form."""
+    """An NDJSON server for ``address``, transport chosen by its form.
+
+    ``server_name`` is what `hello` replies advertise for this
+    endpoint (a daemon passes its session name, the router its own).
+    """
     resolved = parse_address(address)
     if isinstance(resolved, tuple):
-        return TcpNdjsonServer(resolved, handle_message)
-    return UnixNdjsonServer(resolved, handle_message)
+        return TcpNdjsonServer(resolved, handle_message, server_name)
+    return UnixNdjsonServer(resolved, handle_message, server_name)
 
 
 def serve_in_thread(server: Union[UnixNdjsonServer, TcpNdjsonServer],
@@ -284,3 +362,91 @@ def request(address: Union[str, Address], message: Dict[str, Any],
         raise ConnectionError(
             f"{format_address(resolved)} closed the connection mid-request")
     return json.loads(buffer.decode())
+
+
+class Connection:
+    """A persistent client connection with protocol negotiation.
+
+    Opens at v2 NDJSON and (by default) sends a ``hello`` asking for
+    protocol 3; when the server agrees, every subsequent request on
+    this connection travels as :mod:`repro.wire` binary frames.  A
+    server that rejects or does not understand ``hello`` — any v2-only
+    peer — leaves the connection speaking NDJSON, so clients never
+    need to know the server's age in advance.  :attr:`protocol` says
+    what was negotiated; :attr:`server_info` keeps the ``hello`` reply
+    (name, caps) when there was one.
+
+    Used by the remote execution backend and the cluster router's
+    forwarding path, where connection reuse and compact framing matter;
+    one-shot CLI pings keep using :func:`request`.
+    """
+
+    def __init__(self, address: Union[str, Address],
+                 timeout: float = 600.0, binary: bool = True):
+        self.address = parse_address(address)
+        self.timeout = timeout
+        self.protocol = 2
+        self.server_info: Dict[str, Any] = {}
+        self._sock: Optional[socket.socket] = _connect(self.address, timeout)
+        self._rfile = self._sock.makefile("rb")
+        if binary:
+            self._negotiate()
+
+    def _read_ndjson(self) -> Dict[str, Any]:
+        line = self._rfile.readline(MAX_LINE_BYTES + 1)
+        if not line.strip():
+            raise ConnectionError(
+                f"{format_address(self.address)} closed the connection "
+                f"mid-request")
+        return json.loads(line.decode())
+
+    def _negotiate(self) -> None:
+        """Ask for protocol 3; stay at 2 on any non-ok answer."""
+        assert self._sock is not None
+        self._sock.sendall(encode_line({"op": "hello", "protocol": 3}))
+        reply = self._read_ndjson()
+        if reply.get("status") == "ok" and reply.get("op") == "hello":
+            self.server_info = {k: reply[k] for k in
+                                ("server", "caps", "protocol_versions")
+                                if k in reply}
+            if reply.get("protocol") == 3:
+                self.protocol = 3
+        # an error reply (unknown op on an old server, or an
+        # unsupported-version protocol_error) is the downgrade path:
+        # the connection simply keeps speaking v2 NDJSON
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request, wait for its response (either framing)."""
+        if self._sock is None:
+            raise ConnectionError("connection is closed")
+        if self.protocol >= 3:
+            sent = _frames.write_frame_message(self._sock, message)
+            _metrics.inc("wire_binary_bytes_sent_total", sent)
+            reply = _frames.read_frame_message(self._rfile)
+            if reply is None:
+                raise ConnectionError(
+                    f"{format_address(self.address)} closed the "
+                    f"connection mid-request")
+            if not isinstance(reply, dict):
+                raise ProtocolError("response must be a wire object")
+            return reply
+        self._sock.sendall(encode_line(message))
+        return self._read_ndjson()
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -28,7 +28,6 @@ fixed), 1 when problems remain.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from typing import Any, Dict, Optional
@@ -45,10 +44,11 @@ def check_cache_dir(directory: Path, fix: bool = False) -> Dict[str, Any]:
     when ``fix``), stale temp files (deleted when ``fix``), and
     pre-existing quarantined files (deleted when ``fix``).
     """
-    from ..core.cache import CACHE_SCHEMA, result_checksum
+    from ..core.cache import parse_entry
+    from ..wire import FRAME_MAGIC
 
     summary: Dict[str, Any] = {"path": str(directory), "entries": 0,
-                               "corrupt": [], "stale_tmp": 0,
+                               "binary": 0, "corrupt": [], "stale_tmp": 0,
                                "quarantined": 0}
     if not directory.is_dir():
         return summary
@@ -69,13 +69,10 @@ def check_cache_dir(directory: Path, fix: bool = False) -> Dict[str, Any]:
     for path in sorted(directory.rglob("*.json")):
         summary["entries"] += 1
         try:
-            with open(path) as handle:
-                data = json.load(handle)
-            if data.get("schema") != CACHE_SCHEMA:
-                raise ValueError(f"schema {data.get('schema')!r}, "
-                                 f"expected {CACHE_SCHEMA}")
-            if data.get("check") != result_checksum(data["result"]):
-                raise ValueError("checksum mismatch")
+            raw = path.read_bytes()
+            if raw[:2] == FRAME_MAGIC:
+                summary["binary"] += 1
+            parse_entry(raw)
         except (OSError, ValueError, KeyError, TypeError) as exc:
             summary["corrupt"].append({"file": str(path), "reason": str(exc)})
             if fix:
@@ -173,7 +170,8 @@ def main(argv=None) -> int:
     cache_report = check_cache_dir(cache_dir, fix=args.fix)
     corrupt = len(cache_report["corrupt"])
     print(f"cache {cache_report['path']}: {cache_report['entries']} "
-          f"entr(ies), {corrupt} corrupt, "
+          f"entr(ies) ({cache_report['binary']} binary), "
+          f"{corrupt} corrupt, "
           f"{cache_report['stale_tmp']} stale temp file(s), "
           f"{cache_report['quarantined']} quarantined")
     for item in cache_report["corrupt"]:

@@ -23,6 +23,7 @@ from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from ..core.asciiplot import sparkline
+from ..service import cliargs
 from ..service.transport import request
 from . import metrics
 
@@ -190,9 +191,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "metrics (scrapes the side-effect-free 'metrics' "
                     "protocol op).",
     )
-    parser.add_argument("--connect", metavar="ADDR", default=None,
-                        help="scrape one endpoint (host:port or socket "
-                             "path) instead of the cluster state file")
+    cliargs.add_connect_argument(
+        parser, help="scrape one endpoint (host:port or socket path) "
+                     "instead of the cluster state file")
     parser.add_argument("--state", metavar="PATH",
                         default=".repro/cluster.json",
                         help="cluster state file to discover router + "

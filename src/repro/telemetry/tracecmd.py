@@ -14,7 +14,8 @@ Spans carry wall-clock start times (``t0``), so stitching across
 processes needs no clock agreement beyond the machine's own clock —
 fine for the single-host clusters the manager launches.  Records are
 written at daemon shutdown: export after ``cluster down`` (or after
-the daemons exited), not while they are still buffering.
+the daemons exited) — or pass ``--connect`` to also scrape a still-
+running daemon's buffered spans via the side-effect-free ``trace`` op.
 """
 
 from __future__ import annotations
@@ -24,22 +25,54 @@ import json
 import sys
 from typing import Any, Dict, List, Optional
 
+from ..service import cliargs
 from . import ledger
 
-__all__ = ["collect_spans", "list_traces", "main", "to_chrome_trace"]
+__all__ = ["collect_live_record", "collect_spans", "list_traces", "main",
+           "to_chrome_trace"]
+
+
+def collect_live_record(address: str, trace_id: Optional[str] = None,
+                        timeout: float = cliargs.DEFAULT_TIMEOUT_S
+                        ) -> Dict[str, Any]:
+    """Scrape a live daemon's buffered spans via the ``trace`` op.
+
+    Daemons only flush trace spans to the ledger at shutdown; this asks
+    a running one (``--connect``) for what it is still holding.  The
+    result is shaped like a ledger record (``tool``/``trace_spans``) so
+    it can feed :func:`collect_spans`/:func:`list_traces` as an
+    *extra_records* entry.
+    """
+    from ..service.transport import request
+    message: Dict[str, Any] = {"op": "trace"}
+    if trace_id is not None:
+        message["trace_id"] = trace_id
+    response = request(cliargs.parse_address(address), message,
+                       timeout=timeout)
+    if response.get("status") != "ok":
+        raise RuntimeError(
+            f"trace scrape failed [{response.get('code')}]: "
+            f"{response.get('message')}")
+    return {"tool": "live", "run_id": None,
+            "session": response.get("session"),
+            "trace_spans": [s for s in response.get("spans") or []
+                            if isinstance(s, dict)]}
 
 
 def collect_spans(trace_id: str,
-                  ledger_dir: Optional[str] = None
+                  ledger_dir: Optional[str] = None,
+                  extra_records: Optional[List[Dict[str, Any]]] = None
                   ) -> List[Dict[str, Any]]:
     """Every recorded span of one trace, across all ledger records.
 
     Each span is annotated with the run it came from (``run_id``,
     ``record_tool``) so the exporter can lay processes out as separate
-    tracks.
+    tracks.  *extra_records* (e.g. a live scrape from
+    :func:`collect_live_record`) are merged in after the ledger.
     """
     spans: List[Dict[str, Any]] = []
-    for record in ledger.read_records(ledger_dir):
+    for record in list(ledger.read_records(ledger_dir)) \
+            + list(extra_records or []):
         for span in record.get("trace_spans") or []:
             if not isinstance(span, dict) or span.get("trace") != trace_id:
                 continue
@@ -47,16 +80,20 @@ def collect_spans(trace_id: str,
             entry["run_id"] = record.get("run_id")
             entry["record_tool"] = record.get("tool")
             session = (span.get("attrs") or {}).get("session")
-            entry["proc"] = session or record.get("tool") or "unknown"
+            entry["proc"] = (session or record.get("session")
+                             or record.get("tool") or "unknown")
             spans.append(entry)
     spans.sort(key=lambda s: s.get("t0") or 0.0)
     return spans
 
 
-def list_traces(ledger_dir: Optional[str] = None) -> List[Dict[str, Any]]:
+def list_traces(ledger_dir: Optional[str] = None,
+                extra_records: Optional[List[Dict[str, Any]]] = None
+                ) -> List[Dict[str, Any]]:
     """Inventory of recorded trace ids, oldest first."""
     traces: Dict[str, Dict[str, Any]] = {}
-    for record in ledger.read_records(ledger_dir):
+    for record in list(ledger.read_records(ledger_dir)) \
+            + list(extra_records or []):
         for span in record.get("trace_spans") or []:
             if not isinstance(span, dict) or not span.get("trace"):
                 continue
@@ -136,10 +173,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         verb.add_argument("--ledger-dir", metavar="DIR", default=None,
                           help="ledger location (default: .repro/ledger, "
                                "or $REPRO_LEDGER_DIR)")
+        cliargs.add_connect_argument(
+            verb, help="also scrape a live daemon's still-buffered "
+                       "spans (host:port or socket path)")
+        cliargs.add_timeout_argument(verb, default=10.0)
     args = parser.parse_args(argv)
 
+    extra: List[Dict[str, Any]] = []
+    if args.connect:
+        wanted = args.trace_id if args.verb == "export" else None
+        try:
+            extra.append(collect_live_record(args.connect, wanted,
+                                             timeout=args.timeout))
+        except (OSError, RuntimeError, ValueError) as exc:
+            print(f"live scrape of {args.connect} failed: {exc}",
+                  file=sys.stderr)
+            return 1
+
     if args.verb == "list":
-        traces = list_traces(args.ledger_dir)
+        traces = list_traces(args.ledger_dir, extra_records=extra)
         if not traces:
             print(f"no trace spans recorded under "
                   f"{ledger.ledger_dir(args.ledger_dir)} (submit or "
@@ -152,7 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{', '.join(entry['names'])}")
         return 0
 
-    spans = collect_spans(args.trace_id, args.ledger_dir)
+    spans = collect_spans(args.trace_id, args.ledger_dir,
+                          extra_records=extra)
     if not spans:
         print(f"no spans recorded for trace {args.trace_id!r} under "
               f"{ledger.ledger_dir(args.ledger_dir)} — daemons flush "

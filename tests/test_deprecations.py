@@ -114,6 +114,61 @@ def test_session_api_is_warning_free(tmp_path):
     assert result.ok
 
 
+def test_shims_route_through_session_and_backend(tmp_path):
+    """The full shim → Session → ExecutionBackend call chain holds.
+
+    Each legacy free function must emit exactly one deprecation
+    warning, delegate to the process-wide session, and have its cells
+    scheduled through the session's pluggable backend (never a private
+    dispatch path).
+    """
+    from repro.backends import ThreadBackend
+    from repro.core.cache import ResultCache
+    from repro.service.session import set_default_session
+
+    class SpyBackend(ThreadBackend):
+        name = "spy"
+
+        def __init__(self):
+            super().__init__()
+            self.cells = 0
+
+        def submit_cells(self, batch, jobs=None, timeout=None,
+                         retries=None):
+            batch = list(batch)
+            self.cells += len(batch)
+            return super().submit_cells(batch, jobs=jobs,
+                                        timeout=timeout, retries=retries)
+
+    shims = [
+        ("scheme_sweep",
+         lambda: scheme_sweep(dmz(), lambda n: TinyCompute(n),
+                              task_counts=(2,))),
+        ("compare_schemes",
+         lambda: compare_schemes(longs(), lambda: TinyCompute(4))),
+        ("scaling_study",
+         lambda: scaling_study([longs()], lambda n: TinyCompute(n),
+                               (2,), metric="speedup")),
+    ]
+    for i, (name, call) in enumerate(shims):
+        spy = SpyBackend()
+        session = Session(cache=ResultCache(directory=tmp_path / str(i)),
+                          backend=spy)
+        old = set_default_session(session)
+        try:
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                call()
+        finally:
+            set_default_session(old)
+            session.close()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, ReproDeprecationWarning)]
+        assert len(deprecations) == 1, (name, deprecations)
+        assert name in str(deprecations[0].message)
+        assert spy.cells > 0, f"{name} never reached the backend"
+
+
 def test_experiment_routes_through_session():
     from repro.core import Experiment
 

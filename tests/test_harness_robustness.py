@@ -8,7 +8,13 @@ from repro.bench import chaos
 from repro.bench.chaos import SCENARIOS, _QuickWorkload
 from repro.core import parallel
 from repro.core.affinity import AffinityScheme
-from repro.core.cache import CACHE_SCHEMA, ResultCache, result_checksum
+from repro.core.cache import (
+    CACHE_SCHEMA,
+    CACHE_STORE_SCHEMA,
+    ResultCache,
+    parse_entry,
+    result_checksum,
+)
 from repro.core.parallel import (
     JobRequest,
     TargetFailure,
@@ -21,6 +27,15 @@ from repro.faults import CacheDegrade, FaultPlan
 from repro.machine import dmz, tiger
 from repro.telemetry import doctor, ledger
 from repro.telemetry.regress import excluded_from_baseline
+from repro.wire import frames
+
+
+def _rewrite_entry(path, entry):
+    """Write a mutated cache entry back in whatever format the file used."""
+    if path.read_bytes()[:2] == frames.FRAME_MAGIC:
+        path.write_bytes(frames.pack_frames(entry))
+    else:
+        path.write_text(json.dumps(entry))
 
 
 class _WideWorkload(_QuickWorkload):
@@ -65,8 +80,8 @@ def _populate(tmp_path):
 
 def test_truncated_cache_entry_is_quarantined_and_recomputed(tmp_path):
     request, original, path = _populate(tmp_path)
-    data = path.read_text()
-    path.write_text(data[: len(data) // 2])
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
 
     fresh = ResultCache(directory=tmp_path)
     recovered = run_request(request, cache=fresh)
@@ -74,17 +89,17 @@ def test_truncated_cache_entry_is_quarantined_and_recomputed(tmp_path):
     assert fresh.stats.misses == 1
     assert recovered.to_dict() == original.to_dict()
     assert path.with_suffix(".json.corrupt").exists()
-    # the recomputed entry was rewritten cleanly
-    entry = json.loads(path.read_text())
-    assert entry["schema"] == CACHE_SCHEMA
+    # the recomputed entry was rewritten cleanly (parse_entry validates format)
+    entry = parse_entry(path.read_bytes())
+    assert entry["schema"] in (CACHE_SCHEMA, CACHE_STORE_SCHEMA)
     assert entry["check"] == result_checksum(entry["result"])
 
 
 def test_bitflipped_cache_entry_fails_the_checksum(tmp_path):
     request, original, path = _populate(tmp_path)
-    entry = json.loads(path.read_text())
-    entry["result"]["wall_time"] += 1.0  # valid JSON, stale checksum
-    path.write_text(json.dumps(entry))
+    entry = parse_entry(path.read_bytes())
+    entry["result"]["wall_time"] += 1.0  # well-formed entry, stale checksum
+    _rewrite_entry(path, entry)
 
     fresh = ResultCache(directory=tmp_path)
     assert fresh.get(request.key()) is None
@@ -101,9 +116,9 @@ def test_missing_entry_is_a_plain_miss_not_corruption(tmp_path):
 
 def test_stale_schema_entry_is_rejected(tmp_path):
     request, original, path = _populate(tmp_path)
-    entry = json.loads(path.read_text())
+    entry = parse_entry(path.read_bytes())
     entry["schema"] = CACHE_SCHEMA - 1
-    path.write_text(json.dumps(entry))
+    _rewrite_entry(path, entry)
     fresh = ResultCache(directory=tmp_path)
     assert fresh.get(request.key()) is None
     assert fresh.stats.corrupt == 1
@@ -113,7 +128,7 @@ def test_stale_schema_entry_is_rejected(tmp_path):
 
 def test_doctor_reports_then_fixes_cache_damage(tmp_path):
     request, original, path = _populate(tmp_path)
-    path.write_text(path.read_text()[:10])  # corrupt the entry
+    path.write_bytes(path.read_bytes()[:10])  # corrupt the entry
     (tmp_path / "dead-writer.json.tmp").write_text("partial")
 
     report = doctor.check_cache_dir(tmp_path, fix=False)

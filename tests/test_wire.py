@@ -1,0 +1,274 @@
+"""The binary wire layer: codec, frames, and the mixed-schema cache.
+
+Protocol v3 and cache schema 3 share one invariant: a binary round
+trip must be observationally identical to the JSON round trip it
+replaces — same values, same checksums, same cache keys.  These tests
+pin that equivalence for every wire shape the service speaks, plus
+the rejection paths (truncated frames, wrong magic, unknown tags).
+"""
+
+import io
+import json
+import math
+import struct
+
+import pytest
+
+from repro.core.cache import (
+    CACHE_SCHEMA,
+    CACHE_STORE_SCHEMA,
+    ResultCache,
+    parse_entry,
+    result_checksum,
+)
+from repro.core.parallel import JobRequest, run_request
+from repro.errors import ProtocolError
+from repro.machine import tiger
+from repro.service.protocol import (
+    PROTOCOL_VERSIONS,
+    cell_from_wire,
+    handle_request,
+    hello_response,
+)
+from repro.service.session import Session
+from repro.wire import codec, frames
+
+
+# -- representative values ---------------------------------------------------
+
+JSON_VALUES = [
+    None,
+    True,
+    False,
+    0,
+    255,
+    -1,
+    2**40,
+    -(2**70),          # exceeds int64: bigint spelling
+    2**100,
+    0.0,
+    -0.0,
+    math.pi,
+    1e-300,
+    5e-324,            # smallest subnormal double
+    1.7976931348623157e308,
+    "",
+    "stream",
+    "ünïcode ✓",
+    "x" * 300,         # long-string spelling (> 255 utf-8 bytes)
+    [],
+    [1, "two", 3.0, None, True],
+    [[1.5, 2.5], [3.5]],
+    [0.25, 0.5, 0.75],                      # FLOATS fast path
+    {"a": 1.5, "b": 2.5},                   # FLOATMAP fast path
+    [{"io": 1.0, "mpi": 2.0}, {"io": 3.0, "mpi": 4.0}],  # FMATRIX
+    {},
+    {"nested": {"list": [1, 2], "flag": False}, "n": None},
+]
+
+
+@pytest.mark.parametrize("value", JSON_VALUES,
+                         ids=[repr(v)[:40] for v in JSON_VALUES])
+def test_codec_round_trip_matches_json_round_trip(value):
+    decoded = codec.decode(codec.encode(value))
+    assert decoded == json.loads(json.dumps(value))
+    # and types survive exactly (json would keep them too, but be sure
+    # the fast paths do not coerce)
+    assert type(decoded) is type(json.loads(json.dumps(value)))
+
+
+def test_codec_preserves_float_bits_exactly():
+    for value in (0.1, -0.0, 5e-324, 1.7976931348623157e308,
+                  1 / 3, math.pi):
+        decoded = codec.decode(codec.encode(value))
+        assert struct.pack(">d", decoded) == struct.pack(">d", value)
+    # -0.0 keeps its sign bit, which shortest-repr JSON also does —
+    # but here it is guaranteed by construction
+    assert math.copysign(1.0, codec.decode(codec.encode(-0.0))) == -1.0
+
+
+def test_codec_round_trips_bytes():
+    payload = b"\x00\xffRW{json-looking"
+    assert codec.decode(codec.encode(payload)) == payload
+
+
+def test_codec_rejects_truncation_at_every_boundary():
+    blob = codec.encode({"rank_times": [1.0, 2.0, 3.0],
+                         "name": "stream", "n": 16})
+    for cut in range(len(blob)):
+        with pytest.raises(ProtocolError):
+            codec.decode(blob[:cut])
+
+
+def test_codec_rejects_trailing_garbage_and_unknown_tags():
+    with pytest.raises(ProtocolError):
+        codec.decode(codec.encode(1) + b"\x00")
+    with pytest.raises(ProtocolError):
+        codec.decode(b"\xc1")  # unassigned tag byte
+    with pytest.raises(ProtocolError):
+        codec.decode(b"")
+
+
+def test_codec_rejects_unencodable_objects():
+    with pytest.raises(TypeError):
+        codec.encode(object())
+    with pytest.raises(TypeError):
+        codec.encode({1: "non-string key"})
+
+
+# -- frames ------------------------------------------------------------------
+
+def test_frame_round_trip_single_and_chunked():
+    message = {"op": "batch", "results": [{"rank_times": [0.1] * 100}]}
+    blob = frames.pack_frames(message)
+    value, offset = frames.unpack_frames(blob)
+    assert value == message and offset == len(blob)
+
+    # force chunking with a tiny chunk size: several MORE frames
+    chunked = frames.pack_frames(message, chunk_bytes=16)
+    assert len(chunked) > len(blob)  # extra headers
+    assert chunked[:2] == frames.FRAME_MAGIC
+    value, offset = frames.unpack_frames(chunked)
+    assert value == message and offset == len(chunked)
+
+
+def test_frame_stream_read_write_and_clean_eof():
+    stream = io.BytesIO()
+    frames.write_frame_message(stream, {"op": "ping"})
+    frames.write_frame_message(stream, {"op": "stats"}, chunk_bytes=4)
+    stream.seek(0)
+    assert frames.read_frame_message(stream) == {"op": "ping"}
+    assert frames.read_frame_message(stream) == {"op": "stats"}
+    assert frames.read_frame_message(stream) is None  # clean EOF
+
+
+def test_frame_rejects_wrong_magic_version_and_truncation():
+    good = frames.pack_frames({"op": "ping"})
+    with pytest.raises(ProtocolError, match="magic"):
+        frames.unpack_frames(b"XX" + good[2:])
+    with pytest.raises(ProtocolError, match="version"):
+        frames.unpack_frames(good[:2] + b"\x09" + good[3:])
+    for cut in range(1, len(good)):
+        with pytest.raises(ProtocolError, match="truncated"):
+            frames.unpack_frames(good[:cut])
+    # mid-frame EOF on a stream is an error, not a silent None
+    with pytest.raises(ProtocolError, match="truncated"):
+        frames.read_frame_message(io.BytesIO(good[:-1]))
+
+
+def test_frame_rejects_oversized_payload_claim():
+    header = struct.pack(">2sBBI", frames.FRAME_MAGIC,
+                         frames.FRAME_VERSION, 0,
+                         frames.MAX_PAYLOAD_BYTES + 1)
+    with pytest.raises(ProtocolError, match="limit"):
+        frames.unpack_frames(header + b"x")
+
+
+# -- every wire shape the service speaks -------------------------------------
+
+def _quick_result(tmp_path):
+    from repro.bench.chaos import _QuickWorkload
+    cache = ResultCache(directory=tmp_path)
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    return run_request(request, cache=cache)
+
+
+def test_service_wire_shapes_survive_binary_identically(tmp_path):
+    result = _quick_result(tmp_path / "c")
+    session = Session(name="wire-test",
+                      cache=ResultCache(directory=tmp_path / "s"))
+    try:
+        shapes = [
+            handle_request(session, {"op": "ping"}),
+            hello_response({"op": "hello", "protocol": 3})[0],
+            hello_response({"op": "hello", "protocol": 99})[0],
+            handle_request(session, {"op": "stats"}),
+            handle_request(session, {"op": "nonsense"}),  # protocol_error
+            {"status": "ok", "op": "submit", "source": "executed",
+             "result": result.to_dict()},
+            {"status": "infeasible", "error": "does not fit",
+             "code": "infeasible_scheme"},
+            {"status": "failed", "error": "worker crashed",
+             "code": "job_failed", "kind": "crash"},
+        ]
+    finally:
+        session.close()
+    for shape in shapes:
+        via_json = json.loads(json.dumps(shape))
+        via_binary = codec.decode(codec.encode(shape))
+        assert via_binary == via_json, shape
+        framed, _ = frames.unpack_frames(frames.pack_frames(shape))
+        assert framed == via_json
+
+
+def test_hello_reports_versions_and_downgrade_path():
+    response, selected = hello_response({"op": "hello", "protocol": 3})
+    assert response["status"] == "ok" and selected == 3
+    assert response["protocol_versions"] == list(PROTOCOL_VERSIONS)
+    response, selected = hello_response({"op": "hello", "protocol": 99})
+    assert response["status"] == "error"
+    assert response["code"] == "protocol_error"
+    assert selected == 2  # server keeps speaking NDJSON
+    assert response["protocol_versions"] == list(PROTOCOL_VERSIONS)
+
+
+def test_wire_cell_round_trips_through_cell_from_wire():
+    cell = {"system": "tiger", "workload": "stream", "ntasks": 4,
+            "scheme": "interleave", "tier": "exact"}
+    request = cell_from_wire(codec.decode(codec.encode(cell)))
+    assert request.to_job().key() == cell_from_wire(cell).to_job().key()
+
+
+# -- mixed-schema cache directories ------------------------------------------
+
+def test_cache_mixes_schema2_json_and_schema3_binary(tmp_path):
+    from repro.bench.chaos import _QuickWorkload
+
+    json_cache = ResultCache(directory=tmp_path, binary=False)
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    original = run_request(request, cache=json_cache)
+    path_v2 = json_cache._path(request.key())
+    assert path_v2.read_bytes()[:1] == b"{"  # schema-2 JSON on disk
+
+    binary_cache = ResultCache(directory=tmp_path)
+    request_fast = JobRequest(spec=tiger(), workload=_QuickWorkload(),
+                              tier="fast")
+    run_request(request_fast, cache=binary_cache)
+    path_v3 = binary_cache._path(request_fast.key())
+    assert path_v3.read_bytes()[:2] == frames.FRAME_MAGIC
+
+    # one directory, both formats: a fresh cache reads both as hits
+    fresh = ResultCache(directory=tmp_path)
+    assert fresh.get(request.key()).to_dict() == original.to_dict()
+    assert fresh.get(request_fast.key()) is not None
+    assert fresh.stats.disk_hits == 2 and fresh.stats.corrupt == 0
+
+    # entry parsing agrees on schema numbers and checksums
+    entry_v2 = parse_entry(path_v2.read_bytes())
+    entry_v3 = parse_entry(path_v3.read_bytes())
+    assert entry_v2["schema"] == CACHE_SCHEMA
+    assert entry_v3["schema"] == CACHE_STORE_SCHEMA
+    for entry in (entry_v2, entry_v3):
+        assert entry["check"] == result_checksum(entry["result"])
+
+
+def test_cache_format_is_storage_only_never_in_the_key(tmp_path):
+    """Schema 3 must not invalidate a warm schema-2 cache."""
+    from repro.bench.chaos import _QuickWorkload
+
+    request = JobRequest(spec=tiger(), workload=_QuickWorkload())
+    json_cache = ResultCache(directory=tmp_path, binary=False)
+    original = run_request(request, cache=json_cache)
+
+    warm = ResultCache(directory=tmp_path)  # binary-writing reader
+    assert warm.get(request.key()).to_dict() == original.to_dict()
+    assert warm.stats.disk_hits == 1 and warm.stats.misses == 0
+
+
+def test_parse_entry_rejects_malformed_input():
+    with pytest.raises(ValueError):
+        parse_entry(b"RWgarbage-after-magic")
+    with pytest.raises(ValueError):
+        parse_entry(b"{not json")
+    with pytest.raises(ValueError):
+        parse_entry(frames.pack_frames(["not", "a", "dict"]))
